@@ -1,0 +1,65 @@
+// Ablation: the "exact hash function" generic.
+//
+// The paper lists the hash function among the compile-time generics. This
+// bench compares the zlib shift-xor hash against a multiplicative
+// (Fibonacci) hash across hash sizes: probe counts, speed and ratio.
+#include "bench_util.hpp"
+
+#include "estimator/evaluate.hpp"
+
+namespace {
+
+using namespace lzss;
+
+void print_tables() {
+  bench::print_title("ABLATION — HASH FUNCTION CHOICE (Wiki workload)",
+                     "zlib shift-xor vs multiplicative, per hash size");
+
+  const std::size_t bytes = bench::sample_bytes(4);
+  const auto& data = bench::cached_corpus("wiki", bytes);
+
+  std::printf("%-6s %-16s %10s %10s %12s %14s\n", "bits", "function", "MB/s", "ratio",
+              "cyc/byte", "probes/token");
+  for (const unsigned bits : {9u, 12u, 15u}) {
+    for (const auto kind : {core::HashKind::kZlibShift, core::HashKind::kMultiplicative}) {
+      hw::HwConfig cfg = hw::HwConfig::speed_optimized();
+      cfg.hash.bits = bits;
+      cfg.hash.kind = kind;
+      const auto ev = est::evaluate(cfg, data);
+      std::printf("%-6u %-16s %10.1f %10.3f %12.3f %14.2f\n", bits,
+                  kind == core::HashKind::kZlibShift ? "zlib-shift" : "multiplicative",
+                  ev.mb_per_s(), ev.ratio(), ev.cycles_per_byte(),
+                  double(ev.stats.chain_probes) / double(ev.stats.tokens()));
+    }
+  }
+}
+
+void BM_HashZlib(benchmark::State& state) {
+  const core::HashSpec h{.bits = 15, .kind = core::HashKind::kZlibShift};
+  std::uint32_t x = 1;
+  for (auto _ : state) {
+    x = x * 1664525u + 1013904223u;
+    benchmark::DoNotOptimize(h.hash3(static_cast<std::uint8_t>(x),
+                                     static_cast<std::uint8_t>(x >> 8),
+                                     static_cast<std::uint8_t>(x >> 16)));
+  }
+}
+BENCHMARK(BM_HashZlib);
+
+void BM_HashMultiplicative(benchmark::State& state) {
+  const core::HashSpec h{.bits = 15, .kind = core::HashKind::kMultiplicative};
+  std::uint32_t x = 1;
+  for (auto _ : state) {
+    x = x * 1664525u + 1013904223u;
+    benchmark::DoNotOptimize(h.hash3(static_cast<std::uint8_t>(x),
+                                     static_cast<std::uint8_t>(x >> 8),
+                                     static_cast<std::uint8_t>(x >> 16)));
+  }
+}
+BENCHMARK(BM_HashMultiplicative);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return lzss::bench::run_bench_main(argc, argv, print_tables);
+}

@@ -1,0 +1,58 @@
+// Shared plumbing for the experiment benches.
+//
+// Every binary regenerates one table or figure of the paper: it prints the
+// measured rows next to the paper's published values (where legible), then
+// runs a couple of google-benchmark timers for the host-side cost of the
+// components involved. Sample sizes scale with LZSS_BENCH_MB (the paper used
+// a 100 MB Wikipedia fragment; shapes are stable from a few MiB up).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "workloads/corpus.hpp"
+
+namespace lzss::bench {
+
+inline void print_title(const char* title, const char* note) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  if (note != nullptr && *note != '\0') std::printf("%s\n", note);
+  std::printf("==============================================================\n");
+}
+
+/// Sample bytes for this bench: LZSS_BENCH_MB MiB, default @p def_mb.
+inline std::size_t sample_bytes(std::size_t def_mb) {
+  return env::bench_bytes(def_mb);
+}
+
+/// Cached corpus so the table section and the google-benchmark section do
+/// not regenerate the same data.
+inline const std::vector<std::uint8_t>& cached_corpus(const std::string& name,
+                                                      std::size_t bytes) {
+  static std::string cur_name;
+  static std::size_t cur_bytes = 0;
+  static std::vector<std::uint8_t> data;
+  if (cur_name != name || cur_bytes != bytes) {
+    data = wl::make_corpus(name, bytes);
+    cur_name = name;
+    cur_bytes = bytes;
+  }
+  return data;
+}
+
+/// Runs the table-generation part, then google-benchmark. Call from main().
+inline int run_bench_main(int argc, char** argv, void (*print_tables)()) {
+  benchmark::Initialize(&argc, argv);
+  print_tables();
+  std::printf("\n-- host-side microbenchmarks (google-benchmark) --\n");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace lzss::bench

@@ -1,0 +1,68 @@
+// Extension: seekable-archive block-size trade-off.
+//
+// The logger's archive compresses in independent blocks so analysis tools
+// can seek; each block resets the dictionary and pays container overhead.
+// This bench maps the block size against compression ratio and the cost of
+// a random 4 KB read (bytes inflated to serve it).
+#include "bench_util.hpp"
+
+#include "logger/archive.hpp"
+
+namespace {
+
+using namespace lzss;
+
+void print_tables() {
+  bench::print_title("EXTENSION — SEEKABLE ARCHIVE: BLOCK SIZE vs RATIO vs SEEK COST",
+                     "X2E traffic; random 4 KB reads; smaller blocks = cheaper seeks, "
+                     "worse ratio");
+
+  const std::size_t bytes = bench::sample_bytes(8);
+  const auto data = wl::make_corpus("x2e", bytes);
+
+  std::printf("%-12s %10s %10s %14s %20s\n", "block (KB)", "blocks", "ratio",
+              "archive (MB)", "KB inflated per read");
+  for (const std::size_t block_kb : {16u, 64u, 256u, 1024u}) {
+    logger::ArchiveOptions opt;
+    opt.block_bytes = block_kb * 1024;
+    logger::ArchiveWriter w(opt);
+    w.append(data);
+    const auto archive = w.finish();
+    logger::ArchiveReader r(archive);
+
+    // Average the blocks touched by a few spread-out 4 KB reads.
+    double touched = 0;
+    const int kReads = 16;
+    for (int i = 0; i < kReads; ++i) {
+      const std::uint64_t off =
+          static_cast<std::uint64_t>(i) * (data.size() - 4096) / kReads;
+      (void)r.read(off, 4096);
+      touched += static_cast<double>(r.last_blocks_touched());
+    }
+    std::printf("%-12zu %10zu %10.3f %14.2f %20.1f\n", block_kb, r.block_count(),
+                double(data.size()) / double(archive.size()), archive.size() / 1e6,
+                touched / kReads * static_cast<double>(block_kb));
+  }
+}
+
+void BM_ArchiveRandomRead(benchmark::State& state) {
+  const auto& data = bench::cached_corpus("x2e", 1024 * 1024);
+  logger::ArchiveOptions opt;
+  opt.block_bytes = static_cast<std::size_t>(state.range(0)) * 1024;
+  logger::ArchiveWriter w(opt);
+  w.append(data);
+  const auto archive = w.finish();
+  logger::ArchiveReader r(archive);
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    off = (off + 77'777) % (data.size() - 4096);
+    benchmark::DoNotOptimize(r.read(off, 4096).size());
+  }
+}
+BENCHMARK(BM_ArchiveRandomRead)->Arg(16)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return lzss::bench::run_bench_main(argc, argv, print_tables);
+}

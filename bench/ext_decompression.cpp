@@ -1,0 +1,54 @@
+// Extension: decompression-side throughput.
+//
+// The paper's reference [10] motivates fast hardware LZSS decompression
+// (dynamic FPGA self-reconfiguration); a logger also reads its own
+// archives. This bench runs the full decode pipeline (DMA -> fixed-Huffman
+// decode stage -> LZSS window unit) over every corpus.
+#include "bench_util.hpp"
+
+#include "hw/pipeline.hpp"
+
+namespace {
+
+using namespace lzss;
+
+void print_tables() {
+  bench::print_title("EXTENSION — DECOMPRESSION PIPELINE THROUGHPUT",
+                     "DMA -> fixed-Huffman decode -> LZSS window unit @ 100 MHz");
+
+  const std::size_t bytes = bench::sample_bytes(4);
+  std::printf("%-12s %12s %12s %12s %14s\n", "corpus", "comp MB/s", "decomp MB/s", "cyc/byte",
+              "copy cycles %");
+  for (const char* corpus : {"wiki", "x2e", "mixed", "zeros", "random"}) {
+    const auto data = wl::make_corpus(corpus, bytes);
+    const auto enc = hw::run_system(hw::HwConfig::speed_optimized(), data);
+    const auto dec = hw::run_decode_system(hw::DecompressorConfig{}, enc.deflate_stream);
+    if (dec.data != data) {
+      std::fprintf(stderr, "decode pipeline mismatch on %s!\n", corpus);
+      std::exit(1);
+    }
+    const auto& s = dec.decompressor;
+    std::printf("%-12s %12.1f %12.1f %12.2f %13.1f%%\n", corpus,
+                enc.mb_per_s(100.0), dec.mb_per_s(100.0),
+                double(dec.total_cycles) / double(data.size()),
+                100.0 * double(s.copy_cycles) / double(s.total_cycles));
+  }
+  std::printf("\n(decompression needs no matching, so it outruns compression everywhere)\n");
+}
+
+void BM_DecodePipeline(benchmark::State& state) {
+  const auto& data = bench::cached_corpus("wiki", 256 * 1024);
+  const auto enc = hw::run_system(hw::HwConfig::speed_optimized(), data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hw::run_decode_system(hw::DecompressorConfig{}, enc.deflate_stream).total_cycles);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_DecodePipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return lzss::bench::run_bench_main(argc, argv, print_tables);
+}

@@ -1,0 +1,55 @@
+// Extension: scaling a bank of compressor units.
+//
+// A single unit uses ~6 % of the XC5VFX70T's logic, so several fit; this
+// bench measures the aggregate-throughput / compression-ratio trade-off of
+// striping the input across 1..8 engines (the dictionary restarts per
+// stripe, so small stripes cost a little ratio).
+#include "bench_util.hpp"
+
+#include "deflate/inflate.hpp"
+#include "parallel/multi_engine.hpp"
+
+namespace {
+
+using namespace lzss;
+
+void print_tables() {
+  bench::print_title("EXTENSION — MULTI-ENGINE SCALING (Wiki workload)",
+                     "aggregate throughput of 1..8 striped compressor units @ 100 MHz");
+
+  const std::size_t bytes = bench::sample_bytes(8);
+  const auto& data = bench::cached_corpus("wiki", bytes);
+
+  std::printf("%-9s %14s %10s %10s %14s\n", "engines", "aggregate MB/s", "speedup", "ratio",
+              "BRAM36 (bank)");
+  const hw::HwConfig cfg = hw::HwConfig::speed_optimized();
+  double base = 0;
+  for (const unsigned engines : {1u, 2u, 4u, 8u}) {
+    const auto report = par::compress_multi_engine(cfg, data, engines);
+    // Sanity: the stitched stream must still inflate.
+    if (deflate::inflate_raw(report.deflate_stream).size() != data.size()) {
+      std::fprintf(stderr, "multi-engine stream corrupt!\n");
+      std::exit(1);
+    }
+    const double mbps = report.aggregate_mb_per_s(cfg.clock_mhz);
+    if (engines == 1) base = mbps;
+    std::printf("%-9u %14.1f %9.2fx %10.3f %14u\n", engines, mbps, mbps / base, report.ratio(),
+                21 * engines);  // 21 RAMB36 per unit at this configuration
+  }
+}
+
+void BM_MultiEngine4(benchmark::State& state) {
+  const auto& data = bench::cached_corpus("wiki", 512 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        par::compress_multi_engine(hw::HwConfig::speed_optimized(), data, 4).parallel_cycles);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_MultiEngine4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return lzss::bench::run_bench_main(argc, argv, print_tables);
+}

@@ -1,0 +1,57 @@
+// Fig. 2 — compressed size of the (100 MB-scaled) Wiki workload as a
+// function of dictionary size, for several hash sizes.
+//
+// Paper shape: output shrinks monotonically with dictionary size, and the
+// improvement is more pronounced at larger hash sizes; the published curve
+// runs from ~67 MB (small dict) down to ~54 MB at 16 K with a 15-bit hash.
+#include "bench_util.hpp"
+
+#include "estimator/evaluate.hpp"
+
+namespace {
+
+using namespace lzss;
+
+constexpr std::uint64_t kReferenceBytes = 100'000'000;  // the paper's 100 MB
+
+void print_tables() {
+  bench::print_title("FIG. 2 — COMPRESSED SIZE (MB) OF A 100 MB WIKI FRAGMENT",
+                     "rows: hash bits; columns: dictionary size; values scaled to a 100 MB "
+                     "input\npaper: monotone decrease with dictionary, steeper at larger hash");
+
+  const std::size_t bytes = bench::sample_bytes(4);
+  const auto& data = bench::cached_corpus("wiki", bytes);
+  const unsigned dict_bits[] = {10, 11, 12, 13, 14};
+  const unsigned hash_bits[] = {9, 11, 13, 15};
+
+  std::printf("%-10s", "hash\\dict");
+  for (const unsigned d : dict_bits) std::printf("%8uK", (1u << d) / 1024);
+  std::printf("\n");
+  for (const unsigned h : hash_bits) {
+    std::printf("%-10u", h);
+    for (const unsigned d : dict_bits) {
+      hw::HwConfig cfg = hw::HwConfig::speed_optimized();
+      cfg.dict_bits = d;
+      cfg.hash.bits = h;
+      const auto ev = est::evaluate(cfg, data);
+      std::printf("%9.1f", ev.scaled_compressed_mb(kReferenceBytes));
+    }
+    std::printf("\n");
+  }
+}
+
+void BM_Fig2Point(benchmark::State& state) {
+  const auto& data = bench::cached_corpus("wiki", 256 * 1024);
+  hw::HwConfig cfg = hw::HwConfig::speed_optimized();
+  cfg.dict_bits = static_cast<unsigned>(state.range(0));
+  hw::Compressor comp(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(comp.compress(data).tokens.size());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_Fig2Point)->Arg(10)->Arg(14)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return lzss::bench::run_bench_main(argc, argv, print_tables);
+}

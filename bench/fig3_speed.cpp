@@ -1,0 +1,63 @@
+// Fig. 3 — compression speed (MB/s at 100 MHz) on the Wiki workload as a
+// function of dictionary size, for several hash sizes.
+//
+// Paper shape: larger dictionaries are slightly slower (more successful,
+// longer chain walks); a larger hash compensates by cutting collisions;
+// the 15-bit curve sits on top.
+#include "bench_util.hpp"
+
+#include "estimator/evaluate.hpp"
+
+namespace {
+
+using namespace lzss;
+
+void print_tables() {
+  bench::print_title("FIG. 3 — COMPRESSION SPEED (MB/s) ON THE WIKI WORKLOAD",
+                     "rows: hash bits; columns: dictionary size\n"
+                     "paper: speed dips as the dictionary grows; bigger hash compensates");
+
+  const std::size_t bytes = bench::sample_bytes(4);
+  const auto& data = bench::cached_corpus("wiki", bytes);
+  const unsigned dict_bits[] = {11, 12, 13, 14};
+  const unsigned hash_bits[] = {9, 11, 13, 15};
+
+  std::printf("%-10s", "hash\\dict");
+  for (const unsigned d : dict_bits) std::printf("%8uK", (1u << d) / 1024);
+  std::printf("\n");
+  for (const unsigned h : hash_bits) {
+    std::printf("%-10u", h);
+    for (const unsigned d : dict_bits) {
+      hw::HwConfig cfg = hw::HwConfig::speed_optimized();
+      cfg.dict_bits = d;
+      cfg.hash.bits = h;
+      const auto ev = est::evaluate(cfg, data);
+      std::printf("%9.1f", ev.mb_per_s());
+    }
+    std::printf("\n");
+  }
+  std::printf("(cycles/byte at 15-bit hash, for reference)\n%-10s", "15");
+  for (const unsigned d : dict_bits) {
+    hw::HwConfig cfg = hw::HwConfig::speed_optimized();
+    cfg.dict_bits = d;
+    const auto ev = est::evaluate(cfg, data);
+    std::printf("%9.2f", ev.cycles_per_byte());
+  }
+  std::printf("\n");
+}
+
+void BM_Fig3Point(benchmark::State& state) {
+  const auto& data = bench::cached_corpus("wiki", 256 * 1024);
+  hw::HwConfig cfg = hw::HwConfig::speed_optimized();
+  cfg.hash.bits = static_cast<unsigned>(state.range(0));
+  hw::Compressor comp(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(comp.compress(data).stats.total_cycles);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_Fig3Point)->Arg(9)->Arg(15)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return lzss::bench::run_bench_main(argc, argv, print_tables);
+}

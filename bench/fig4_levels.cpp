@@ -1,0 +1,90 @@
+// Fig. 4 — compressed size and speed at the minimum and maximum compression
+// levels, for 9- and 15-bit hashes, across dictionary sizes.
+//
+// Paper shape (100 MB Wiki): raising the matching-iteration limit improves
+// compression by ~20 % at the cost of ~82 % of the speed; the four curves
+// (hash x level) keep their order across the dictionary range:
+//   size:  9b/min > 15b/min > 9b/max ~ 15b/max   (min level ~59-73 MB)
+//   speed: 15b/min (49 MB/s) > 9b/min (38) > 15b/max (18) > 9b/max (8)
+#include "bench_util.hpp"
+
+#include "estimator/evaluate.hpp"
+
+namespace {
+
+using namespace lzss;
+
+constexpr std::uint64_t kReferenceBytes = 100'000'000;
+
+void print_tables() {
+  bench::print_title("FIG. 4 — SIZE AND SPEED AT MIN/MAX COMPRESSION LEVEL (Wiki)",
+                     "paper: max level buys ~20% size at ~82% speed cost");
+
+  const std::size_t bytes = bench::sample_bytes(4);
+  const auto& data = bench::cached_corpus("wiki", bytes);
+  const unsigned dict_bits[] = {10, 11, 12, 13, 14};
+
+  const struct {
+    unsigned hash;
+    int level;
+    const char* name;
+  } series[] = {
+      {9, 1, "9 bits;min"},
+      {15, 1, "15 bits;min"},
+      {9, 9, "9 bits;max"},
+      {15, 9, "15 bits;max"},
+  };
+
+  std::printf("compressed size, MB (scaled to a 100 MB input)\n");
+  std::printf("%-14s", "series\\dict");
+  for (const unsigned d : dict_bits) std::printf("%8uK", (1u << d) / 1024);
+  std::printf("\n");
+  std::vector<std::vector<double>> speeds;
+  for (const auto& s : series) {
+    std::printf("%-14s", s.name);
+    std::vector<double> row_speed;
+    for (const unsigned d : dict_bits) {
+      hw::HwConfig cfg = hw::HwConfig::speed_optimized().with_level(s.level);
+      cfg.dict_bits = d;
+      cfg.hash.bits = s.hash;
+      const auto ev = est::evaluate(cfg, data);
+      std::printf("%9.1f", ev.scaled_compressed_mb(kReferenceBytes));
+      row_speed.push_back(ev.mb_per_s());
+    }
+    std::printf("\n");
+    speeds.push_back(std::move(row_speed));
+  }
+
+  std::printf("\ncompression speed, MB/s @ 100 MHz\n");
+  std::printf("%-14s", "series\\dict");
+  for (const unsigned d : dict_bits) std::printf("%8uK", (1u << d) / 1024);
+  std::printf("\n");
+  for (std::size_t i = 0; i < std::size(series); ++i) {
+    std::printf("%-14s", series[i].name);
+    for (const double v : speeds[i]) std::printf("%9.1f", v);
+    std::printf("\n");
+  }
+
+  // The headline trade-off at the 4 KB point.
+  hw::HwConfig lo = hw::HwConfig::speed_optimized().with_level(1);
+  hw::HwConfig hi = hw::HwConfig::speed_optimized().with_level(9);
+  const auto el = est::evaluate(lo, data);
+  const auto eh = est::evaluate(hi, data);
+  std::printf("\nmin->max at 4KB/15b: size -%.0f%%, speed -%.0f%%   [paper: ~-20%% / ~-82%%]\n",
+              100.0 * (1.0 - double(eh.compressed_bytes) / double(el.compressed_bytes)),
+              100.0 * (1.0 - eh.mb_per_s() / el.mb_per_s()));
+}
+
+void BM_Fig4MaxLevel(benchmark::State& state) {
+  const auto& data = bench::cached_corpus("wiki", 128 * 1024);
+  hw::Compressor comp(hw::HwConfig::speed_optimized().with_level(9));
+  for (auto _ : state) benchmark::DoNotOptimize(comp.compress(data).stats.total_cycles);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_Fig4MaxLevel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return lzss::bench::run_bench_main(argc, argv, print_tables);
+}

@@ -1,0 +1,65 @@
+// Fig. 5 — time spent on different operations for the Wiki workload with a
+// 64 KB dictionary and 15-bit hash.
+//
+// Paper: finding match 68.5 %, updating hash table 11.6 %, producing output
+// 11.0 %, waiting for data 8.4 %, rotating hash 0.3 %, fetching data 0.2 %.
+#include "bench_util.hpp"
+
+#include "estimator/evaluate.hpp"
+
+namespace {
+
+using namespace lzss;
+
+void print_tables() {
+  bench::print_title("FIG. 5 — TIME SPENT ON DIFFERENT OPERATIONS (Wiki, 64KB dict, 15b hash)",
+                     "paper: match 68.5%, update 11.6%, output 11.0%, wait 8.4%, "
+                     "rotate 0.3%, fetch 0.2%");
+
+  const std::size_t bytes = bench::sample_bytes(16);
+  const auto& data = bench::cached_corpus("wiki", bytes);
+
+  hw::HwConfig cfg = hw::HwConfig::speed_optimized();
+  cfg.dict_bits = 16;  // 64 KB window, as in the paper's figure
+  const auto ev = est::evaluate(cfg, data);
+  const auto& s = ev.stats;
+
+  const struct {
+    const char* name;
+    std::uint64_t cycles;
+    double paper;
+  } rows[] = {
+      {"Finding match", s.matching, 68.5},
+      {"Updating hash table", s.updating, 11.6},
+      {"Producing output", s.output, 11.0},
+      {"Waiting for data", s.waiting, 8.4},
+      {"Rotating hash", s.rotating, 0.3},
+      {"Fetching data", s.fetching, 0.2},
+  };
+  std::printf("%-22s %10s %10s %10s\n", "Operation", "cycles", "measured", "paper");
+  for (const auto& r : rows) {
+    std::printf("%-22s %10llu %9.1f%% %9.1f%%\n", r.name,
+                static_cast<unsigned long long>(r.cycles), 100.0 * s.fraction(r.cycles),
+                r.paper);
+  }
+  std::printf("\ntotal %llu cycles for %llu bytes -> %.2f cycles/byte, %.1f MB/s @ 100 MHz\n",
+              static_cast<unsigned long long>(s.total_cycles),
+              static_cast<unsigned long long>(s.bytes_in), s.cycles_per_byte(),
+              s.mb_per_s(100.0));
+}
+
+void BM_Fig5Run(benchmark::State& state) {
+  const auto& data = bench::cached_corpus("wiki", 256 * 1024);
+  hw::HwConfig cfg = hw::HwConfig::speed_optimized();
+  cfg.dict_bits = 16;
+  hw::Compressor comp(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(comp.compress(data).stats.total_cycles);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_Fig5Run)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return lzss::bench::run_bench_main(argc, argv, print_tables);
+}

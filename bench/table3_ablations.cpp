@@ -1,0 +1,99 @@
+// Table III — compression speed without the paper's optimizations, for
+// 4 KB and 64 KB windows on the Wiki workload.
+//
+// Paper (100 MB Wiki fragment):
+//   A) original (15-bit hash, 32-bit data)   49.0 / 46.2 MB/s
+//   B) 8-bit data bus as in [11]             30.3 / 25.9 MB/s
+//   C) disabled hash prefetching             45.2 / 45.0 MB/s
+//   D) reduced generation bits to 1          38.4 / 33.8 MB/s
+//   all three disabled (the [11] baseline)   10.2 / 21.2 MB/s
+//   => wide buses +63-78 %, prefetch +8 %, overall 2.2x-4.8x.
+#include "bench_util.hpp"
+
+#include "estimator/evaluate.hpp"
+#include "hw/config.hpp"
+
+namespace {
+
+using namespace lzss;
+
+hw::HwConfig variant(char which, unsigned dict_bits) {
+  hw::HwConfig c = hw::HwConfig::speed_optimized();
+  c.dict_bits = dict_bits;
+  switch (which) {
+    case 'A':
+      break;  // original
+    case 'B':
+      c.bus_width_bytes = 1;
+      break;
+    case 'C':
+      c.hash_prefetch = false;
+      break;
+    case 'D':
+      c.generation_bits = 1;
+      break;
+    case 'X':  // all three optimizations over [11] disabled
+      c.bus_width_bytes = 1;
+      c.hash_prefetch = false;
+      c.generation_bits = 1;
+      c.head_split = 1;
+      c.relative_next = false;
+      break;
+    default:
+      throw std::logic_error("unknown variant");
+  }
+  return c;
+}
+
+void print_tables() {
+  bench::print_title(
+      "TABLE III — COMPRESSION SPEED WITHOUT OPTIMIZATIONS (Wiki workload)",
+      "paper @100 MB: A 49.0/46.2  B 30.3/25.9  C 45.2/45.0  D 38.4/33.8  all-off 10.2/21.2");
+
+  const std::size_t bytes = bench::sample_bytes(8);
+  const auto& data = bench::cached_corpus("wiki", bytes);
+
+  const struct {
+    char id;
+    const char* name;
+  } rows[] = {
+      {'A', "A) original (15-bit hash; 32-bit data)"},
+      {'B', "B) 8-bit data bus as in [11]"},
+      {'C', "C) disabled hash prefetching"},
+      {'D', "D) reduced generation bits to 1"},
+      {'X', "Disabled all 3 optimizations over [11]"},
+  };
+
+  std::printf("%-42s %14s %14s\n", "Configuration", "window 4KB", "window 64KB");
+  double a4 = 0, a16 = 0, x4 = 0, x16 = 0;
+  for (const auto& row : rows) {
+    const auto e4 = est::evaluate(variant(row.id, 12), data);
+    const auto e16 = est::evaluate(variant(row.id, 16), data);
+    std::printf("%-42s %11.1f MB/s %11.1f MB/s\n", row.name, e4.mb_per_s(), e16.mb_per_s());
+    if (row.id == 'A') {
+      a4 = e4.mb_per_s();
+      a16 = e16.mb_per_s();
+    }
+    if (row.id == 'X') {
+      x4 = e4.mb_per_s();
+      x16 = e16.mb_per_s();
+    }
+  }
+  std::printf("\noverall speedup of the optimizations: %.1fx (4KB), %.1fx (64KB)"
+              "   [paper: 4.8x / 2.2x]\n",
+              a4 / x4, a16 / x16);
+}
+
+void BM_Ablation_NarrowBus(benchmark::State& state) {
+  const auto& data = bench::cached_corpus("wiki", 256 * 1024);
+  hw::Compressor comp(variant('B', 12));
+  for (auto _ : state) benchmark::DoNotOptimize(comp.compress(data).stats.total_cycles);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_Ablation_NarrowBus)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return lzss::bench::run_bench_main(argc, argv, print_tables);
+}

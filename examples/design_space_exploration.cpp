@@ -1,0 +1,56 @@
+// Design-space exploration with the estimation tool — the workflow the
+// paper's "Compression Performance Analyzer" supported: run a reference data
+// sample through the cycle-accurate model across a grid of configurations,
+// then pick the best trade-off under a block-RAM budget.
+#include <cstdio>
+#include <vector>
+
+#include "estimator/pareto.hpp"
+#include "estimator/report.hpp"
+#include "estimator/sweep.hpp"
+#include "workloads/text_gen.hpp"
+
+int main() {
+  using namespace lzss;
+
+  // Reference sample: 2 MB of the text-like workload. (A real user would
+  // load a sample of their own log data here.)
+  const auto sample = wl::wiki_text(2 * 1024 * 1024);
+
+  // Sweep the two dominant generics, exactly like figs. 2-3.
+  const auto sweep = est::run_sweep(
+      hw::HwConfig::speed_optimized(),
+      {est::dict_bits_axis({10, 11, 12, 13, 14}), est::hash_bits_axis({9, 12, 15})}, sample);
+
+  std::printf("%s\n", est::format_sweep_table(sweep).c_str());
+
+  // The shortlist worth discussing: configurations no other point beats on
+  // speed, ratio and BRAM simultaneously.
+  std::printf("Pareto front (speed / ratio / BRAM):\n");
+  for (const std::size_t i : est::pareto_front(sweep)) {
+    const auto& p = sweep.points[i];
+    std::printf("  dict=%lldK hash=%lldb: %.1f MB/s, ratio %.3f, %zu RAMB36\n",
+                static_cast<long long>(1ll << p.coordinates[0]) / 1024,
+                static_cast<long long>(p.coordinates[1]), p.evaluation.mb_per_s(),
+                p.evaluation.ratio(), p.evaluation.resources.bram36_total);
+  }
+  std::printf("\n");
+
+  // Pick the fastest configuration that compresses at least 1.6x while
+  // using at most 24 RAMB36 primitives (about a sixth of the XC5VFX70T).
+  const est::SweepPoint* best = nullptr;
+  for (const auto& p : sweep.points) {
+    if (p.evaluation.ratio() < 1.6) continue;
+    if (p.evaluation.resources.bram36_total > 24) continue;
+    if (best == nullptr || p.evaluation.mb_per_s() > best->evaluation.mb_per_s()) best = &p;
+  }
+  if (best == nullptr) {
+    std::printf("no configuration satisfies the constraints\n");
+    return 1;
+  }
+
+  std::printf("selected configuration under constraints "
+              "(ratio >= 1.6, <= 24 RAMB36, maximize MB/s):\n\n%s\n",
+              est::format_evaluation(best->evaluation).c_str());
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerates every result in EXPERIMENTS.md:
+#   scripts/reproduce.sh [build_dir]
+# Writes test_output.txt and bench_output.txt into the repository root.
+# Set LZSS_BENCH_MB=100 first to match the paper's 100 MB sample sizes.
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build"}
+
+cmake -B "$BUILD" -G Ninja -S "$ROOT"
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" 2>&1 | tee "$ROOT/test_output.txt"
+
+: > "$ROOT/bench_output.txt"
+for b in "$BUILD"/bench/*; do
+  if [ -x "$b" ] && [ ! -d "$b" ]; then
+    echo "### $(basename "$b")" | tee -a "$ROOT/bench_output.txt"
+    "$b" 2>&1 | tee -a "$ROOT/bench_output.txt"
+    echo | tee -a "$ROOT/bench_output.txt"
+  fi
+done
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,69 @@
+#include "bram/dual_port_ram.hpp"
+
+namespace lzss::bram {
+
+DualPortRam::DualPortRam(std::string name, std::size_t depth, unsigned width_bits)
+    : name_(std::move(name)),
+      width_bits_(width_bits),
+      mask_(width_bits >= 32 ? 0xFFFFFFFFu : ((1u << width_bits) - 1u)),
+      data_(depth, 0) {
+  if (depth == 0) throw std::invalid_argument("DualPortRam " + name_ + ": zero depth");
+  if (width_bits == 0 || width_bits > 32)
+    throw std::invalid_argument("DualPortRam " + name_ + ": width must be 1..32 bits");
+}
+
+void DualPortRam::use_port(Port port, bool is_write, std::size_t addr) {
+  const auto idx = static_cast<std::size_t>(port);
+  if (port_used_[idx]) {
+    throw PortConflictError("DualPortRam " + name_ + ": port " + (idx == 0 ? "A" : "B") +
+                            " used twice in one cycle");
+  }
+  if (addr >= data_.size()) {
+    throw std::out_of_range("DualPortRam " + name_ + ": address out of range");
+  }
+  port_used_[idx] = true;
+  auto& st = stats_[idx];
+  (is_write ? st.writes : st.reads) += 1;
+  st.busy_cycles += 1;
+}
+
+std::uint32_t DualPortRam::read(Port port, std::size_t addr) {
+  use_port(port, /*is_write=*/false, addr);
+  return data_[addr];
+}
+
+void DualPortRam::write(Port port, std::size_t addr, std::uint32_t value) {
+  use_port(port, /*is_write=*/true, addr);
+  data_[addr] = value & mask_;
+}
+
+std::uint32_t DualPortRam::exchange(Port port, std::size_t addr, std::uint32_t value) {
+  use_port(port, /*is_write=*/true, addr);
+  const std::uint32_t old = data_[addr];
+  data_[addr] = value & mask_;
+  return old;
+}
+
+void DualPortRam::tick() noexcept {
+  port_used_[0] = false;
+  port_used_[1] = false;
+}
+
+std::uint32_t DualPortRam::peek(std::size_t addr) const {
+  if (addr >= data_.size()) throw std::out_of_range("DualPortRam " + name_ + ": peek OOR");
+  return data_[addr];
+}
+
+void DualPortRam::poke(std::size_t addr, std::uint32_t value) {
+  if (addr >= data_.size()) throw std::out_of_range("DualPortRam " + name_ + ": poke OOR");
+  data_[addr] = value & mask_;
+}
+
+void DualPortRam::reset() {
+  std::fill(data_.begin(), data_.end(), 0u);
+  stats_[0] = PortStats{};
+  stats_[1] = PortStats{};
+  port_used_[0] = port_used_[1] = false;
+}
+
+}  // namespace lzss::bram

@@ -1,0 +1,51 @@
+#include "bram/geometry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+namespace lzss::bram {
+namespace {
+
+struct AspectRatio {
+  std::size_t depth;
+  unsigned width;
+};
+
+// True-dual-port aspect ratios (the x72/x36 SDP-only modes are excluded:
+// every memory in the compressor uses both ports independently).
+constexpr std::array<AspectRatio, 6> kBram36Ratios{{
+    {32768, 1}, {16384, 2}, {8192, 4}, {4096, 9}, {2048, 18}, {1024, 36},
+}};
+constexpr std::array<AspectRatio, 6> kBram18Ratios{{
+    {16384, 1}, {8192, 2}, {4096, 4}, {2048, 9}, {1024, 18}, {512, 36},
+}};
+
+template <std::size_t N>
+std::size_t best_count(const std::array<AspectRatio, N>& ratios, std::size_t depth,
+                       unsigned width_bits) noexcept {
+  if (depth == 0 || width_bits == 0) return 0;
+  std::size_t best = SIZE_MAX;
+  for (const auto& r : ratios) {
+    const std::size_t rows = (depth + r.depth - 1) / r.depth;
+    const std::size_t cols = (width_bits + r.width - 1) / r.width;
+    best = std::min(best, rows * cols);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t bram36_count(std::size_t depth, unsigned width_bits) noexcept {
+  return best_count(kBram36Ratios, depth, width_bits);
+}
+
+std::size_t bram18_count(std::size_t depth, unsigned width_bits) noexcept {
+  return best_count(kBram18Ratios, depth, width_bits);
+}
+
+std::size_t natural_split_factor(std::size_t depth, unsigned width_bits) noexcept {
+  return std::max<std::size_t>(1, bram18_count(depth, width_bits));
+}
+
+}  // namespace lzss::bram

@@ -1,0 +1,31 @@
+// Virtex-5 block-RAM primitive geometry and budgeting.
+//
+// A Virtex-5 RAMB36 holds 36 kbit and supports the aspect ratios
+// 32K x 1 ... 1K x 36 (512 x 72 in simple-dual-port mode). Each RAMB36 can
+// also be split into two independent 18 kbit RAMB18s. Given a logical memory
+// (depth x width) this module computes how many physical primitives the
+// synthesizer would infer — the number Table II and the estimator report.
+#pragma once
+
+#include <cstddef>
+
+namespace lzss::bram {
+
+/// Capacity of the Virtex-5 primitives, in bits.
+inline constexpr std::size_t kBram36Bits = 36 * 1024;
+inline constexpr std::size_t kBram18Bits = 18 * 1024;
+
+/// Number of RAMB36 primitives needed for a depth x width_bits memory in
+/// true-dual-port mode.
+[[nodiscard]] std::size_t bram36_count(std::size_t depth, unsigned width_bits) noexcept;
+
+/// Number of RAMB18 primitives (half-BRAM granularity) for the same memory.
+[[nodiscard]] std::size_t bram18_count(std::size_t depth, unsigned width_bits) noexcept;
+
+/// The paper splits the head table into M sub-memories, each the size of a
+/// single block RAM, so rotation can proceed in all of them in parallel.
+/// Returns that natural split factor M (>= 1): the number of BRAM18
+/// primitives the head table occupies.
+[[nodiscard]] std::size_t natural_split_factor(std::size_t depth, unsigned width_bits) noexcept;
+
+}  // namespace lzss::bram

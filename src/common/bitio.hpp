@@ -1,0 +1,94 @@
+// Bit-granular I/O in the Deflate (RFC 1951) bit order.
+//
+// Deflate packs bits into bytes starting at the least-significant bit.
+// Non-Huffman fields (extra bits, lengths) are written LSB-first; Huffman
+// codes are written starting from the most-significant bit of the code.
+// BitWriter/BitReader implement both conventions on top of a byte vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lzss::bits {
+
+/// Reverses the low @p n bits of @p v (used to emit Huffman codes MSB-first).
+[[nodiscard]] constexpr std::uint32_t reverse_bits(std::uint32_t v, unsigned n) noexcept {
+  std::uint32_t r = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    r = (r << 1) | (v & 1u);
+    v >>= 1;
+  }
+  return r;
+}
+
+/// Accumulates bits LSB-first into a growing byte buffer.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the low @p n bits of @p value, LSB first. n must be <= 32.
+  void put_bits(std::uint32_t value, unsigned n);
+
+  /// Appends an @p n bit Huffman code, MSB of the code first.
+  void put_huffman(std::uint32_t code, unsigned n) { put_bits(reverse_bits(code, n), n); }
+
+  /// Pads with zero bits to the next byte boundary.
+  void align_to_byte();
+
+  /// Appends a raw byte; the writer must be byte-aligned.
+  void put_aligned_byte(std::uint8_t b);
+
+  /// Appends @p bytes; the writer must be byte-aligned.
+  void put_aligned_bytes(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] bool byte_aligned() const noexcept { return nbits_ == 0; }
+  /// Total number of bits written so far.
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bytes_.size() * 8 + nbits_; }
+
+  /// Finishes the stream (pads to a byte) and returns the buffer.
+  [[nodiscard]] std::vector<std::uint8_t> take();
+
+  /// Read-only view of the complete bytes written so far.
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t acc_ = 0;  // pending bits, LSB-first
+  unsigned nbits_ = 0;     // number of pending bits, < 8
+};
+
+/// Reads bits LSB-first from a byte buffer.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  /// Reads @p n bits (n <= 32), LSB first. Throws std::out_of_range at EOF.
+  [[nodiscard]] std::uint32_t get_bits(unsigned n);
+
+  /// Reads a single bit.
+  [[nodiscard]] std::uint32_t get_bit() { return get_bits(1); }
+
+  /// Discards bits up to the next byte boundary.
+  void align_to_byte() noexcept;
+
+  /// Reads a raw byte; the reader must be byte-aligned.
+  [[nodiscard]] std::uint8_t get_aligned_byte();
+
+  /// Number of bits consumed so far.
+  [[nodiscard]] std::size_t bit_position() const noexcept { return pos_ * 8 - nbits_; }
+
+  /// True when no complete bit remains.
+  [[nodiscard]] bool exhausted() const noexcept { return nbits_ == 0 && pos_ >= data_.size(); }
+
+ private:
+  void refill();
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;    // next byte index
+  std::uint64_t acc_ = 0;  // pending bits, LSB-first
+  unsigned nbits_ = 0;
+};
+
+}  // namespace lzss::bits

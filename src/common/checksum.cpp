@@ -1,0 +1,58 @@
+#include "common/checksum.hpp"
+
+#include <array>
+
+namespace lzss::checksum {
+namespace {
+
+constexpr std::uint32_t kAdlerMod = 65521;  // largest prime < 2^16
+// Max bytes processable before s2 can overflow a uint32 (zlib's NMAX).
+constexpr std::size_t kAdlerNmax = 5552;
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+}  // namespace
+
+void Adler32::update(std::span<const std::uint8_t> data) noexcept {
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::size_t chunk = std::min(data.size() - i, kAdlerNmax);
+    for (std::size_t j = 0; j < chunk; ++j) {
+      s1_ += data[i + j];
+      s2_ += s1_;
+    }
+    s1_ %= kAdlerMod;
+    s2_ %= kAdlerMod;
+    i += chunk;
+  }
+}
+
+void Crc32::update(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t c = crc_;
+  for (const std::uint8_t b : data) c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  crc_ = c;
+}
+
+std::uint32_t adler32(std::span<const std::uint8_t> data) noexcept {
+  Adler32 a;
+  a.update(data);
+  return a.value();
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace lzss::checksum

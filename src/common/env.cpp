@@ -1,0 +1,25 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace lzss::env {
+
+std::size_t size_or(const char* name, std::size_t fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+std::string string_or(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
+}
+
+std::size_t bench_bytes(std::size_t def_mb) noexcept {
+  return size_or("LZSS_BENCH_MB", def_mb) * std::size_t{1024} * 1024;
+}
+
+}  // namespace lzss::env

@@ -1,0 +1,18 @@
+// Small helpers for environment-driven experiment scaling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace lzss::env {
+
+/// Returns the integer value of @p name, or @p fallback when unset/invalid.
+[[nodiscard]] std::size_t size_or(const char* name, std::size_t fallback) noexcept;
+
+/// Returns the string value of @p name, or @p fallback when unset.
+[[nodiscard]] std::string string_or(const char* name, const std::string& fallback);
+
+/// Sample size used by benches: LZSS_BENCH_MB (mebibytes), default @p def_mb.
+[[nodiscard]] std::size_t bench_bytes(std::size_t def_mb) noexcept;
+
+}  // namespace lzss::env

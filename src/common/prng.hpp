@@ -1,0 +1,61 @@
+// Deterministic PRNG used by workload generators and property tests.
+//
+// xoshiro256** seeded via splitmix64; header-only so generators stay cheap to
+// inline. Determinism across platforms matters more than statistical
+// perfection here: every experiment must be exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace lzss::rng {
+
+/// splitmix64 — used to expand a single seed into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), deterministic across platforms.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& w : s_) w = splitmix64(x);
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Multiply-shift; tiny bias is irrelevant for workload synthesis.
+    return static_cast<std::uint64_t>((static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  constexpr std::uint8_t next_byte() noexcept { return static_cast<std::uint8_t>(next() & 0xFF); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace lzss::rng

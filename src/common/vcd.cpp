@@ -1,0 +1,87 @@
+#include "common/vcd.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lzss::vcd {
+
+VcdWriter::VcdWriter(std::ostream& out, std::string module_name, std::string timescale)
+    : out_(&out), module_(std::move(module_name)), timescale_(std::move(timescale)) {}
+
+std::string VcdWriter::make_id(std::size_t index) {
+  // Printable identifier characters are '!' (33) .. '~' (126).
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+std::size_t VcdWriter::add_signal(const std::string& name, unsigned width) {
+  if (dumping_) throw std::logic_error("VcdWriter: declarations are closed");
+  if (width == 0 || width > 64) throw std::invalid_argument("VcdWriter: width must be 1..64");
+  Signal s;
+  s.name = name;
+  s.id = make_id(signals_.size());
+  s.width = width;
+  signals_.push_back(std::move(s));
+  return signals_.size() - 1;
+}
+
+void VcdWriter::begin_dump() {
+  if (dumping_) return;
+  *out_ << "$timescale " << timescale_ << " $end\n";
+  *out_ << "$scope module " << module_ << " $end\n";
+  for (const Signal& s : signals_) {
+    *out_ << "$var wire " << s.width << ' ' << s.id << ' ' << s.name << " $end\n";
+  }
+  *out_ << "$upscope $end\n$enddefinitions $end\n";
+  *out_ << "$dumpvars\n";
+  for (const Signal& s : signals_) emit(s, 0);
+  *out_ << "$end\n";
+  dumping_ = true;
+}
+
+void VcdWriter::emit(const Signal& s, std::uint64_t value) {
+  if (s.width == 1) {
+    *out_ << (value & 1) << s.id << '\n';
+  } else {
+    *out_ << 'b';
+    bool leading = true;
+    for (int bit = static_cast<int>(s.width) - 1; bit >= 0; --bit) {
+      const int v = static_cast<int>((value >> bit) & 1);
+      if (v == 0 && leading && bit != 0) continue;
+      leading = false;
+      *out_ << v;
+    }
+    *out_ << ' ' << s.id << '\n';
+  }
+  ++changes_;
+}
+
+void VcdWriter::change(std::size_t signal, std::uint64_t value) {
+  assert(signal < signals_.size());
+  Signal& s = signals_[signal];
+  s.pending_value = value;
+  s.dirty = true;
+}
+
+void VcdWriter::tick() {
+  if (!dumping_) throw std::logic_error("VcdWriter: begin_dump() first");
+  bool stamped = false;
+  for (Signal& s : signals_) {
+    if (!s.dirty) continue;
+    s.dirty = false;
+    if (s.pending_value == s.last_value && time_ != 0) continue;
+    if (!stamped) {
+      *out_ << '#' << time_ << '\n';
+      stamped = true;
+    }
+    emit(s, s.pending_value);
+    s.last_value = s.pending_value;
+  }
+  ++time_;
+}
+
+}  // namespace lzss::vcd

@@ -1,0 +1,58 @@
+// Minimal Value Change Dump (IEEE 1364 §18) writer.
+//
+// Lets the cycle-accurate models dump their per-cycle state as a waveform
+// that GTKWave (or any VCD viewer) opens directly — the debugging workflow
+// an RTL engineer expects from a hardware model.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lzss::vcd {
+
+class VcdWriter {
+ public:
+  /// @param timescale e.g. "10 ns" (one 100 MHz clock per time unit).
+  VcdWriter(std::ostream& out, std::string module_name, std::string timescale = "10 ns");
+
+  /// Declares a signal before begin_dump(); returns its handle.
+  /// @param width bit width (1 = scalar wire).
+  [[nodiscard]] std::size_t add_signal(const std::string& name, unsigned width);
+
+  /// Ends the declaration section and dumps initial values (all zero).
+  void begin_dump();
+
+  /// Records a new value; no-op if unchanged since the last cycle.
+  void change(std::size_t signal, std::uint64_t value);
+
+  /// Advances simulation time by one cycle, emitting pending changes.
+  void tick();
+
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return time_; }
+  [[nodiscard]] std::uint64_t changes_written() const noexcept { return changes_; }
+
+ private:
+  struct Signal {
+    std::string name;
+    std::string id;  // VCD short identifier
+    unsigned width;
+    std::uint64_t last_value = 0;
+    std::uint64_t pending_value = 0;
+    bool dirty = false;
+  };
+
+  static std::string make_id(std::size_t index);
+  void emit(const Signal& s, std::uint64_t value);
+
+  std::ostream* out_;
+  std::string module_;
+  std::string timescale_;
+  std::vector<Signal> signals_;
+  bool dumping_ = false;
+  std::uint64_t time_ = 0;
+  std::uint64_t changes_ = 0;
+};
+
+}  // namespace lzss::vcd

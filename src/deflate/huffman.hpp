@@ -1,0 +1,62 @@
+// Canonical Huffman utilities shared by the dynamic-block encoder and the
+// inflate decoder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lzss::deflate {
+
+/// Computes canonical code values for the given code lengths (RFC 1951
+/// section 3.2.2). lengths[i] == 0 means "symbol absent".
+[[nodiscard]] std::vector<std::uint16_t> canonical_codes(std::span<const std::uint8_t> lengths);
+
+/// Computes length-limited Huffman code lengths for the given symbol
+/// frequencies. Zero-frequency symbols get length 0. Uses a standard Huffman
+/// build followed by zlib-style depth-overflow correction so no code exceeds
+/// @p max_bits.
+[[nodiscard]] std::vector<std::uint8_t> huffman_code_lengths(std::span<const std::uint64_t> freqs,
+                                                             unsigned max_bits);
+
+/// Canonical Huffman decoder over an LSB-first Deflate bitstream.
+///
+/// Uses the counts/offsets decode loop: peel one bit at a time, tracking the
+/// first code value of each length — O(code length) per symbol, no tables
+/// larger than the alphabet.
+class HuffmanDecoder {
+ public:
+  /// @param lengths per-symbol code lengths; 0 = absent. Throws on an
+  /// over-subscribed code; incomplete codes are accepted (RFC allows the
+  /// single-symbol distance code case).
+  explicit HuffmanDecoder(std::span<const std::uint8_t> lengths);
+
+  /// Decodes one symbol by pulling bits via @p next_bit (returns 0/1).
+  template <typename NextBit>
+  [[nodiscard]] unsigned decode(NextBit&& next_bit) const {
+    std::uint32_t code = 0;
+    std::uint32_t first = 0;
+    std::uint32_t index = 0;
+    for (unsigned len = 1; len <= kMaxBits; ++len) {
+      code |= next_bit() & 1u;
+      const std::uint32_t count = count_[len];
+      if (code - first < count) return symbol_[index + (code - first)];
+      index += count;
+      first = (first + count) << 1;
+      code <<= 1;
+    }
+    throw_bad_code();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return total_symbols_ == 0; }
+
+ private:
+  [[noreturn]] static void throw_bad_code();
+
+  static constexpr unsigned kMaxBits = 15;
+  std::uint32_t count_[kMaxBits + 1] = {};  // number of codes of each length
+  std::vector<std::uint16_t> symbol_;       // symbols sorted by (length, symbol)
+  std::uint32_t total_symbols_ = 0;
+};
+
+}  // namespace lzss::deflate

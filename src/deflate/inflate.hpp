@@ -1,0 +1,31 @@
+// Full Inflate decompressor (RFC 1951) with zlib (RFC 1950) and gzip
+// (RFC 1952) container parsing.
+//
+// This is the compatibility oracle: the paper claims its output is
+// ZLib-compatible, so every compressed stream the library produces —
+// software or hardware path, fixed or dynamic blocks — must round-trip
+// through this independent decompressor with matching checksums.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace lzss::deflate {
+
+class InflateError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Decompresses a raw Deflate stream (stored, fixed and dynamic blocks).
+[[nodiscard]] std::vector<std::uint8_t> inflate_raw(std::span<const std::uint8_t> stream);
+
+/// Parses a zlib container, inflates, verifies the Adler-32 checksum.
+[[nodiscard]] std::vector<std::uint8_t> zlib_decompress(std::span<const std::uint8_t> stream);
+
+/// Parses a gzip container, inflates, verifies CRC-32 and ISIZE.
+[[nodiscard]] std::vector<std::uint8_t> gzip_decompress(std::span<const std::uint8_t> stream);
+
+}  // namespace lzss::deflate

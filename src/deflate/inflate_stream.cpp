@@ -1,0 +1,192 @@
+#include "deflate/inflate_stream.hpp"
+
+#include <array>
+#include <vector>
+
+#include "common/bitio.hpp"
+#include "common/checksum.hpp"
+#include "deflate/fixed_tables.hpp"
+#include "deflate/huffman.hpp"
+
+namespace lzss::deflate {
+namespace {
+
+constexpr std::array<std::uint8_t, 19> kClcOrder{16, 17, 18, 0, 8,  7, 9,  6, 10, 5,
+                                                 11, 4,  12, 3, 13, 2, 14, 1, 15};
+constexpr std::size_t kWindow = 32 * 1024;  // Deflate's maximum distance
+
+/// 32 KB history ring plus a bounded staging buffer flushed to the sink.
+class WindowedSink {
+ public:
+  WindowedSink(const OutputSink& sink, std::size_t chunk_bytes)
+      : sink_(&sink), chunk_(chunk_bytes == 0 ? 1 : chunk_bytes) {
+    staging_.reserve(chunk_);
+  }
+
+  void put(std::uint8_t b) {
+    ring_[total_ & (kWindow - 1)] = b;
+    ++total_;
+    staging_.push_back(b);
+    if (staging_.size() >= chunk_) flush();
+  }
+
+  /// Copies @p length bytes from @p distance back (overlap-correct).
+  void copy(std::uint32_t distance, std::uint32_t length) {
+    if (distance == 0 || distance > total_ || distance > kWindow)
+      throw InflateError("inflate_stream: distance too far back");
+    for (std::uint32_t i = 0; i < length; ++i) {
+      put(ring_[(total_ - distance) & (kWindow - 1)]);
+    }
+  }
+
+  void flush() {
+    if (!staging_.empty()) {
+      (*sink_)(staging_);
+      staging_.clear();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  const OutputSink* sink_;
+  std::size_t chunk_;
+  std::array<std::uint8_t, kWindow> ring_{};
+  std::uint64_t total_ = 0;
+  std::vector<std::uint8_t> staging_;
+};
+
+void payload(bits::BitReader& r, const HuffmanDecoder& lit, const HuffmanDecoder& dist,
+             WindowedSink& out) {
+  auto next_bit = [&r] { return r.get_bit(); };
+  for (;;) {
+    const unsigned sym = lit.decode(next_bit);
+    if (sym < 256) {
+      out.put(static_cast<std::uint8_t>(sym));
+      continue;
+    }
+    if (sym == kEndOfBlock) return;
+    if (sym > 285) throw InflateError("inflate_stream: invalid length symbol");
+    const std::uint32_t length = length_base(sym) + r.get_bits(length_extra_bits(sym));
+    if (dist.empty()) throw InflateError("inflate_stream: match with no distance code");
+    const unsigned dsym = dist.decode(next_bit);
+    if (dsym > 29) throw InflateError("inflate_stream: invalid distance symbol");
+    const std::uint32_t distance = distance_base(dsym) + r.get_bits(distance_extra_bits(dsym));
+    out.copy(distance, length);
+  }
+}
+
+}  // namespace
+
+InflateStreamStats inflate_raw_stream(std::span<const std::uint8_t> stream,
+                                      const OutputSink& sink, std::size_t chunk_bytes) {
+  bits::BitReader r(stream);
+  WindowedSink out(sink, chunk_bytes);
+  InflateStreamStats stats;
+
+  for (;;) {
+    const std::uint32_t bfinal = r.get_bit();
+    const std::uint32_t btype = r.get_bits(2);
+    ++stats.blocks;
+    switch (btype) {
+      case 0: {  // stored
+        ++stats.stored_blocks;
+        r.align_to_byte();
+        const std::uint32_t len = r.get_bits(16);
+        const std::uint32_t nlen = r.get_bits(16);
+        if ((len ^ nlen) != 0xFFFF)
+          throw InflateError("inflate_stream: stored block LEN/NLEN mismatch");
+        for (std::uint32_t i = 0; i < len; ++i)
+          out.put(static_cast<std::uint8_t>(r.get_bits(8)));
+        break;
+      }
+      case 1: {  // fixed
+        ++stats.fixed_blocks;
+        static const HuffmanDecoder lit = [] {
+          std::array<std::uint8_t, 288> lengths{};
+          for (unsigned s = 0; s <= 143; ++s) lengths[s] = 8;
+          for (unsigned s = 144; s <= 255; ++s) lengths[s] = 9;
+          for (unsigned s = 256; s <= 279; ++s) lengths[s] = 7;
+          for (unsigned s = 280; s <= 287; ++s) lengths[s] = 8;
+          return HuffmanDecoder(lengths);
+        }();
+        static const HuffmanDecoder dist = [] {
+          std::array<std::uint8_t, 32> lengths{};
+          lengths.fill(5);
+          return HuffmanDecoder(lengths);
+        }();
+        payload(r, lit, dist, out);
+        break;
+      }
+      case 2: {  // dynamic
+        ++stats.dynamic_blocks;
+        const std::uint32_t hlit = r.get_bits(5) + 257;
+        const std::uint32_t hdist = r.get_bits(5) + 1;
+        const std::uint32_t hclen = r.get_bits(4) + 4;
+        if (hlit > 286 || hdist > 30) throw InflateError("inflate_stream: bad HLIT/HDIST");
+        std::array<std::uint8_t, 19> clc_lengths{};
+        for (std::uint32_t i = 0; i < hclen; ++i)
+          clc_lengths[kClcOrder[i]] = static_cast<std::uint8_t>(r.get_bits(3));
+        const HuffmanDecoder clc(clc_lengths);
+        auto next_bit = [&r] { return r.get_bit(); };
+        std::vector<std::uint8_t> lengths;
+        lengths.reserve(hlit + hdist);
+        while (lengths.size() < hlit + hdist) {
+          const unsigned sym = clc.decode(next_bit);
+          if (sym < 16) {
+            lengths.push_back(static_cast<std::uint8_t>(sym));
+          } else if (sym == 16) {
+            if (lengths.empty())
+              throw InflateError("inflate_stream: repeat with no previous length");
+            lengths.insert(lengths.end(), 3 + r.get_bits(2), lengths.back());
+          } else if (sym == 17) {
+            lengths.insert(lengths.end(), 3 + r.get_bits(3), 0);
+          } else {
+            lengths.insert(lengths.end(), 11 + r.get_bits(7), 0);
+          }
+        }
+        if (lengths.size() != hlit + hdist)
+          throw InflateError("inflate_stream: code length overflow");
+        const std::span<const std::uint8_t> all(lengths);
+        const HuffmanDecoder lit(all.subspan(0, hlit));
+        const HuffmanDecoder dist(all.subspan(hlit, hdist));
+        payload(r, lit, dist, out);
+        break;
+      }
+      default:
+        throw InflateError("inflate_stream: reserved block type");
+    }
+    if (bfinal != 0) break;
+  }
+  out.flush();
+  stats.bytes_out = out.total();
+  return stats;
+}
+
+InflateStreamStats zlib_decompress_stream(std::span<const std::uint8_t> stream,
+                                          const OutputSink& sink, std::size_t chunk_bytes) {
+  if (stream.size() < 6) throw InflateError("zlib stream: too short");
+  const std::uint8_t cmf = stream[0];
+  const std::uint8_t flg = stream[1];
+  if ((cmf & 0x0F) != 8) throw InflateError("zlib stream: method is not deflate");
+  if ((static_cast<unsigned>(cmf) * 256 + flg) % 31 != 0)
+    throw InflateError("zlib stream: FCHECK failed");
+  if ((flg & 0x20) != 0) throw InflateError("zlib stream: preset dictionaries unsupported");
+
+  checksum::Adler32 adler;
+  const auto checked_sink = [&](std::span<const std::uint8_t> chunk) {
+    adler.update(chunk);
+    sink(chunk);
+  };
+  const auto stats =
+      inflate_raw_stream(stream.subspan(2, stream.size() - 6), checked_sink, chunk_bytes);
+
+  const std::size_t t = stream.size() - 4;
+  const std::uint32_t expected = (std::uint32_t{stream[t]} << 24) |
+                                 (std::uint32_t{stream[t + 1]} << 16) |
+                                 (std::uint32_t{stream[t + 2]} << 8) | stream[t + 3];
+  if (adler.value() != expected) throw InflateError("zlib stream: Adler-32 mismatch");
+  return stats;
+}
+
+}  // namespace lzss::deflate

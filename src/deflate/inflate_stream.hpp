@@ -1,0 +1,42 @@
+// Bounded-memory streaming inflate.
+//
+// The paper verified its design "by compressing more than 1 TB of data";
+// reading archives of that size back cannot buffer the plaintext. This
+// decoder keeps only the 32 KB history Deflate actually requires (RFC 1951
+// distances never exceed 32768) and hands output to a sink callback in
+// chunks, so decompression runs in O(window) memory regardless of stream
+// size. The one-shot inflate_raw() remains the simpler API for small data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "deflate/inflate.hpp"
+
+namespace lzss::deflate {
+
+/// Receives consecutive plaintext chunks. Return value ignored for now.
+using OutputSink = std::function<void(std::span<const std::uint8_t>)>;
+
+struct InflateStreamStats {
+  std::uint64_t bytes_out = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t stored_blocks = 0;
+  std::uint64_t fixed_blocks = 0;
+  std::uint64_t dynamic_blocks = 0;
+};
+
+/// Inflates a complete raw Deflate stream, delivering output through @p sink
+/// in chunks of at most @p chunk_bytes. Memory use is O(32 KB + chunk).
+/// Throws InflateError on malformed input.
+InflateStreamStats inflate_raw_stream(std::span<const std::uint8_t> stream, const OutputSink& sink,
+                                      std::size_t chunk_bytes = 64 * 1024);
+
+/// zlib-container variant: verifies the Adler-32 incrementally while
+/// streaming, so the checksum check also needs no full buffer.
+InflateStreamStats zlib_decompress_stream(std::span<const std::uint8_t> stream,
+                                          const OutputSink& sink,
+                                          std::size_t chunk_bytes = 64 * 1024);
+
+}  // namespace lzss::deflate

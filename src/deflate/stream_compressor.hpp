@@ -1,0 +1,73 @@
+// Multi-block Deflate stream compressor.
+//
+// Mirrors zlib's architecture: symbols (tokens) accumulate while the match
+// finder runs over the full history, and every `block_bytes` of source (or
+// at an explicit flush boundary) a block is closed and emitted in whichever
+// representation is smallest — stored, fixed-Huffman or dynamic-Huffman —
+// exactly the choice zlib's _tr_flush_block makes. This is the software
+// path a logger host uses to read/write archives; the hardware always emits
+// a single fixed block.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lzss/params.hpp"
+#include "lzss/token.hpp"
+
+namespace lzss::deflate {
+
+enum class ContainerKind : std::uint8_t { kRaw, kZlib, kGzip };
+
+/// How the compressor picks each block's representation.
+enum class BlockPolicy : std::uint8_t {
+  kAuto,         ///< min(stored, fixed, dynamic) per block, like zlib
+  kFixedOnly,    ///< always fixed-Huffman (hardware-equivalent output)
+  kDynamicOnly,  ///< always dynamic-Huffman
+};
+
+struct StreamOptions {
+  core::MatchParams params = core::MatchParams::speed_optimized();
+  std::size_t block_bytes = 64 * 1024;  ///< source bytes per Deflate block
+  ContainerKind container = ContainerKind::kZlib;
+  BlockPolicy policy = BlockPolicy::kAuto;
+};
+
+/// Per-block accounting, exposed for tests and tuning.
+struct BlockRecord {
+  std::size_t source_bytes = 0;
+  std::size_t token_count = 0;
+  std::uint64_t stored_bits = 0;
+  std::uint64_t fixed_bits = 0;
+  std::uint64_t dynamic_bits = 0;
+  char chosen = '?';  ///< 's' stored, 'f' fixed, 'd' dynamic
+};
+
+class StreamCompressor {
+ public:
+  explicit StreamCompressor(StreamOptions options = {});
+
+  /// Appends input. Data is buffered; encoding happens at finish() so the
+  /// match finder sees full history (zlib keeps a window; we keep it all).
+  void write(std::span<const std::uint8_t> chunk);
+
+  /// Forces a block boundary at the current position (like Z_FULL_FLUSH's
+  /// block cut; no window reset).
+  void flush();
+
+  /// Encodes everything, closes the final block and the container, and
+  /// returns the complete stream. The compressor is then reusable.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+  /// Block decisions of the last finish() call.
+  [[nodiscard]] const std::vector<BlockRecord>& blocks() const noexcept { return blocks_; }
+
+ private:
+  StreamOptions opt_;
+  std::vector<std::uint8_t> buffer_;
+  std::vector<std::size_t> boundaries_;  // forced cut positions (byte offsets)
+  std::vector<BlockRecord> blocks_;
+};
+
+}  // namespace lzss::deflate

@@ -1,0 +1,115 @@
+#include "estimator/analysis.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "deflate/fixed_tables.hpp"
+
+namespace lzss::est {
+
+double StreamAnalysis::mean_match_length() const noexcept {
+  return matches == 0 ? 0.0 : static_cast<double>(length_sum) / static_cast<double>(matches);
+}
+
+double StreamAnalysis::mean_match_distance() const noexcept {
+  return matches == 0 ? 0.0 : static_cast<double>(distance_sum) / static_cast<double>(matches);
+}
+
+double StreamAnalysis::literal_entropy_bits() const noexcept {
+  if (literals == 0) return 0.0;
+  double h = 0.0;
+  for (const auto f : literal_freq) {
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / static_cast<double>(literals);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double StreamAnalysis::match_coverage() const noexcept {
+  const std::uint64_t total = literals + match_bytes;
+  return total == 0 ? 0.0 : static_cast<double>(match_bytes) / static_cast<double>(total);
+}
+
+StreamAnalysis analyze_tokens(std::span<const core::Token> tokens) {
+  StreamAnalysis a;
+  for (const core::Token& t : tokens) {
+    if (t.is_literal()) {
+      ++a.literals;
+      ++a.literal_freq[t.literal_byte()];
+      continue;
+    }
+    ++a.matches;
+    a.match_bytes += t.length();
+    a.length_sum += t.length();
+    a.distance_sum += t.distance();
+    a.length_band[deflate::length_code(t.length()).symbol - deflate::kFirstLengthCode]++;
+    a.distance_band[deflate::distance_code(t.distance()).symbol]++;
+  }
+  return a;
+}
+
+MatchingAnalysis analyze_matching(const hw::CycleStats& s) {
+  MatchingAnalysis m;
+  const std::uint64_t attempts = s.tokens();
+  if (attempts != 0) {
+    m.probes_per_position = static_cast<double>(s.chain_probes) / static_cast<double>(attempts);
+    m.cycles_per_token =
+        static_cast<double>(s.total_cycles) / static_cast<double>(attempts);
+    m.prefetch_hit_rate =
+        static_cast<double>(s.prefetch_hits) / static_cast<double>(attempts);
+  }
+  if (s.chain_probes != 0) {
+    m.compare_bytes_per_probe =
+        static_cast<double>(s.compare_bytes) / static_cast<double>(s.chain_probes);
+  }
+  return m;
+}
+
+std::string format_analysis(const StreamAnalysis& a, const MatchingAnalysis& m) {
+  std::ostringstream os;
+  char buf[160];
+
+  std::snprintf(buf, sizeof buf,
+                "tokens        : %llu literals, %llu matches (coverage %.1f%%)\n",
+                static_cast<unsigned long long>(a.literals),
+                static_cast<unsigned long long>(a.matches), 100.0 * a.match_coverage());
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "match profile : mean length %.2f, mean distance %.0f\n",
+                a.mean_match_length(), a.mean_match_distance());
+  os << buf;
+  std::snprintf(buf, sizeof buf, "literal bytes : %.2f bits/byte entropy\n",
+                a.literal_entropy_bits());
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "matching      : %.2f probes/position, %.2f compared bytes/probe,\n"
+                "                %.2f cycles/token, %.0f%% prefetch hits\n",
+                m.probes_per_position, m.compare_bytes_per_probe, m.cycles_per_token,
+                100.0 * m.prefetch_hit_rate);
+  os << buf;
+
+  os << "length bands  :";
+  for (std::size_t i = 0; i < a.length_band.size(); ++i) {
+    if (a.length_band[i] != 0) {
+      std::snprintf(buf, sizeof buf, " %u:%llu",
+                    static_cast<unsigned>(deflate::length_base(
+                        static_cast<unsigned>(deflate::kFirstLengthCode + i))),
+                    static_cast<unsigned long long>(a.length_band[i]));
+      os << buf;
+    }
+  }
+  os << "\ndistance bands:";
+  for (std::size_t i = 0; i < a.distance_band.size(); ++i) {
+    if (a.distance_band[i] != 0) {
+      std::snprintf(buf, sizeof buf, " %u:%llu",
+                    static_cast<unsigned>(deflate::distance_base(static_cast<unsigned>(i))),
+                    static_cast<unsigned long long>(a.distance_band[i]));
+      os << buf;
+    }
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace lzss::est

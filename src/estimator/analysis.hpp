@@ -1,0 +1,63 @@
+// Token-stream and chain-behaviour analysis.
+//
+// The paper's design-space arguments all reduce to distributional facts:
+// hash collisions waste matching iterations (fig. 3), longer dictionaries
+// find more distant matches (fig. 2), and deeper chains trade cycles for
+// length (fig. 4). This module extracts those distributions from a token
+// stream / compressor run so the estimation tool can show *why* a
+// configuration behaves the way it does, not just how fast it is.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "hw/cycle_stats.hpp"
+#include "lzss/token.hpp"
+
+namespace lzss::est {
+
+/// Distribution report for one compressed stream.
+struct StreamAnalysis {
+  std::uint64_t literals = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t match_bytes = 0;
+
+  /// Histogram over the 29 RFC 1951 length-code bands (symbol 257+i).
+  std::array<std::uint64_t, 29> length_band{};
+  /// Histogram over the 30 RFC 1951 distance-code bands.
+  std::array<std::uint64_t, 30> distance_band{};
+  /// Literal byte frequency (for entropy).
+  std::array<std::uint64_t, 256> literal_freq{};
+
+  [[nodiscard]] double mean_match_length() const noexcept;
+  [[nodiscard]] double mean_match_distance() const noexcept;
+  /// Shannon entropy of the literal bytes, bits/byte.
+  [[nodiscard]] double literal_entropy_bits() const noexcept;
+  /// Fraction of input bytes covered by matches.
+  [[nodiscard]] double match_coverage() const noexcept;
+
+  // Accumulators used while scanning (sums for the means).
+  std::uint64_t length_sum = 0;
+  std::uint64_t distance_sum = 0;
+};
+
+/// Scans a token stream.
+[[nodiscard]] StreamAnalysis analyze_tokens(std::span<const core::Token> tokens);
+
+/// Matching-efficiency figures derived from a hardware run.
+struct MatchingAnalysis {
+  double probes_per_position = 0;   ///< chain probes per match attempt
+  double compare_bytes_per_probe = 0;
+  double cycles_per_token = 0;
+  double prefetch_hit_rate = 0;     ///< fraction of advances skipping WaitData
+};
+
+[[nodiscard]] MatchingAnalysis analyze_matching(const hw::CycleStats& stats);
+
+/// Human-readable report of both analyses.
+[[nodiscard]] std::string format_analysis(const StreamAnalysis& stream,
+                                          const MatchingAnalysis& matching);
+
+}  // namespace lzss::est

@@ -1,0 +1,28 @@
+#include "estimator/evaluate.hpp"
+
+#include <stdexcept>
+
+#include "deflate/encoder.hpp"
+#include "lzss/decoder.hpp"
+
+namespace lzss::est {
+
+Evaluation evaluate(const hw::HwConfig& config, std::span<const std::uint8_t> data,
+                    bool verify) {
+  Evaluation ev;
+  ev.config = config;
+  ev.input_bytes = data.size();
+
+  hw::Compressor comp(config);
+  auto result = comp.compress(data);
+  if (verify && !core::tokens_reproduce(result.tokens, data)) {
+    throw std::runtime_error("estimator: token stream does not reproduce the input for " +
+                             config.describe());
+  }
+  ev.stats = result.stats;
+  ev.compressed_bytes = (deflate::fixed_block_bits(result.tokens) + 7) / 8;
+  ev.resources = fpga::estimate_resources(config);
+  return ev;
+}
+
+}  // namespace lzss::est

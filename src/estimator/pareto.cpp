@@ -1,0 +1,21 @@
+#include "estimator/pareto.hpp"
+
+namespace lzss::est {
+
+std::vector<std::size_t> pareto_front(const SweepResult& sweep) {
+  std::vector<Objectives> objs;
+  objs.reserve(sweep.points.size());
+  for (const auto& p : sweep.points) objs.push_back(Objectives::of(p.evaluation));
+
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < objs.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < objs.size() && !dominated; ++j) {
+      if (j != i && objs[j].dominates(objs[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace lzss::est

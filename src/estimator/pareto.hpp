@@ -1,0 +1,37 @@
+// Pareto-front extraction over sweep results.
+//
+// Design-space exploration ends with a choice between speed, compression
+// ratio and block-RAM cost. A configuration is worth considering only if no
+// other one is at least as good on all three axes and better on one — the
+// Pareto front. This pass turns a raw sweep into that shortlist.
+#pragma once
+
+#include <vector>
+
+#include "estimator/sweep.hpp"
+
+namespace lzss::est {
+
+/// The objectives considered (all to be maximized; BRAM is negated).
+struct Objectives {
+  double mb_per_s = 0;
+  double ratio = 0;
+  double neg_bram36 = 0;
+
+  [[nodiscard]] static Objectives of(const Evaluation& ev) noexcept {
+    return {ev.mb_per_s(), ev.ratio(),
+            -static_cast<double>(ev.resources.bram36_total)};
+  }
+  /// True when *this is at least as good everywhere and better somewhere.
+  [[nodiscard]] bool dominates(const Objectives& o) const noexcept {
+    const bool ge = mb_per_s >= o.mb_per_s && ratio >= o.ratio && neg_bram36 >= o.neg_bram36;
+    const bool gt = mb_per_s > o.mb_per_s || ratio > o.ratio || neg_bram36 > o.neg_bram36;
+    return ge && gt;
+  }
+};
+
+/// Returns the indices (into sweep.points) of the non-dominated points,
+/// in their original order.
+[[nodiscard]] std::vector<std::size_t> pareto_front(const SweepResult& sweep);
+
+}  // namespace lzss::est

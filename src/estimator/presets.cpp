@@ -1,0 +1,70 @@
+#include "estimator/presets.hpp"
+
+#include <stdexcept>
+
+namespace lzss::est {
+
+std::vector<Preset> standard_presets() {
+  std::vector<Preset> out;
+
+  {
+    Preset p;
+    p.name = "speed";
+    p.intent = "the paper's Table I point: 4 KB dict, 15-bit hash, min level (~50 MB/s)";
+    p.config = hw::HwConfig::speed_optimized();
+    out.push_back(p);
+  }
+  {
+    Preset p;
+    p.name = "balanced";
+    p.intent = "8 KB dict, 13-bit hash, level 3: better ratio at a modest speed cost";
+    hw::HwConfig c = hw::HwConfig::speed_optimized().with_level(3);
+    c.dict_bits = 13;
+    c.hash.bits = 13;
+    p.config = c;
+    out.push_back(p);
+  }
+  {
+    Preset p;
+    p.name = "ratio";
+    p.intent = "64 KB dict, 15-bit hash, max level: best compression the design reaches";
+    hw::HwConfig c = hw::HwConfig::speed_optimized().with_level(9);
+    c.dict_bits = 16;
+    p.config = c;
+    out.push_back(p);
+  }
+  {
+    Preset p;
+    p.name = "min-bram";
+    p.intent = "1 KB dict, 9-bit hash: smallest block-RAM footprint that still compresses";
+    hw::HwConfig c = hw::HwConfig::speed_optimized();
+    c.dict_bits = 10;
+    c.hash.bits = 9;
+    c.generation_bits = 2;
+    p.config = c;
+    out.push_back(p);
+  }
+  {
+    Preset p;
+    p.name = "baseline-2007";
+    p.intent = "the [11]-like reference: 1-byte bus, no prefetch, frequent rotation";
+    hw::HwConfig c = hw::HwConfig::speed_optimized();
+    c.bus_width_bytes = 1;
+    c.hash_prefetch = false;
+    c.generation_bits = 1;
+    c.head_split = 1;
+    c.relative_next = false;
+    p.config = c;
+    out.push_back(p);
+  }
+  return out;
+}
+
+Preset preset_by_name(const std::string& name) {
+  for (auto& p : standard_presets()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("preset_by_name: unknown preset '" + name + "'");
+}
+
+}  // namespace lzss::est

@@ -1,0 +1,24 @@
+// Named configuration presets — the estimation tool's "several presets".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/config.hpp"
+
+namespace lzss::est {
+
+struct Preset {
+  std::string name;
+  std::string intent;  ///< one-line description shown by the CLI
+  hw::HwConfig config;
+};
+
+/// The standard preset ladder: from the paper's Table I speed point to a
+/// BRAM-frugal corner and a ratio-first corner.
+[[nodiscard]] std::vector<Preset> standard_presets();
+
+/// Finds a preset by name; throws std::invalid_argument when unknown.
+[[nodiscard]] Preset preset_by_name(const std::string& name);
+
+}  // namespace lzss::est

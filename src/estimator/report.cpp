@@ -1,0 +1,76 @@
+#include "estimator/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace lzss::est {
+namespace {
+
+std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_evaluation(const Evaluation& ev) {
+  std::ostringstream os;
+  os << "configuration : " << ev.config.describe() << '\n';
+  os << "input         : " << ev.input_bytes << " bytes\n";
+  os << "compressed    : " << ev.compressed_bytes << " bytes (ratio "
+     << fmt("%.3f", ev.ratio()) << ")\n";
+  os << "cycles        : " << ev.stats.total_cycles << " (" << fmt("%.3f", ev.cycles_per_byte())
+     << " cycles/byte, " << fmt("%.1f", ev.mb_per_s()) << " MB/s @ "
+     << fmt("%.0f", ev.config.clock_mhz) << " MHz)\n";
+  os << "state split   : wait " << fmt("%.1f", 100 * ev.stats.fraction(ev.stats.waiting))
+     << "%, fetch " << fmt("%.1f", 100 * ev.stats.fraction(ev.stats.fetching)) << "%, match "
+     << fmt("%.1f", 100 * ev.stats.fraction(ev.stats.matching)) << "%, output "
+     << fmt("%.1f", 100 * ev.stats.fraction(ev.stats.output)) << "%, update "
+     << fmt("%.1f", 100 * ev.stats.fraction(ev.stats.updating)) << "%, rotate "
+     << fmt("%.1f", 100 * ev.stats.fraction(ev.stats.rotating)) << "%\n";
+  os << "block RAMs    : " << ev.resources.bram36_total << " x RAMB36 ("
+     << fmt("%.1f", ev.resources.bram_percent()) << "% of " << ev.resources.device.name << ")\n";
+  for (const auto& m : ev.resources.memories) {
+    os << "  " << m.name << ": " << m.depth << " x " << m.width_bits << "b -> " << m.bram36
+       << " RAMB36\n";
+  }
+  os << "logic (est.)  : " << ev.resources.luts << " LUTs ("
+     << fmt("%.1f", ev.resources.lut_percent()) << "%), " << ev.resources.registers
+     << " registers\n";
+  return os.str();
+}
+
+std::string format_sweep_table(const SweepResult& sweep) {
+  std::ostringstream os;
+  for (const auto& n : sweep.axis_names) os << n << '\t';
+  os << "ratio\tcyc/B\tMB/s\tRAMB36\tLUTs\n";
+  for (const auto& p : sweep.points) {
+    for (const auto c : p.coordinates) os << c << '\t';
+    os << fmt("%.3f", p.evaluation.ratio()) << '\t'
+       << fmt("%.3f", p.evaluation.cycles_per_byte()) << '\t'
+       << fmt("%.1f", p.evaluation.mb_per_s()) << '\t' << p.evaluation.resources.bram36_total
+       << '\t' << p.evaluation.resources.luts << '\n';
+  }
+  return os.str();
+}
+
+std::string format_sweep_csv(const SweepResult& sweep) {
+  std::ostringstream os;
+  for (const auto& n : sweep.axis_names) os << n << ',';
+  os << "input_bytes,compressed_bytes,ratio,cycles,cycles_per_byte,mb_per_s,bram36,bram18,"
+        "luts,registers,waiting,fetching,matching,output,updating,rotating\n";
+  for (const auto& p : sweep.points) {
+    for (const auto c : p.coordinates) os << c << ',';
+    const auto& e = p.evaluation;
+    os << e.input_bytes << ',' << e.compressed_bytes << ',' << fmt("%.6f", e.ratio()) << ','
+       << e.stats.total_cycles << ',' << fmt("%.6f", e.cycles_per_byte()) << ','
+       << fmt("%.3f", e.mb_per_s()) << ',' << e.resources.bram36_total << ','
+       << e.resources.bram18_total << ',' << e.resources.luts << ',' << e.resources.registers
+       << ',' << e.stats.waiting << ',' << e.stats.fetching << ',' << e.stats.matching << ','
+       << e.stats.output << ',' << e.stats.updating << ',' << e.stats.rotating << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lzss::est

@@ -1,0 +1,20 @@
+// Text and CSV rendering of evaluations and sweeps.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "estimator/sweep.hpp"
+
+namespace lzss::est {
+
+/// Human-readable multi-line report for one design point.
+[[nodiscard]] std::string format_evaluation(const Evaluation& ev);
+
+/// One-line-per-point table; columns: coordinates, ratio, cyc/B, MB/s, BRAM.
+[[nodiscard]] std::string format_sweep_table(const SweepResult& sweep);
+
+/// Machine-readable CSV with a header row.
+[[nodiscard]] std::string format_sweep_csv(const SweepResult& sweep);
+
+}  // namespace lzss::est

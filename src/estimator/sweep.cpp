@@ -1,0 +1,85 @@
+#include "estimator/sweep.hpp"
+
+#include <stdexcept>
+
+namespace lzss::est {
+
+Axis dict_bits_axis(std::vector<std::int64_t> values) {
+  return {"dict_bits", std::move(values), [](const hw::HwConfig& base, std::int64_t v) {
+            hw::HwConfig c = base;
+            c.dict_bits = static_cast<unsigned>(v);
+            return c;
+          }};
+}
+
+Axis hash_bits_axis(std::vector<std::int64_t> values) {
+  return {"hash_bits", std::move(values), [](const hw::HwConfig& base, std::int64_t v) {
+            hw::HwConfig c = base;
+            c.hash.bits = static_cast<unsigned>(v);
+            return c;
+          }};
+}
+
+Axis level_axis(std::vector<std::int64_t> values) {
+  return {"level", std::move(values), [](const hw::HwConfig& base, std::int64_t v) {
+            return base.with_level(static_cast<int>(v));
+          }};
+}
+
+Axis generation_bits_axis(std::vector<std::int64_t> values) {
+  return {"generation_bits", std::move(values), [](const hw::HwConfig& base, std::int64_t v) {
+            hw::HwConfig c = base;
+            c.generation_bits = static_cast<unsigned>(v);
+            return c;
+          }};
+}
+
+Axis bus_width_axis(std::vector<std::int64_t> values) {
+  return {"bus_width", std::move(values), [](const hw::HwConfig& base, std::int64_t v) {
+            hw::HwConfig c = base;
+            c.bus_width_bytes = static_cast<unsigned>(v);
+            return c;
+          }};
+}
+
+Axis named_axis(const std::string& name, std::vector<std::int64_t> values) {
+  if (name == "dict_bits") return dict_bits_axis(std::move(values));
+  if (name == "hash_bits") return hash_bits_axis(std::move(values));
+  if (name == "level") return level_axis(std::move(values));
+  if (name == "generation_bits") return generation_bits_axis(std::move(values));
+  if (name == "bus_width") return bus_width_axis(std::move(values));
+  throw std::invalid_argument("named_axis: unknown axis '" + name + "'");
+}
+
+SweepResult run_sweep(const hw::HwConfig& base, std::vector<Axis> axes,
+                      std::span<const std::uint8_t> data) {
+  if (axes.empty() || axes.size() > 3)
+    throw std::invalid_argument("run_sweep: 1..3 axes supported");
+
+  SweepResult result;
+  for (const auto& a : axes) result.axis_names.push_back(a.name);
+
+  // Cartesian product via an odometer over axis indices.
+  std::vector<std::size_t> idx(axes.size(), 0);
+  for (;;) {
+    hw::HwConfig cfg = base;
+    std::vector<std::int64_t> coords;
+    coords.reserve(axes.size());
+    for (std::size_t d = 0; d < axes.size(); ++d) {
+      const std::int64_t v = axes[d].values[idx[d]];
+      cfg = axes[d].apply(cfg, v);
+      coords.push_back(v);
+    }
+    result.points.push_back({std::move(coords), evaluate(cfg, data)});
+
+    std::size_t d = axes.size();
+    while (d > 0) {
+      --d;
+      if (++idx[d] < axes[d].values.size()) break;
+      idx[d] = 0;
+      if (d == 0) return result;
+    }
+  }
+}
+
+}  // namespace lzss::est

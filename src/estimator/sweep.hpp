@@ -1,0 +1,44 @@
+// Parameter sweeps — the C# front-end's "construct series of parameter sets
+// (e.g. iterating an arbitrary parameter over a given range)" as a library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "estimator/evaluate.hpp"
+
+namespace lzss::est {
+
+/// A named axis: applies one parameter value to a base configuration.
+struct Axis {
+  std::string name;  ///< e.g. "dict_bits"
+  std::vector<std::int64_t> values;
+  std::function<hw::HwConfig(const hw::HwConfig&, std::int64_t)> apply;
+};
+
+/// Predefined axes matching the paper's generics.
+[[nodiscard]] Axis dict_bits_axis(std::vector<std::int64_t> values);
+[[nodiscard]] Axis hash_bits_axis(std::vector<std::int64_t> values);
+[[nodiscard]] Axis level_axis(std::vector<std::int64_t> values);
+[[nodiscard]] Axis generation_bits_axis(std::vector<std::int64_t> values);
+[[nodiscard]] Axis bus_width_axis(std::vector<std::int64_t> values);
+[[nodiscard]] Axis named_axis(const std::string& name, std::vector<std::int64_t> values);
+
+struct SweepPoint {
+  std::vector<std::int64_t> coordinates;  ///< one value per axis
+  Evaluation evaluation;
+};
+
+struct SweepResult {
+  std::vector<std::string> axis_names;
+  std::vector<SweepPoint> points;
+};
+
+/// Evaluates the cartesian product of up to three axes over @p data.
+[[nodiscard]] SweepResult run_sweep(const hw::HwConfig& base, std::vector<Axis> axes,
+                                    std::span<const std::uint8_t> data);
+
+}  // namespace lzss::est

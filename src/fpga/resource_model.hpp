@@ -1,0 +1,59 @@
+// Virtex-5 resource model for the compressor (Table II).
+//
+// Block-RAM counts are exact arithmetic from the five memory geometries and
+// the RAMB36/RAMB18 aspect ratios. LUT and flip-flop counts cannot be
+// re-synthesized offline; they come from an analytic estimate anchored to
+// the paper's published observation that logic utilization is ~5-6 % of an
+// XC5VFX70T and "remains insignificant and almost the same for all
+// reasonable dictionary sizes and hash sizes", plus first-order terms for
+// the datapath widths that do change with the generics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/config.hpp"
+
+namespace lzss::fpga {
+
+/// The paper's target device (ML507 board).
+struct Device {
+  std::string name = "XC5VFX70T";
+  std::uint32_t luts = 44'800;
+  std::uint32_t registers = 44'800;
+  std::uint32_t bram36 = 148;
+};
+
+/// Geometry and BRAM cost of one logical memory.
+struct MemoryReport {
+  std::string name;
+  std::size_t depth = 0;
+  unsigned width_bits = 0;
+  std::size_t bram36 = 0;
+  std::size_t bram18 = 0;
+};
+
+struct ResourceReport {
+  std::vector<MemoryReport> memories;
+  std::size_t bram36_total = 0;
+  std::size_t bram18_total = 0;
+  std::uint32_t luts = 0;       ///< estimate (LZSS unit + fixed Huffman)
+  std::uint32_t registers = 0;  ///< estimate
+  Device device;
+
+  [[nodiscard]] double lut_percent() const noexcept {
+    return 100.0 * static_cast<double>(luts) / static_cast<double>(device.luts);
+  }
+  [[nodiscard]] double register_percent() const noexcept {
+    return 100.0 * static_cast<double>(registers) / static_cast<double>(device.registers);
+  }
+  [[nodiscard]] double bram_percent() const noexcept {
+    return 100.0 * static_cast<double>(bram36_total) / static_cast<double>(device.bram36);
+  }
+};
+
+/// Computes the resource footprint of a configuration.
+[[nodiscard]] ResourceReport estimate_resources(const hw::HwConfig& config);
+
+}  // namespace lzss::fpga

@@ -1,0 +1,70 @@
+#include "hw/config.hpp"
+
+#include <stdexcept>
+
+#include "bram/geometry.hpp"
+#include "lzss/params.hpp"
+
+namespace lzss::hw {
+
+std::size_t HwConfig::head_split_factor() const {
+  if (head_split != 0) return head_split;
+  return bram::natural_split_factor(hash.table_size(), position_bits());
+}
+
+std::uint64_t HwConfig::rotation_pass_cycles() const {
+  const std::size_t m = head_split_factor();
+  std::uint64_t cycles = (hash.table_size() + m - 1) / m;
+  if (!relative_next) {
+    // Absolute next-table offsets must be adjusted too (zlib-style); the
+    // next table is its own set of BRAMs, scanned in parallel with the head.
+    const std::size_t mn = bram::natural_split_factor(dict_size(), position_bits());
+    cycles = std::max<std::uint64_t>(cycles, (dict_size() + mn - 1) / mn);
+  }
+  return cycles;
+}
+
+HwConfig HwConfig::with_level(int level) const {
+  // Reuse the zlib configuration table via MatchParams.
+  core::MatchParams mp;
+  mp = mp.with_level(level);
+  HwConfig c = *this;
+  c.max_chain = mp.max_chain;
+  c.nice_length = mp.nice_length;
+  c.max_insert = mp.max_lazy;  // in fast mode this is zlib's max_insert_length
+  return c;
+}
+
+HwConfig HwConfig::speed_optimized() {
+  HwConfig c;
+  c.dict_bits = 12;
+  c.hash.bits = 15;
+  return c.with_level(1);
+}
+
+void HwConfig::validate() const {
+  if (dict_bits < 9 || dict_bits > 16)
+    throw std::invalid_argument("HwConfig: dict_bits must be 9..16");
+  if (hash.bits < 6 || hash.bits > 18)
+    throw std::invalid_argument("HwConfig: hash bits must be 6..18");
+  if (generation_bits > 8) throw std::invalid_argument("HwConfig: generation_bits must be <= 8");
+  if (position_bits() > 24)
+    throw std::invalid_argument("HwConfig: dict_bits + generation_bits must be <= 24");
+  if (bus_width_bytes != 1 && bus_width_bytes != 2 && bus_width_bytes != 4)
+    throw std::invalid_argument("HwConfig: bus width must be 1, 2 or 4 bytes");
+  if (lookahead_bytes < 262 || (lookahead_bytes & (lookahead_bytes - 1)) != 0)
+    throw std::invalid_argument("HwConfig: lookahead must be a power of two >= 262");
+  if (lookahead_bytes >= dict_size())
+    throw std::invalid_argument("HwConfig: lookahead must be smaller than the dictionary");
+  if (max_chain == 0) throw std::invalid_argument("HwConfig: max_chain must be >= 1");
+}
+
+std::string HwConfig::describe() const {
+  return "dict=" + std::to_string(dict_size()) + "B hash=" + std::to_string(hash.bits) +
+         "b gen=" + std::to_string(generation_bits) + " M=" +
+         std::to_string(head_split_factor()) + " bus=" + std::to_string(bus_width_bytes) +
+         "B chain=" + std::to_string(max_chain) + (hash_prefetch ? " prefetch" : "") +
+         (relative_next ? " rel-next" : " abs-next");
+}
+
+}  // namespace lzss::hw

@@ -1,0 +1,79 @@
+// Compile-time generics and run-time parameters of the hardware compressor.
+//
+// Mirrors the paper's customization points: "Dictionary size, hash bit
+// count, exact hash function, generation bit count, and the head table
+// division factor can be customized during compile-time. Run-time parameters
+// (e.g. matching iteration limit) can also be changed."
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lzss/hash.hpp"
+
+namespace lzss::hw {
+
+struct HwConfig {
+  // --- compile-time generics -------------------------------------------
+  unsigned dict_bits = 12;            ///< dictionary (sliding window) = 2^dict_bits bytes
+  core::HashSpec hash{.bits = 15};    ///< hash table spec
+  unsigned generation_bits = 4;       ///< k extra bits per head entry (rotation 2^k x rarer)
+  unsigned head_split = 0;            ///< M sub-memories for parallel rotation; 0 = natural
+  unsigned bus_width_bytes = 4;       ///< comparer data-bus width; 1 reproduces [11]
+  unsigned lookahead_bytes = 512;     ///< lookahead ring buffer size
+  bool hash_prefetch = true;          ///< prefetch the hash at offset 1 during matching
+  bool relative_next = true;          ///< relative next-table offsets (no next rotation)
+
+  // --- run-time parameters ---------------------------------------------
+  std::uint32_t max_chain = 4;        ///< matching iteration limit (hash chain bound)
+  std::uint32_t nice_length = 8;      ///< stop the chain when a match this long is found
+  std::uint32_t max_insert = 4;       ///< full hash update only for matches up to this length
+
+  double clock_mhz = 100.0;           ///< compressor clock (ML507 design: 100 MHz)
+
+  // --- derived values ----------------------------------------------------
+  [[nodiscard]] std::uint32_t dict_size() const noexcept { return 1u << dict_bits; }
+  /// Positions are stored modulo 2^(dict_bits + generation_bits) — "as if the
+  /// dictionary was 2^k times bigger".
+  [[nodiscard]] unsigned position_bits() const noexcept { return dict_bits + generation_bits; }
+  [[nodiscard]] std::uint64_t position_modulus() const noexcept {
+    return std::uint64_t{1} << position_bits();
+  }
+  /// How far ahead of the current position the filler may run. Bounded by
+  /// the lookahead buffer; throttled to zlib's MIN_LOOKAHEAD (262) for small
+  /// windows so the fill-ahead region does not eat the dictionary.
+  [[nodiscard]] std::uint32_t fill_ahead() const noexcept {
+    return dict_size() > 2 * lookahead_bytes ? lookahead_bytes : 262;
+  }
+  /// Largest usable match distance: dictionary slots inside the fill-ahead
+  /// region already hold future data and must not be referenced.
+  [[nodiscard]] std::uint32_t max_distance() const noexcept {
+    return dict_size() - fill_ahead();
+  }
+  /// Bytes between head-table purge passes: with k generation bits an entry
+  /// can only alias as fresh after 2^k * N bytes, so purging every
+  /// (2^k - 1) * N bytes is sufficient (every N bytes when k <= 1).
+  [[nodiscard]] std::uint64_t rotation_interval() const noexcept {
+    const std::uint64_t n = dict_size();
+    return generation_bits <= 1 ? n : ((std::uint64_t{1} << generation_bits) - 1) * n;
+  }
+  /// The head-table division factor M actually in effect.
+  [[nodiscard]] std::size_t head_split_factor() const;
+  /// Cycles one rotation pass blocks the main FSM for.
+  [[nodiscard]] std::uint64_t rotation_pass_cycles() const;
+
+  /// Applies the chain/nice/insert knobs of zlib level 1..9 (the hardware is
+  /// always greedy; the level only changes the matching effort).
+  [[nodiscard]] HwConfig with_level(int level) const;
+
+  /// The configuration evaluated in Table I: 4 KB dictionary, 15-bit hash,
+  /// parameters optimized for speed.
+  [[nodiscard]] static HwConfig speed_optimized();
+
+  /// Throws std::invalid_argument when inconsistent.
+  void validate() const;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace lzss::hw

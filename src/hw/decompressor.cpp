@@ -1,0 +1,144 @@
+#include "hw/decompressor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lzss/decoder.hpp"
+
+namespace lzss::hw {
+
+using bram::Port;
+
+void DecompressorConfig::validate() const {
+  if (window_bits < 9 || window_bits > 16)
+    throw std::invalid_argument("DecompressorConfig: window_bits must be 9..16");
+  if (bus_width_bytes != 1 && bus_width_bytes != 2 && bus_width_bytes != 4)
+    throw std::invalid_argument("DecompressorConfig: bus width must be 1, 2 or 4 bytes");
+}
+
+Decompressor::Decompressor(DecompressorConfig config) : cfg_(config) {
+  cfg_.validate();
+  w_mask_ = cfg_.window_size() - 1;
+  window_ = std::make_unique<bram::DualPortRam>("window", cfg_.window_size() / 4, 32);
+  ring_.assign(cfg_.window_size(), 0);
+  reset();
+}
+
+void Decompressor::reset() {
+  window_->reset();
+  std::fill(ring_.begin(), ring_.end(), 0);
+  in_done_ = false;
+  copying_ = false;
+  copy_dist_ = copy_left_ = 0;
+  out_.clear();
+  stats_ = DecompressStats{};
+}
+
+bool Decompressor::done() const noexcept {
+  return in_done_ && !copying_ && (in_ == nullptr || in_->empty());
+}
+
+void Decompressor::emit_byte(std::uint8_t b) {
+  ring_[out_.size() & w_mask_] = b;
+  out_.push_back(b);
+  ++stats_.bytes_out;
+}
+
+void Decompressor::step() {
+  if (done()) return;
+  ++stats_.total_cycles;
+
+  if (copying_) {
+    // One copy iteration: read up to bus_width bytes from the window via
+    // port A, write them back at the output position via port B. An
+    // overlapping match (distance < chunk) can only replicate `distance`
+    // bytes per cycle — the source bytes beyond that have not been written
+    // yet in this clock.
+    std::uint32_t chunk = cfg_.bus_width_bytes;
+    if (copy_first_cycle_) {
+      const std::uint64_t src = (out_.size() - copy_dist_) & w_mask_;
+      chunk = cfg_.bus_width_bytes == 1
+                  ? 1
+                  : cfg_.bus_width_bytes -
+                        static_cast<std::uint32_t>(src % cfg_.bus_width_bytes);
+      copy_first_cycle_ = false;
+    }
+    chunk = std::min({chunk, copy_left_, copy_dist_});
+    (void)window_->read(Port::A, ((out_.size() - copy_dist_) & w_mask_) / 4);
+    for (std::uint32_t i = 0; i < chunk; ++i) {
+      emit_byte(ring_[(out_.size() - copy_dist_) & w_mask_]);
+    }
+    window_->write(Port::B, (((out_.size() - 1) & w_mask_) / 4),
+                   0 /* modelled write; data tracked in ring_ */);
+    copy_left_ -= chunk;
+    if (copy_left_ == 0) copying_ = false;
+    ++stats_.copy_cycles;
+    window_->tick();
+    return;
+  }
+
+  if (in_ == nullptr || !in_->can_pop()) {
+    ++stats_.idle_cycles;
+    window_->tick();
+    return;
+  }
+
+  const core::Token t = in_->pop();
+  if (t.is_literal()) {
+    emit_byte(t.literal_byte());
+    window_->write(Port::B, ((out_.size() - 1) & w_mask_) / 4, t.literal_byte());
+    ++stats_.literals;
+    ++stats_.literal_cycles;
+  } else {
+    if (t.distance() == 0 || t.distance() > out_.size())
+      throw core::DecodeError("hw::Decompressor: distance exceeds produced data");
+    if (t.distance() >= cfg_.window_size())
+      throw core::DecodeError("hw::Decompressor: distance exceeds the window");
+    if (t.length() < core::kMinMatch || t.length() > core::kMaxMatch)
+      throw core::DecodeError("hw::Decompressor: bad match length");
+    copying_ = true;
+    copy_dist_ = t.distance();
+    copy_left_ = t.length();
+    copy_first_cycle_ = true;
+    ++stats_.matches;
+    ++stats_.copy_cycles;  // the issue cycle doubles as the first copy cycle
+    // The first chunk transfers in this same cycle.
+    std::uint32_t chunk = cfg_.bus_width_bytes == 1
+                              ? 1
+                              : cfg_.bus_width_bytes -
+                                    static_cast<std::uint32_t>(
+                                        ((out_.size() - copy_dist_) & w_mask_) %
+                                        cfg_.bus_width_bytes);
+    chunk = std::min({chunk, copy_left_, copy_dist_});
+    (void)window_->read(Port::A, ((out_.size() - copy_dist_) & w_mask_) / 4);
+    for (std::uint32_t i = 0; i < chunk; ++i) {
+      emit_byte(ring_[(out_.size() - copy_dist_) & w_mask_]);
+    }
+    window_->write(Port::B, ((out_.size() - 1) & w_mask_) / 4, 0);
+    copy_left_ -= chunk;
+    copy_first_cycle_ = false;
+    if (copy_left_ == 0) copying_ = false;
+  }
+  window_->tick();
+}
+
+DecompressResult Decompressor::decompress(std::span<const core::Token> tokens) {
+  reset();
+  stream::Channel<core::Token> ch(2);
+  in_ = &ch;
+  std::size_t fed = 0;
+  const std::uint64_t guard = tokens.size() * 300 + 1'000'000;
+  while (true) {
+    if (fed < tokens.size() && ch.can_push()) ch.push(tokens[fed++]);
+    if (fed == tokens.size()) in_done_ = true;
+    step();
+    ch.tick();
+    if (done()) break;
+    if (stats_.total_cycles > guard)
+      throw std::runtime_error("hw::Decompressor: cycle guard exceeded");
+  }
+  in_ = nullptr;
+  return {out_, stats_};
+}
+
+}  // namespace lzss::hw

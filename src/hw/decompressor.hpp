@@ -1,0 +1,102 @@
+// Cycle-accurate model of an LZSS decompressor unit.
+//
+// The compression paper's reference [10] (Huebner et al.) motivates fast
+// hardware LZSS *decompression* for dynamic FPGA self-reconfiguration; a
+// logger built from this repository also needs the decode side to read its
+// own archives. The unit mirrors the compressor's memory discipline: the
+// sliding window lives in one dual-port BRAM whose port B writes produced
+// bytes while port A reads match sources, so a match copies up to
+// min(4, distance) bytes per clock over the same 32-bit buses the
+// compressor uses. Literals cost one cycle each.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bram/dual_port_ram.hpp"
+#include "lzss/token.hpp"
+#include "stream/channel.hpp"
+
+namespace lzss::hw {
+
+struct DecompressorConfig {
+  unsigned window_bits = 12;      ///< must cover every distance in the stream
+  unsigned bus_width_bytes = 4;   ///< window data-bus width
+  double clock_mhz = 100.0;
+
+  [[nodiscard]] std::uint32_t window_size() const noexcept { return 1u << window_bits; }
+  void validate() const;
+};
+
+struct DecompressStats {
+  std::uint64_t total_cycles = 0;
+  std::uint64_t literal_cycles = 0;
+  std::uint64_t copy_cycles = 0;
+  std::uint64_t idle_cycles = 0;   ///< waiting for input tokens
+  std::uint64_t stall_cycles = 0;  ///< output backpressure
+  std::uint64_t bytes_out = 0;
+  std::uint64_t literals = 0;
+  std::uint64_t matches = 0;
+
+  [[nodiscard]] double cycles_per_byte() const noexcept {
+    return bytes_out == 0 ? 0.0
+                          : static_cast<double>(total_cycles) / static_cast<double>(bytes_out);
+  }
+  [[nodiscard]] double mb_per_s(double clock_mhz) const noexcept {
+    return total_cycles == 0 ? 0.0
+                             : static_cast<double>(bytes_out) * clock_mhz /
+                                   static_cast<double>(total_cycles);
+  }
+};
+
+struct DecompressResult {
+  std::vector<std::uint8_t> data;
+  DecompressStats stats;
+};
+
+class Decompressor {
+ public:
+  explicit Decompressor(DecompressorConfig config);
+
+  /// One-shot: decodes a complete token stream. Throws core::DecodeError on
+  /// malformed input (distance beyond history or window).
+  [[nodiscard]] DecompressResult decompress(std::span<const core::Token> tokens);
+
+  // --- streaming interface ------------------------------------------------
+  void reset();
+  /// Tokens arrive through @p channel; end of stream is signalled via
+  /// set_input_done().
+  void set_input_channel(stream::Channel<core::Token>* channel) { in_ = channel; }
+  void set_input_done() noexcept { in_done_ = true; }
+  /// Produced bytes are appended to the internal buffer (take with result()).
+  void step();
+  [[nodiscard]] bool done() const noexcept;
+
+  [[nodiscard]] const DecompressStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& output() const noexcept { return out_; }
+  [[nodiscard]] const bram::DualPortRam& window_ram() const noexcept { return *window_; }
+
+ private:
+  void emit_byte(std::uint8_t b);
+
+  DecompressorConfig cfg_;
+  std::uint64_t w_mask_ = 0;
+  std::unique_ptr<bram::DualPortRam> window_;
+  std::vector<std::uint8_t> ring_;  // functional window contents
+
+  stream::Channel<core::Token>* in_ = nullptr;
+  bool in_done_ = false;
+
+  // Copy-in-progress registers.
+  bool copying_ = false;
+  std::uint32_t copy_dist_ = 0;
+  std::uint32_t copy_left_ = 0;
+  bool copy_first_cycle_ = false;
+
+  std::vector<std::uint8_t> out_;
+  DecompressStats stats_;
+};
+
+}  // namespace lzss::hw

@@ -1,0 +1,102 @@
+#include "hw/huffman_decode_stage.hpp"
+
+#include <stdexcept>
+
+#include "deflate/fixed_tables.hpp"
+
+namespace lzss::hw {
+namespace {
+
+// Maximum bits one decode step can consume: a distance symbol (5) plus its
+// extra bits (13), or a literal/length symbol (9) plus length extra (5).
+constexpr unsigned kMaxStepBits = 18;
+
+}  // namespace
+
+std::uint32_t HuffmanDecodeStage::take(unsigned n) {
+  if (nbits_ < n) throw std::runtime_error("HuffmanDecodeStage: truncated fixed-Huffman block");
+  const std::uint32_t v = static_cast<std::uint32_t>(acc_ & ((1ull << n) - 1));
+  acc_ >>= n;
+  nbits_ -= n;
+  return v;
+}
+
+unsigned HuffmanDecodeStage::decode_symbol(bool distance) {
+  // Fixed codes only: peel bits MSB-of-code-first and look the value up in
+  // the canonical assignment (lengths 5 for distances, 7/8/9 for lit/len).
+  // Hardware resolves this with one parallel LUT; a linear scan is fine in
+  // the model because the bands are contiguous.
+  if (distance) {
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 5; ++i) v = (v << 1) | take(1);
+    return v;  // canonical 5-bit code == symbol
+  }
+  // Literal/length: 7-bit codes 0..23 (symbols 256..279), 8-bit codes
+  // 0x30..0xBF (0..143) and 0xC0..0xC7 (280..287), 9-bit 0x190..0x1FF
+  // (144..255) — RFC 1951 section 3.2.6.
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < 7; ++i) v = (v << 1) | take(1);
+  if (v <= 0b0010111) return 256 + v;
+  v = (v << 1) | take(1);
+  if (v >= 0x30 && v <= 0xBF) return v - 0x30;
+  if (v >= 0xC0 && v <= 0xC7) return 280 + (v - 0xC0);
+  v = (v << 1) | take(1);
+  if (v >= 0x190 && v <= 0x1FF) return 144 + (v - 0x190);
+  throw std::runtime_error("HuffmanDecodeStage: invalid fixed code");
+}
+
+void HuffmanDecodeStage::tick() {
+  if (finished_) return;
+
+  // Refill: one 32-bit word per cycle through the input port.
+  if (nbits_ <= 32 && in_->can_pop()) {
+    acc_ |= static_cast<std::uint64_t>(in_->pop()) << nbits_;
+    nbits_ += 32;
+  }
+  // Wait for more bits when a worst-case step does not fit and the stream
+  // has not ended (a slow producer must never cause a bogus decode).
+  if (!have(kMaxStepBits) && !(in_done_ && in_->empty())) {
+    ++refills_;
+    return;
+  }
+  if (!out_->can_push()) {
+    ++stalls_;
+    return;
+  }
+
+  if (!header_parsed_) {
+    (void)take(1);  // BFINAL (single-block streams only)
+    const std::uint32_t btype = take(2);
+    if (btype != 0b01)
+      throw std::runtime_error("HuffmanDecodeStage: not a fixed-Huffman block");
+    header_parsed_ = true;
+    return;  // header cycle
+  }
+
+  if (pending_match_) {
+    const unsigned dsym = decode_symbol(/*distance=*/true);
+    if (dsym > 29) throw std::runtime_error("HuffmanDecodeStage: bad distance symbol");
+    const std::uint32_t dist =
+        deflate::distance_base(dsym) + take(deflate::distance_extra_bits(dsym));
+    out_->push(core::Token::match(dist, pending_length_));
+    ++tokens_;
+    pending_match_ = false;
+    return;
+  }
+
+  const unsigned sym = decode_symbol(/*distance=*/false);
+  if (sym < 256) {
+    out_->push(core::Token::literal(static_cast<std::uint8_t>(sym)));
+    ++tokens_;
+    return;
+  }
+  if (sym == deflate::kEndOfBlock) {
+    finished_ = true;
+    return;
+  }
+  if (sym > 285) throw std::runtime_error("HuffmanDecodeStage: bad length symbol");
+  pending_length_ = deflate::length_base(sym) + take(deflate::length_extra_bits(sym));
+  pending_match_ = true;  // distance decodes next cycle
+}
+
+}  // namespace lzss::hw

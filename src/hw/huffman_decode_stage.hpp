@@ -1,0 +1,58 @@
+// Fixed-table Huffman decode stage (the decompression-side dual of
+// HuffmanStage).
+//
+// Consumes the 32-bit words of a single fixed-Huffman Deflate block and
+// emits D/L tokens. Because the table is fixed, a hardware implementation
+// decodes a whole symbol per clock with a parallel LUT; the model charges
+// one cycle per literal and two per match (length symbol + distance
+// symbol), plus refill cycles whenever the bit buffer cannot cover a
+// worst-case decode step and more input is still expected.
+#pragma once
+
+#include <cstdint>
+
+#include "lzss/token.hpp"
+#include "stream/channel.hpp"
+
+namespace lzss::hw {
+
+class HuffmanDecodeStage {
+ public:
+  HuffmanDecodeStage(stream::Channel<std::uint32_t>& in, stream::Channel<core::Token>& out)
+      : in_(&in), out_(&out) {}
+
+  /// Tells the stage no further input words will arrive; with the channel
+  /// drained it may then decode from a partially filled bit buffer.
+  void set_input_done() noexcept { in_done_ = true; }
+
+  /// One clock cycle.
+  void tick();
+
+  /// True once the end-of-block symbol has been decoded.
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  [[nodiscard]] std::uint64_t tokens_decoded() const noexcept { return tokens_; }
+  [[nodiscard]] std::uint64_t refill_cycles() const noexcept { return refills_; }
+  [[nodiscard]] std::uint64_t stall_cycles() const noexcept { return stalls_; }
+
+ private:
+  [[nodiscard]] bool have(unsigned n) const noexcept { return nbits_ >= n; }
+  [[nodiscard]] std::uint32_t take(unsigned n);
+  [[nodiscard]] unsigned decode_symbol(bool distance);
+
+  stream::Channel<std::uint32_t>* in_;
+  stream::Channel<core::Token>* out_;
+  std::uint64_t acc_ = 0;
+  unsigned nbits_ = 0;
+  bool in_done_ = false;
+  bool header_parsed_ = false;
+  bool finished_ = false;
+  // A match decodes over two cycles; the length is parked here in between.
+  bool pending_match_ = false;
+  std::uint32_t pending_length_ = 0;
+  std::uint64_t tokens_ = 0;
+  std::uint64_t refills_ = 0;
+  std::uint64_t stalls_ = 0;
+};
+
+}  // namespace lzss::hw

@@ -1,0 +1,89 @@
+#include "hw/huffman_stage.hpp"
+
+#include <cassert>
+
+#include "common/bitio.hpp"
+#include "deflate/fixed_tables.hpp"
+
+namespace lzss::hw {
+
+using deflate::distance_code;
+using deflate::fixed_distance_code;
+using deflate::fixed_litlen_code;
+using deflate::length_code;
+
+void HuffmanStage::put_bits(std::uint32_t value, unsigned n) {
+  assert(pending_bits_ + n <= 64);
+  acc_ |= static_cast<std::uint64_t>(value & ((n >= 32) ? 0xFFFFFFFFu : ((1u << n) - 1u)))
+          << pending_bits_;
+  pending_bits_ += n;
+  bits_ += n;
+}
+
+void HuffmanStage::put_huffman(std::uint32_t code, unsigned n) {
+  put_bits(bits::reverse_bits(code, n), n);
+}
+
+void HuffmanStage::start() {
+  assert(!started_);
+  started_ = true;
+  put_bits(1, 1);     // BFINAL
+  put_bits(0b01, 2);  // BTYPE = fixed Huffman
+}
+
+void HuffmanStage::encode(const core::Token& t) {
+  const auto& lit = fixed_litlen_code();
+  const auto& dist = fixed_distance_code();
+  if (t.is_literal()) {
+    const unsigned s = t.literal_byte();
+    put_huffman(lit.code[s], lit.bits[s]);
+  } else {
+    const auto lc = length_code(t.length());
+    put_huffman(lit.code[lc.symbol], lit.bits[lc.symbol]);
+    if (lc.extra_bits != 0) put_bits(lc.extra_value, lc.extra_bits);
+    const auto dc = distance_code(t.distance());
+    put_huffman(dist.code[dc.symbol], dist.bits[dc.symbol]);
+    if (dc.extra_bits != 0) put_bits(dc.extra_value, dc.extra_bits);
+  }
+  ++tokens_;
+}
+
+bool HuffmanStage::drain_word() {
+  const bool have_word = pending_bits_ >= 32 || (finished_ && pending_bits_ > 0);
+  if (!have_word) return true;  // nothing to drain, not a stall
+  if (!out_->can_push()) {
+    ++stalls_;
+    return false;
+  }
+  out_->push(static_cast<std::uint32_t>(acc_ & 0xFFFFFFFFu));
+  if (pending_bits_ >= 32) {
+    acc_ >>= 32;
+    pending_bits_ -= 32;
+  } else {
+    acc_ = 0;
+    pending_bits_ = 0;  // final partial word, zero-padded
+  }
+  return true;
+}
+
+void HuffmanStage::tick() {
+  assert(started_);
+  if (!drain_word()) return;  // sink backpressure: also stop consuming tokens
+  if (finished_) return;
+  // One token per cycle; a single token adds at most 32 payload bits, so
+  // the 64-bit accumulator can never overflow between drains.
+  if (pending_bits_ <= 32 && in_->can_pop()) encode(in_->pop());
+}
+
+void HuffmanStage::finish() {
+  assert(started_ && !finished_);
+  const auto& lit = fixed_litlen_code();
+  put_huffman(lit.code[deflate::kEndOfBlock], lit.bits[deflate::kEndOfBlock]);
+  payload_bits_ = bits_;
+  // Pad to the 32-bit word boundary of the output interface.
+  const unsigned pad = (32 - (pending_bits_ & 31)) & 31;
+  if (pad != 0) put_bits(0, pad);
+  finished_ = true;
+}
+
+}  // namespace lzss::hw

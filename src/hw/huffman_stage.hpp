@@ -1,0 +1,66 @@
+// Fixed-table pipelined Huffman encoder stage.
+//
+// Consumes one D/L pair per clock from the compressor's output channel and
+// emits packed 32-bit words. Because the table is fixed (RFC 1951 section
+// 3.2.6) no cycles are ever spent building it and the stage sustains one
+// token per cycle — "the encoder does not introduce any delays to the stream
+// produced by the LZSS compressor". Backpressure from the word sink
+// propagates upstream by simply not consuming tokens.
+#pragma once
+
+#include <cstdint>
+
+#include "lzss/token.hpp"
+#include "stream/channel.hpp"
+
+namespace lzss::hw {
+
+class HuffmanStage {
+ public:
+  HuffmanStage(stream::Channel<core::Token>& in, stream::Channel<std::uint32_t>& out)
+      : in_(&in), out_(&out) {}
+
+  /// Emits the Deflate block header (BFINAL=1, BTYPE=fixed).
+  void start();
+
+  /// One clock cycle: drain a completed word if any, else encode one token.
+  void tick();
+
+  /// Call when the upstream is done and the token channel has drained:
+  /// emits the end-of-block symbol and pads to a word boundary. May need
+  /// several ticks afterwards to flush; check flushed().
+  void finish();
+
+  [[nodiscard]] bool flushed() const noexcept { return finished_ && pending_bits_ == 0; }
+
+  [[nodiscard]] std::uint64_t tokens_encoded() const noexcept { return tokens_; }
+  [[nodiscard]] std::uint64_t bits_emitted() const noexcept { return bits_; }
+  /// Deflate payload size in bytes (excluding the final word padding) —
+  /// what a zlib container must wrap so the checksum lands where a stock
+  /// zlib inflater expects it.
+  [[nodiscard]] std::uint64_t deflate_byte_count() const noexcept {
+    return (payload_bits_ + 7) / 8;
+  }
+  /// Cycles this stage could not accept a token because its sink was full.
+  [[nodiscard]] std::uint64_t stall_cycles() const noexcept { return stalls_; }
+
+ private:
+  void put_bits(std::uint32_t value, unsigned n);
+  void put_huffman(std::uint32_t code, unsigned n);
+  void encode(const core::Token& t);
+  /// Pushes one completed 32-bit word if available and the sink has room.
+  bool drain_word();
+
+  stream::Channel<core::Token>* in_;
+  stream::Channel<std::uint32_t>* out_;
+  std::uint64_t acc_ = 0;  // pending bits, LSB-first
+  unsigned pending_bits_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+  std::uint64_t tokens_ = 0;
+  std::uint64_t bits_ = 0;
+  std::uint64_t payload_bits_ = 0;
+  std::uint64_t stalls_ = 0;
+};
+
+}  // namespace lzss::hw

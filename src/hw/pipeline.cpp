@@ -1,0 +1,101 @@
+#include "hw/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "hw/huffman_decode_stage.hpp"
+#include "hw/huffman_stage.hpp"
+
+namespace lzss::hw {
+
+SystemReport run_system(const HwConfig& config, std::span<const std::uint8_t> input,
+                        stream::DmaTimings dma) {
+  SystemReport report;
+  report.input_bytes = input.size();
+
+  stream::Channel<core::Token> tokens(4);
+  stream::Channel<std::uint32_t> words(4);
+
+  Compressor comp(config);
+  comp.set_input(input);
+  comp.set_output_channel(&tokens);
+
+  HuffmanStage huff(tokens, words);
+  huff.start();
+
+  stream::DramModel out_dram(input.size() + input.size() / 2 + 4096);
+  stream::DmaWriter writer(out_dram, words, dma);
+  writer.start(0);
+
+  // The read-side DMA programs its descriptors before any data flows; the
+  // write side is set up concurrently, so one setup interval is serial.
+  std::uint64_t cycles = dma.setup_cycles;
+  report.dma_setup_cycles = dma.setup_cycles;
+
+  bool finishing = false;
+  const std::uint64_t guard =
+      static_cast<std::uint64_t>(input.size()) * (config.max_chain + 8) * 8 + 1'000'000;
+  while (true) {
+    comp.step();
+    if (comp.done() && tokens.empty() && !finishing && !huff.flushed()) {
+      huff.finish();
+      finishing = true;
+    }
+    huff.tick();
+    writer.tick();
+    tokens.tick();
+    words.tick();
+    ++cycles;
+    if (comp.done() && huff.flushed() && words.empty()) break;
+    if (cycles > guard) throw std::runtime_error("run_system: cycle guard exceeded");
+  }
+
+  report.compressor = comp.stats();
+  report.total_cycles = cycles;
+  report.huffman_stall_cycles = huff.stall_cycles();
+  report.deflate_bytes = static_cast<std::size_t>(huff.deflate_byte_count());
+  report.deflate_stream = out_dram.dump(0, report.deflate_bytes);
+  return report;
+}
+
+DecodeSystemReport run_decode_system(const DecompressorConfig& config,
+                                     std::span<const std::uint8_t> deflate_stream,
+                                     stream::DmaTimings dma) {
+  DecodeSystemReport report;
+
+  // Stage the (word-padded) stream in DRAM and arm the read engine.
+  const std::size_t padded = (deflate_stream.size() + 3) & ~std::size_t{3};
+  stream::DramModel in_dram(padded + 4096);
+  in_dram.load(0, deflate_stream);
+
+  stream::Channel<std::uint32_t> words(4);
+  stream::Channel<core::Token> tokens(4);
+  stream::DmaReader reader(in_dram, words, dma);
+  reader.start(0, padded);
+
+  HuffmanDecodeStage decode(words, tokens);
+  Decompressor decomp(config);
+  decomp.set_input_channel(&tokens);
+
+  std::uint64_t cycles = 0;
+  const std::uint64_t guard = deflate_stream.size() * 400 + 1'000'000;
+  while (true) {
+    reader.tick();
+    if (reader.done()) decode.set_input_done();
+    decode.tick();
+    if (decode.finished() && tokens.empty()) decomp.set_input_done();
+    decomp.step();
+    words.tick();
+    tokens.tick();
+    ++cycles;
+    if (decode.finished() && decomp.done()) break;
+    if (cycles > guard) throw std::runtime_error("run_decode_system: cycle guard exceeded");
+  }
+
+  report.decompressor = decomp.stats();
+  report.total_cycles = cycles;
+  report.decode_refill_cycles = decode.refill_cycles();
+  report.data = decomp.output();
+  return report;
+}
+
+}  // namespace lzss::hw

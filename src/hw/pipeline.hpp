@@ -1,0 +1,71 @@
+// Full-system model of the paper's ML507 testbench.
+//
+// "We have developed a testbench that receives a data block from the PC over
+// Ethernet, stores it in the DDR2 memory, compresses it and sends the result
+// back. The compression time includes the DMA setup times, but excludes
+// Ethernet transmission time."
+//
+// run_system wires DRAM -> DMA -> compressor -> fixed Huffman stage -> DMA
+// -> DRAM, steps everything on a common clock, and reports the measured
+// time the same way Table I does (DMA setup included).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hw/compressor.hpp"
+#include "hw/config.hpp"
+#include "hw/decompressor.hpp"
+#include "stream/dma.hpp"
+
+namespace lzss::hw {
+
+struct SystemReport {
+  CycleStats compressor;             ///< per-state census of the LZSS unit
+  std::uint64_t total_cycles = 0;    ///< DMA setup + compression + drain
+  std::uint64_t dma_setup_cycles = 0;
+  std::uint64_t huffman_stall_cycles = 0;
+  std::size_t input_bytes = 0;
+  std::size_t deflate_bytes = 0;     ///< raw Deflate payload size
+  std::vector<std::uint8_t> deflate_stream;  ///< the produced payload
+
+  /// Throughput including DMA setup, as Table I measures it (MB = 10^6 B).
+  [[nodiscard]] double mb_per_s(double clock_mhz) const noexcept {
+    return total_cycles == 0 ? 0.0
+                             : static_cast<double>(input_bytes) * clock_mhz /
+                                   static_cast<double>(total_cycles);
+  }
+  /// Compression ratio (uncompressed / zlib-container size).
+  [[nodiscard]] double ratio() const noexcept {
+    const double out = static_cast<double>(deflate_bytes) + 6.0;  // zlib header + Adler-32
+    return out == 0.0 ? 0.0 : static_cast<double>(input_bytes) / out;
+  }
+};
+
+/// Runs one block through the full pipeline.
+[[nodiscard]] SystemReport run_system(const HwConfig& config, std::span<const std::uint8_t> input,
+                                      stream::DmaTimings dma = {});
+
+/// Decompression-side system report (DRAM -> DMA -> fixed-Huffman decode
+/// stage -> LZSS decompressor).
+struct DecodeSystemReport {
+  DecompressStats decompressor;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t decode_refill_cycles = 0;
+  std::vector<std::uint8_t> data;
+
+  [[nodiscard]] double mb_per_s(double clock_mhz) const noexcept {
+    return total_cycles == 0 ? 0.0
+                             : static_cast<double>(data.size()) * clock_mhz /
+                                   static_cast<double>(total_cycles);
+  }
+};
+
+/// Runs a single-block fixed-Huffman Deflate stream (as produced by
+/// run_system) through the decode pipeline.
+[[nodiscard]] DecodeSystemReport run_decode_system(const DecompressorConfig& config,
+                                                   std::span<const std::uint8_t> deflate_stream,
+                                                   stream::DmaTimings dma = {});
+
+}  // namespace lzss::hw

@@ -1,0 +1,49 @@
+// The 3-byte hash family used by the match finder.
+//
+// The hardware design makes the exact hash function a compile-time generic;
+// we provide the zlib shift-xor hash (the default, so the software baseline
+// and the HW model probe identical chains) and a Knuth-style multiplicative
+// alternative for the estimator's design-space exploration.
+#pragma once
+
+#include <cstdint>
+
+namespace lzss::core {
+
+enum class HashKind : std::uint8_t {
+  kZlibShift,        ///< h = ((h << s) ^ c) & mask, s = ceil(bits / 3)
+  kMultiplicative,   ///< Fibonacci hashing of the 3 packed bytes
+};
+
+struct HashSpec {
+  unsigned bits = 15;  ///< table has 2^bits entries
+  HashKind kind = HashKind::kZlibShift;
+
+  [[nodiscard]] constexpr std::uint32_t mask() const noexcept { return (1u << bits) - 1u; }
+  [[nodiscard]] constexpr std::uint32_t table_size() const noexcept { return 1u << bits; }
+  /// Per-byte shift of the zlib rolling form.
+  [[nodiscard]] constexpr unsigned shift() const noexcept { return (bits + 2) / 3; }
+
+  /// Hashes the 3 bytes b0,b1,b2 (stream order).
+  [[nodiscard]] constexpr std::uint32_t hash3(std::uint8_t b0, std::uint8_t b1,
+                                              std::uint8_t b2) const noexcept {
+    switch (kind) {
+      case HashKind::kZlibShift: {
+        const unsigned s = shift();
+        std::uint32_t h = b0;
+        h = ((h << s) ^ b1);
+        h = ((h << s) ^ b2);
+        return h & mask();
+      }
+      case HashKind::kMultiplicative: {
+        const std::uint32_t packed = (std::uint32_t{b0} << 16) | (std::uint32_t{b1} << 8) | b2;
+        return (packed * 2654435761u) >> (32 - bits) & mask();
+      }
+    }
+    return 0;  // unreachable
+  }
+
+  constexpr bool operator==(const HashSpec&) const noexcept = default;
+};
+
+}  // namespace lzss::core

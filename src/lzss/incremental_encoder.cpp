@@ -1,0 +1,111 @@
+#include "lzss/incremental_encoder.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lzss::core {
+
+IncrementalEncoder::IncrementalEncoder(MatchParams params) : params_(params) {
+  buf_.resize(std::size_t{2} * params_.window_size());
+  head_.assign(params_.hash.table_size(), kNil);
+  prev_.assign(params_.window_size(), kNil);
+}
+
+void IncrementalEncoder::insert(std::uint32_t pos) {
+  const std::uint32_t h = params_.hash.hash3(buf_[pos], buf_[pos + 1], buf_[pos + 2]);
+  prev_[pos & (params_.window_size() - 1)] = head_[h];
+  head_[h] = pos;
+}
+
+void IncrementalEncoder::slide_window() {
+  const std::uint32_t w = params_.window_size();
+  std::memmove(buf_.data(), buf_.data() + w, w);
+  strstart_ -= w;
+  buffered_ -= w;
+  // zlib's rotation: rebase every table entry; anything pointing into the
+  // evicted half becomes NIL. This O(2^H + W) pass is what the paper's
+  // hardware replaces with generation bits + M-way parallel purges.
+  for (auto& v : head_) v = (v >= w) ? v - w : kNil;
+  for (auto& v : prev_) v = (v >= w) ? v - w : kNil;
+  rebased_ += head_.size() + prev_.size();
+  ++rotations_;
+}
+
+void IncrementalEncoder::process(std::vector<Token>& out, std::uint32_t min_lookahead) {
+  const std::uint32_t w = params_.window_size();
+  while (strstart_ < buffered_ && buffered_ - strstart_ >= min_lookahead) {
+    if (strstart_ >= 2 * w - kMinLookahead) slide_window();
+    const std::uint32_t lookahead = buffered_ - strstart_;
+
+    std::uint32_t best_len = 0, best_dist = 0;
+    if (lookahead >= kMinMatch) {
+      const std::uint32_t h =
+          params_.hash.hash3(buf_[strstart_], buf_[strstart_ + 1], buf_[strstart_ + 2]);
+      std::uint32_t cand = head_[h];
+      insert(strstart_);
+
+      const std::uint32_t max_len = std::min<std::uint32_t>(kMaxMatch, lookahead);
+      const std::uint32_t nice = std::min<std::uint32_t>(params_.nice_length, max_len);
+      std::uint32_t chain_left = params_.max_chain;
+      while (cand != kNil && cand < strstart_ && strstart_ - cand <= max_dist() &&
+             chain_left-- > 0) {
+        std::uint32_t len = 0;
+        while (len < max_len && buf_[cand + len] == buf_[strstart_ + len]) ++len;
+        if (len > best_len && len >= kMinMatch) {
+          best_len = len;
+          best_dist = strstart_ - cand;
+          if (len >= nice) break;
+        }
+        const std::uint32_t prior = prev_[cand & (w - 1)];
+        if (prior >= cand) break;  // rebased/overwritten entry: chain ends
+        cand = prior;
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      out.push_back(Token::match(best_dist, best_len));
+      // deflate_fast: insert the covered positions only for short matches.
+      if (best_len <= params_.max_lazy) {
+        for (std::uint32_t k = strstart_ + 1;
+             k < strstart_ + best_len && k + kMinMatch <= buffered_; ++k) {
+          insert(k);
+        }
+      }
+      strstart_ += best_len;
+    } else {
+      out.push_back(Token::literal(buf_[strstart_]));
+      strstart_ += 1;
+    }
+  }
+}
+
+void IncrementalEncoder::feed(std::span<const std::uint8_t> chunk, std::vector<Token>& out) {
+  std::size_t i = 0;
+  while (i < chunk.size()) {
+    if (buffered_ == buf_.size()) {
+      // With a full buffer, processing drains until the lookahead is below
+      // MIN_LOOKAHEAD, which puts strstart_ past the slide threshold; the
+      // explicit slide then frees a whole window for the next copy.
+      process(out, kMinLookahead);
+      if (buffered_ == buf_.size()) slide_window();
+    }
+    const std::size_t n = std::min<std::size_t>(buf_.size() - buffered_, chunk.size() - i);
+    std::memcpy(buf_.data() + buffered_, chunk.data() + i, n);
+    buffered_ += static_cast<std::uint32_t>(n);
+    total_in_ += n;
+    i += n;
+    process(out, kMinLookahead);
+  }
+}
+
+void IncrementalEncoder::finish(std::vector<Token>& out) {
+  process(out, 1);
+  // Reset for reuse.
+  strstart_ = 0;
+  buffered_ = 0;
+  total_in_ = 0;
+  std::fill(head_.begin(), head_.end(), kNil);
+  std::fill(prev_.begin(), prev_.end(), kNil);
+}
+
+}  // namespace lzss::core

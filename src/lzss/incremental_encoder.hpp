@@ -1,0 +1,69 @@
+// Incremental LZSS encoder with bounded memory (zlib's architecture).
+//
+// SoftwareEncoder sees the whole input at once; this encoder works like
+// zlib's deflate proper: a 2xW byte buffer, a sliding window, and the
+// infamous *rotation* — every W processed bytes the upper half is moved
+// down and every head/prev entry is rebased (entries falling out of the
+// window become NIL). That rotation is precisely the software cost the
+// paper's generation-bits + split-head-table optimizations eliminate in
+// hardware ("the time overhead is negligible in the slow software, however
+// it would consume 25-75% of the clock cycles" on the FPGA), so having the
+// genuine software mechanism in the repository makes the comparison
+// concrete — window_rotations() and rebase counters are exposed for that.
+//
+// The match finder is deflate_fast (greedy); levels map to chain/nice/
+// insert effort exactly as in the hardware model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lzss/params.hpp"
+#include "lzss/token.hpp"
+
+namespace lzss::core {
+
+class IncrementalEncoder {
+ public:
+  explicit IncrementalEncoder(MatchParams params);
+
+  /// Feeds a chunk; tokens for everything except a MIN_LOOKAHEAD tail are
+  /// appended to @p out. Memory stays O(2 x window + tables) no matter how
+  /// much is fed.
+  void feed(std::span<const std::uint8_t> chunk, std::vector<Token>& out);
+
+  /// Drains the tail. The encoder is reusable afterwards.
+  void finish(std::vector<Token>& out);
+
+  [[nodiscard]] std::uint64_t bytes_consumed() const noexcept { return total_in_; }
+  /// Number of window rotations (buffer slides) performed so far.
+  [[nodiscard]] std::uint64_t window_rotations() const noexcept { return rotations_; }
+  /// head/prev entries rewritten by rotations — the work the paper's
+  /// hardware avoids.
+  [[nodiscard]] std::uint64_t entries_rebased() const noexcept { return rebased_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0;          // position 0 sacrificed, like zlib
+  static constexpr std::uint32_t kMinLookahead = 262;  // MAX_MATCH + MIN_MATCH + 1
+
+  [[nodiscard]] std::uint32_t max_dist() const noexcept {
+    return params_.window_size() - kMinLookahead;
+  }
+  void insert(std::uint32_t pos);
+  void slide_window();
+  /// Emits tokens while at least @p min_lookahead bytes are buffered ahead.
+  void process(std::vector<Token>& out, std::uint32_t min_lookahead);
+
+  MatchParams params_;
+  std::vector<std::uint8_t> buf_;   // 2 x window
+  std::uint32_t strstart_ = 0;      // next position to encode (buffer index)
+  std::uint32_t buffered_ = 0;      // valid bytes in buf_
+  std::vector<std::uint32_t> head_;  // hash -> buffer index (kNil = empty)
+  std::vector<std::uint32_t> prev_;  // buffer index & wmask -> predecessor
+  std::uint64_t total_in_ = 0;
+  std::uint64_t rotations_ = 0;
+  std::uint64_t rebased_ = 0;
+};
+
+}  // namespace lzss::core

@@ -1,0 +1,41 @@
+// Raw LZSS container — the paper's section III on-wire format with a small
+// framing header.
+//
+// When zlib compatibility is not needed (e.g. logger-internal storage), the
+// raw D/L command stream is simpler and faster to decode in hardware: every
+// command is log2(window)+8 bits, no Huffman stage. Layout:
+//
+//   magic   "LZS1"                     4 bytes
+//   window  log2(window size)          1 byte
+//   size    original length, LE        8 bytes
+//   tokens  token count, LE            8 bytes
+//   payload packed D/L commands (lzss::core::pack_raw_tokens)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lzss/token.hpp"
+
+namespace lzss::core {
+
+/// Serializes a token stream into the raw container.
+[[nodiscard]] std::vector<std::uint8_t> raw_container_pack(std::span<const Token> tokens,
+                                                           unsigned window_bits,
+                                                           std::uint64_t original_size);
+
+/// Parses and fully decodes a raw container back to the original bytes.
+/// Throws DecodeError on malformed framing or payload.
+[[nodiscard]] std::vector<std::uint8_t> raw_container_unpack(
+    std::span<const std::uint8_t> container);
+
+/// Parses only the header; returns {window_bits, original_size, token_count}.
+struct RawHeader {
+  unsigned window_bits = 0;
+  std::uint64_t original_size = 0;
+  std::uint64_t token_count = 0;
+};
+[[nodiscard]] RawHeader raw_container_header(std::span<const std::uint8_t> container);
+
+}  // namespace lzss::core

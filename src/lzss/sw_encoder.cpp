@@ -1,0 +1,166 @@
+#include "lzss/sw_encoder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lzss::core {
+
+SoftwareEncoder::SoftwareEncoder(MatchParams params) : params_(params) {
+  head_.assign(params_.hash.table_size(), kNil);
+  prev_.assign(params_.window_size(), kNil);
+}
+
+void SoftwareEncoder::reset_tables() {
+  std::fill(head_.begin(), head_.end(), kNil);
+  std::fill(prev_.begin(), prev_.end(), kNil);
+  stats_ = EncodeStats{};
+}
+
+std::uint64_t SoftwareEncoder::insert(std::span<const std::uint8_t> in, std::uint64_t pos) {
+  assert(pos + kMinMatch <= in.size());
+  const std::uint32_t h = params_.hash.hash3(in[pos], in[pos + 1], in[pos + 2]);
+  ++stats_.hash_computations;
+  ++stats_.insertions;
+  trace(MemRegion::kWindow, pos);  // the 3 hashed bytes share a line
+  trace(MemRegion::kHead, h);      // read-modify-write of head[h]
+  trace(MemRegion::kPrev, pos & (params_.window_size() - 1));
+  const std::uint64_t prior = head_[h];
+  prev_[pos & (params_.window_size() - 1)] = prior;
+  head_[h] = pos;
+  return prior;
+}
+
+SoftwareEncoder::Match SoftwareEncoder::longest_match(std::span<const std::uint8_t> in,
+                                                      std::uint64_t pos, std::uint64_t head,
+                                                      std::uint32_t best_so_far) {
+  const std::uint32_t max_len =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(kMaxMatch, in.size() - pos));
+  if (max_len < kMinMatch) return {};
+
+  std::uint32_t chain_left = params_.max_chain;
+  if (best_so_far >= params_.good_length) chain_left >>= 2;  // zlib: tired searcher
+  const std::uint32_t nice = std::min<std::uint32_t>(params_.nice_length, max_len);
+  // Candidates closer than this are unreachable: distance must be encodable.
+  const std::uint64_t limit =
+      pos > params_.max_distance() ? pos - params_.max_distance() : 0;
+
+  Match best{};
+  std::uint32_t best_len = std::max(best_so_far, kMinMatch - 1);
+  std::uint64_t cur = head;
+
+  while (cur != kNil && cur >= limit && cur < pos && chain_left-- > 0) {
+    ++stats_.chain_probes;
+    std::uint32_t len = 0;
+    while (len < max_len && in[cur + len] == in[pos + len]) ++len;
+    const std::uint32_t compared = std::min<std::uint32_t>(len + 1, max_len);
+    stats_.compare_bytes += compared;
+    if (observer_ != nullptr) {
+      // Both compare operands touch memory; sample at line granularity
+      // rather than per byte (the inner loop streams within a line).
+      for (std::uint32_t off = 0; off < compared; off += 32) {
+        trace(MemRegion::kWindow, cur + off);
+        trace(MemRegion::kWindow, pos + off);
+      }
+    }
+    if (len > best_len) {
+      best_len = len;
+      best = {len, static_cast<std::uint32_t>(pos - cur)};
+      if (len >= nice) break;
+    }
+    trace(MemRegion::kPrev, cur & (params_.window_size() - 1));
+    const std::uint64_t prior = prev_[cur & (params_.window_size() - 1)];
+    if (prior != kNil && prior >= cur) break;  // chain entry overwritten by a newer position
+    cur = prior;
+  }
+  return best;
+}
+
+std::vector<Token> SoftwareEncoder::encode(std::span<const std::uint8_t> input) {
+  reset_tables();
+  std::vector<Token> out;
+  out.reserve(input.size() / 3 + 16);
+  if (params_.strategy == Strategy::kFast) {
+    encode_fast(input, out);
+  } else {
+    encode_slow(input, out);
+  }
+  return out;
+}
+
+void SoftwareEncoder::encode_fast(std::span<const std::uint8_t> in, std::vector<Token>& out) {
+  std::uint64_t pos = 0;
+  while (pos < in.size()) {
+    Match m{};
+    if (pos + kMinMatch <= in.size()) {
+      const std::uint64_t head = insert(in, pos);
+      if (head != kNil) m = longest_match(in, pos, head, kMinMatch - 1);
+    }
+    if (m.length >= kMinMatch) {
+      out.push_back(Token::match(m.distance, m.length));
+      ++stats_.matches;
+      stats_.match_bytes += m.length;
+      // zlib deflate_fast: insert covered positions only for short matches
+      // (max_insert_length == max_lazy in fast mode).
+      if (m.length <= params_.max_lazy) {
+        for (std::uint64_t k = pos + 1; k < pos + m.length && k + kMinMatch <= in.size(); ++k) {
+          insert(in, k);
+        }
+      }
+      pos += m.length;
+    } else {
+      out.push_back(Token::literal(in[pos]));
+      ++stats_.literals;
+      ++pos;
+    }
+  }
+}
+
+void SoftwareEncoder::encode_slow(std::span<const std::uint8_t> in, std::vector<Token>& out) {
+  std::uint64_t pos = 0;
+  bool match_available = false;  // a literal at pos-1 is pending
+  Match prev_match{};            // match found at pos-1
+
+  while (pos < in.size()) {
+    Match cur{};
+    std::uint64_t head = kNil;
+    if (pos + kMinMatch <= in.size()) head = insert(in, pos);
+
+    if (head != kNil && prev_match.length < params_.max_lazy) {
+      if (prev_match.length >= kMinMatch) ++stats_.lazy_retries;
+      cur = longest_match(in, pos, head, std::max(prev_match.length, kMinMatch - 1));
+      // zlib: drop a minimal match that is too far away to be worth 2 extra bits.
+      if (cur.length == kMinMatch && cur.distance > kTooFar) cur = {};
+    }
+
+    if (prev_match.length >= kMinMatch && cur.length <= prev_match.length) {
+      // The match at pos-1 wins; emit it and skip over it.
+      out.push_back(Token::match(prev_match.distance, prev_match.length));
+      ++stats_.matches;
+      stats_.match_bytes += prev_match.length;
+      // Insert the covered positions pos+1 .. stop-1 (zlib's insert loop);
+      // position stop is inserted at the top of the next iteration.
+      const std::uint64_t stop = pos - 1 + prev_match.length;
+      for (std::uint64_t k = pos + 1; k < stop && k + kMinMatch <= in.size(); ++k) {
+        insert(in, k);
+      }
+      pos = stop;
+      prev_match = {};
+      match_available = false;
+    } else if (match_available) {
+      out.push_back(Token::literal(in[pos - 1]));
+      ++stats_.literals;
+      prev_match = cur;
+      ++pos;
+    } else {
+      match_available = true;
+      prev_match = cur;
+      ++pos;
+    }
+  }
+  if (match_available) {
+    out.push_back(Token::literal(in[in.size() - 1]));
+    ++stats_.literals;
+  }
+}
+
+}  // namespace lzss::core

@@ -1,0 +1,41 @@
+#include "lzss/token.hpp"
+
+#include <stdexcept>
+
+#include "common/bitio.hpp"
+
+namespace lzss::core {
+
+std::vector<std::uint8_t> pack_raw_tokens(std::span<const Token> tokens, unsigned window_bits) {
+  bits::BitWriter w;
+  for (const Token& t : tokens) {
+    if (t.is_literal()) {
+      w.put_bits(0, window_bits);
+      w.put_bits(t.literal_byte(), 8);
+    } else {
+      if (t.distance() >= (1u << window_bits))
+        throw std::invalid_argument("pack_raw_tokens: distance does not fit the D field");
+      if (t.length() < kMinMatch || t.length() > kMinMatch + 255)
+        throw std::invalid_argument("pack_raw_tokens: length out of the L field range");
+      w.put_bits(t.distance(), window_bits);
+      w.put_bits(t.length() - kMinMatch, 8);
+    }
+  }
+  return w.take();
+}
+
+std::vector<Token> unpack_raw_tokens(std::span<const std::uint8_t> bytes, std::size_t token_count,
+                                     unsigned window_bits) {
+  bits::BitReader r(bytes);
+  std::vector<Token> tokens;
+  tokens.reserve(token_count);
+  for (std::size_t i = 0; i < token_count; ++i) {
+    const std::uint32_t d = r.get_bits(window_bits);
+    const std::uint32_t l = r.get_bits(8);
+    tokens.push_back(d == 0 ? Token::literal(static_cast<std::uint8_t>(l))
+                            : Token::match(d, l + kMinMatch));
+  }
+  return tokens;
+}
+
+}  // namespace lzss::core

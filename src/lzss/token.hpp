@@ -1,0 +1,59 @@
+// LZSS decompressor commands (the paper's D/L pairs).
+//
+// Section III of the paper: every command has two fields, D (log2 N bits)
+// and L (8 bits). D == 0 means "output one literal" and L holds the byte;
+// otherwise D is the copy distance and L the copy length minus 3. Lengths
+// below 3 are never emitted as matches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lzss::core {
+
+inline constexpr std::uint32_t kMinMatch = 3;
+inline constexpr std::uint32_t kMaxMatch = 258;  // Deflate's maximum match length
+
+class Token {
+ public:
+  [[nodiscard]] static constexpr Token literal(std::uint8_t byte) noexcept {
+    return Token{0, byte};
+  }
+  /// @param distance 1..window, @param length kMinMatch..kMaxMatch.
+  [[nodiscard]] static constexpr Token match(std::uint32_t distance,
+                                             std::uint32_t length) noexcept {
+    return Token{static_cast<std::uint16_t>(distance),
+                 static_cast<std::uint16_t>(length)};
+  }
+
+  [[nodiscard]] constexpr bool is_literal() const noexcept { return distance_ == 0; }
+  [[nodiscard]] constexpr std::uint8_t literal_byte() const noexcept {
+    return static_cast<std::uint8_t>(payload_);
+  }
+  [[nodiscard]] constexpr std::uint32_t distance() const noexcept { return distance_; }
+  [[nodiscard]] constexpr std::uint32_t length() const noexcept { return payload_; }
+
+  constexpr bool operator==(const Token&) const noexcept = default;
+
+ private:
+  constexpr Token(std::uint16_t distance, std::uint16_t payload) noexcept
+      : distance_(distance), payload_(payload) {}
+
+  std::uint16_t distance_;  // 0 => literal
+  std::uint16_t payload_;   // literal byte, or match length (3..258)
+};
+
+/// Serializes tokens in the paper's raw on-wire layout: D in log2(window)
+/// bits followed by L in 8 bits, packed LSB-first. This is the compressor's
+/// internal command format (before Huffman coding); exposed mostly so the
+/// format described in section III is testable on its own.
+[[nodiscard]] std::vector<std::uint8_t> pack_raw_tokens(std::span<const Token> tokens,
+                                                        unsigned window_bits);
+
+/// Parses the raw layout back. @p token_count tokens are read.
+[[nodiscard]] std::vector<Token> unpack_raw_tokens(std::span<const std::uint8_t> bytes,
+                                                   std::size_t token_count,
+                                                   unsigned window_bits);
+
+}  // namespace lzss::core

@@ -1,0 +1,75 @@
+#include "parallel/multi_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/bitio.hpp"
+#include "deflate/encoder.hpp"
+
+namespace lzss::par {
+
+MultiEngineReport compress_multi_engine(const hw::HwConfig& config,
+                                        std::span<const std::uint8_t> data,
+                                        unsigned num_engines) {
+  if (num_engines == 0) throw std::invalid_argument("compress_multi_engine: zero engines");
+  // Stripes smaller than the dictionary make no sense; shrink the bank.
+  const std::size_t max_engines = std::max<std::size_t>(data.size() / config.dict_size(), 1);
+  num_engines = static_cast<unsigned>(std::min<std::size_t>(num_engines, max_engines));
+
+  const std::size_t stripe = (data.size() + num_engines - 1) / num_engines;
+  struct EngineOutput {
+    std::vector<core::Token> tokens;
+    hw::CycleStats stats;
+  };
+  std::vector<EngineOutput> outputs(num_engines);
+
+  // One host thread per engine, pulling stripe indices off a shared counter.
+  std::atomic<unsigned> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    for (;;) {
+      const unsigned i = next.fetch_add(1);
+      if (i >= num_engines) return;
+      try {
+        const std::size_t begin = static_cast<std::size_t>(i) * stripe;
+        const std::size_t end = std::min(begin + stripe, data.size());
+        hw::Compressor comp(config);
+        auto result = comp.compress(data.subspan(begin, end - begin));
+        outputs[i].tokens = std::move(result.tokens);
+        outputs[i].stats = result.stats;
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned n_threads = std::min(num_engines, hw_threads);
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  MultiEngineReport report;
+  report.input_bytes = data.size();
+  bits::BitWriter w;
+  for (unsigned i = 0; i < num_engines; ++i) {
+    report.engines.push_back(outputs[i].stats);
+    report.parallel_cycles = std::max(report.parallel_cycles, outputs[i].stats.total_cycles);
+    report.serial_cycles += outputs[i].stats.total_cycles;
+    deflate::write_fixed_block(w, outputs[i].tokens, /*final_block=*/i + 1 == num_engines);
+  }
+  report.deflate_stream = w.take();
+  report.compressed_bytes = report.deflate_stream.size();
+  return report;
+}
+
+}  // namespace lzss::par

@@ -1,0 +1,42 @@
+// VHDL-93 generator for a configured compressor.
+//
+// The authors wrote the design in THDL++ and compiled it to VHDL-93; the
+// shippable artifact of an FPGA project is RTL. This generator emits, for a
+// given HwConfig:
+//
+//   lzss_pkg.vhd        — constants derived from the generics (widths,
+//                         depths, rotation interval, split factor M)
+//   dual_port_bram.vhd  — a portable true-dual-port BRAM template in the
+//                         read-first idiom Virtex-5 synthesis infers
+//   huffman_tables.vhd  — the complete fixed literal/length and distance
+//                         code ROMs (values generated from the same tables
+//                         the C++ model encodes with — RFC 1951 §3.2.6)
+//   lzss_memories.vhd   — the five memories instantiated at their computed
+//                         geometries, wired to named port signals
+//   lzss_top.vhd        — top-level entity with the stream interfaces and
+//                         the main-FSM state type; the control datapath is
+//                         deliberately referenced to the cycle-accurate C++
+//                         model (hw/compressor.cpp) which is the executable
+//                         specification of each state's behaviour
+//
+// Everything data-bearing (geometries, ROM contents, constants) is fully
+// generated and is cross-checked against the C++ model by tests.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hw/config.hpp"
+
+namespace lzss::rtl {
+
+/// Generated files: name -> VHDL source text.
+using VhdlBundle = std::map<std::string, std::string>;
+
+/// Generates the VHDL bundle for @p config.
+[[nodiscard]] VhdlBundle generate_vhdl(const hw::HwConfig& config);
+
+/// Writes a bundle to @p directory (created if absent). Returns file count.
+std::size_t write_bundle(const VhdlBundle& bundle, const std::string& directory);
+
+}  // namespace lzss::rtl

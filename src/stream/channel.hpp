@@ -1,0 +1,69 @@
+// Valid/ready handshake channel for cycle-level simulation.
+//
+// Models a registered stream link (e.g. Xilinx LocalLink): within one clock
+// cycle the producer may push at most one beat (when the channel has space)
+// and the consumer may pop at most one beat (when a beat is available).
+// Backpressure falls out naturally: a full channel rejects pushes, which is
+// exactly the "sink requests a delay" stall of the paper's main FSM.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+
+namespace lzss::stream {
+
+template <typename T>
+class Channel {
+ public:
+  /// @param capacity number of beats the link can buffer (>= 1).
+  explicit Channel(std::size_t capacity = 2) : capacity_(capacity) { assert(capacity >= 1); }
+
+  /// True when the producer may push this cycle.
+  [[nodiscard]] bool can_push() const noexcept {
+    return !pushed_this_cycle_ && fifo_.size() < capacity_;
+  }
+
+  /// Pushes one beat; caller must have checked can_push().
+  void push(T value) {
+    assert(can_push());
+    fifo_.push_back(std::move(value));
+    pushed_this_cycle_ = true;
+  }
+
+  /// True when the consumer may pop this cycle.
+  [[nodiscard]] bool can_pop() const noexcept { return !popped_this_cycle_ && !fifo_.empty(); }
+
+  /// Pops one beat; caller must have checked can_pop().
+  [[nodiscard]] T pop() {
+    assert(can_pop());
+    T v = std::move(fifo_.front());
+    fifo_.pop_front();
+    popped_this_cycle_ = true;
+    return v;
+  }
+
+  /// Peek without consuming (still requires a poppable beat).
+  [[nodiscard]] const T& front() const {
+    assert(!fifo_.empty());
+    return fifo_.front();
+  }
+
+  /// Advances the clock: re-arms the per-cycle handshake limits.
+  void tick() noexcept {
+    pushed_this_cycle_ = false;
+    popped_this_cycle_ = false;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return fifo_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return fifo_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> fifo_;
+  bool pushed_this_cycle_ = false;
+  bool popped_this_cycle_ = false;
+};
+
+}  // namespace lzss::stream

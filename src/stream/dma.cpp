@@ -1,0 +1,77 @@
+#include "stream/dma.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace lzss::stream {
+
+void DramModel::load(std::size_t offset, std::span<const std::uint8_t> src) {
+  if (offset + src.size() > data_.size()) throw std::out_of_range("DramModel::load overflow");
+  std::memcpy(data_.data() + offset, src.data(), src.size());
+}
+
+std::vector<std::uint8_t> DramModel::dump(std::size_t offset, std::size_t length) const {
+  if (offset + length > data_.size()) throw std::out_of_range("DramModel::dump overflow");
+  return {data_.begin() + static_cast<std::ptrdiff_t>(offset),
+          data_.begin() + static_cast<std::ptrdiff_t>(offset + length)};
+}
+
+std::uint32_t DramModel::read_word(std::size_t byte_offset) const {
+  if (byte_offset + 4 > data_.size()) throw std::out_of_range("DramModel::read_word overflow");
+  std::uint32_t v = 0;
+  std::memcpy(&v, data_.data() + byte_offset, 4);  // host little-endian = LSB-first lanes
+  return v;
+}
+
+void DramModel::write_word(std::size_t byte_offset, std::uint32_t value) {
+  if (byte_offset + 4 > data_.size()) throw std::out_of_range("DramModel::write_word overflow");
+  std::memcpy(data_.data() + byte_offset, &value, 4);
+}
+
+void DmaReader::start(std::size_t offset, std::size_t length) {
+  if (offset + length > dram_->size()) throw std::out_of_range("DmaReader: region overflow");
+  offset_ = offset;
+  remaining_ = length;
+  setup_left_ = timings_.setup_cycles;
+}
+
+void DmaReader::tick() {
+  if (setup_left_ > 0) {
+    --setup_left_;
+    ++setup_spent_;
+    return;
+  }
+  if (remaining_ == 0) return;
+  if (!out_->can_push()) {
+    ++stalls_;
+    return;
+  }
+  // Final beat may be partial; the pad lanes are zero.
+  std::uint32_t word = 0;
+  const std::size_t n = std::min<std::size_t>(remaining_, timings_.bytes_per_beat);
+  for (std::size_t i = 0; i < n; ++i) {
+    word |= static_cast<std::uint32_t>(dram_->bytes()[offset_ + i]) << (8 * i);
+  }
+  out_->push(word);
+  offset_ += n;
+  remaining_ -= n;
+  ++beats_;
+}
+
+void DmaWriter::start(std::size_t offset) {
+  offset_ = offset;
+  bytes_written_ = 0;
+  setup_left_ = timings_.setup_cycles;
+}
+
+void DmaWriter::tick() {
+  if (setup_left_ > 0) {
+    --setup_left_;
+    return;
+  }
+  if (!in_->can_pop()) return;
+  dram_->write_word(offset_ + bytes_written_, in_->pop());
+  bytes_written_ += timings_.bytes_per_beat;
+}
+
+}  // namespace lzss::stream

@@ -1,0 +1,29 @@
+#include "stream/word_packer.hpp"
+
+namespace lzss::stream {
+
+std::uint8_t word_byte(std::uint32_t word, unsigned index, ByteOrder order) noexcept {
+  const unsigned shift = (order == ByteOrder::kLsbFirst) ? index * 8 : (3 - index) * 8;
+  return static_cast<std::uint8_t>((word >> shift) & 0xFFu);
+}
+
+std::vector<std::uint32_t> pack_words(std::span<const std::uint8_t> bytes, ByteOrder order) {
+  std::vector<std::uint32_t> words((bytes.size() + 3) / 4, 0u);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const unsigned lane = static_cast<unsigned>(i & 3);
+    const unsigned shift = (order == ByteOrder::kLsbFirst) ? lane * 8 : (3 - lane) * 8;
+    words[i / 4] |= static_cast<std::uint32_t>(bytes[i]) << shift;
+  }
+  return words;
+}
+
+std::vector<std::uint8_t> unpack_words(std::span<const std::uint32_t> words,
+                                       std::size_t byte_count, ByteOrder order) {
+  std::vector<std::uint8_t> bytes(byte_count);
+  for (std::size_t i = 0; i < byte_count; ++i) {
+    bytes[i] = word_byte(words[i / 4], static_cast<unsigned>(i & 3), order);
+  }
+  return bytes;
+}
+
+}  // namespace lzss::stream

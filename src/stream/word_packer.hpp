@@ -1,0 +1,30 @@
+// 32-bit word <-> byte-stream packing.
+//
+// The compressor consumes 32-bit words whose byte order is selectable
+// (LSB-first or MSB-first), matching the paper's input interface. These
+// helpers convert between byte buffers and word streams in both orders.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lzss::stream {
+
+enum class ByteOrder : std::uint8_t {
+  kLsbFirst,  ///< byte 0 of the stream is bits [7:0] of the word
+  kMsbFirst,  ///< byte 0 of the stream is bits [31:24] of the word
+};
+
+/// Packs @p bytes into 32-bit words; the final partial word is zero-padded.
+[[nodiscard]] std::vector<std::uint32_t> pack_words(std::span<const std::uint8_t> bytes,
+                                                    ByteOrder order);
+
+/// Unpacks @p words into exactly @p byte_count bytes (trailing pad dropped).
+[[nodiscard]] std::vector<std::uint8_t> unpack_words(std::span<const std::uint32_t> words,
+                                                     std::size_t byte_count, ByteOrder order);
+
+/// Extracts byte @p index (0..3) of @p word under the given order.
+[[nodiscard]] std::uint8_t word_byte(std::uint32_t word, unsigned index, ByteOrder order) noexcept;
+
+}  // namespace lzss::stream

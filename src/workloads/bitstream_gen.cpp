@@ -1,0 +1,40 @@
+#include "workloads/bitstream_gen.hpp"
+
+#include "common/prng.hpp"
+
+namespace lzss::wl {
+
+std::vector<std::uint8_t> fpga_bitstream(std::size_t bytes, std::uint64_t seed) {
+  rng::Xoshiro256 rng(seed ^ 0xB175'7EA3'0000ull);
+  std::vector<std::uint8_t> out;
+  out.reserve(bytes + 4096);
+
+  // Sync word + header, like a real bitstream preamble.
+  for (const std::uint8_t b : {0xFF, 0xFF, 0xFF, 0xFF, 0xAA, 0x99, 0x55, 0x66}) out.push_back(b);
+
+  constexpr std::size_t kFrameWords = 41;  // Virtex-5 frame: 41 x 32-bit words
+  while (out.size() < bytes) {
+    // ~70 % of frames are default/empty (unused fabric), the rest carry
+    // configuration with internal regularity (LUT masks repeat).
+    const bool empty = rng.next_below(10) < 7;
+    if (empty) {
+      for (std::size_t w = 0; w < kFrameWords * 4; ++w) out.push_back(0x00);
+      continue;
+    }
+    // A configured frame: a handful of distinct words, repeated in runs.
+    std::uint32_t palette[4];
+    for (auto& p : palette) p = static_cast<std::uint32_t>(rng.next());
+    std::size_t w = 0;
+    while (w < kFrameWords) {
+      const std::uint32_t word = palette[rng.next_below(4)];
+      const std::size_t run = 1 + rng.next_below(6);
+      for (std::size_t r = 0; r < run && w < kFrameWords; ++r, ++w) {
+        for (int s = 0; s <= 24; s += 8) out.push_back(static_cast<std::uint8_t>(word >> s));
+      }
+    }
+  }
+  out.resize(bytes);
+  return out;
+}
+
+}  // namespace lzss::wl

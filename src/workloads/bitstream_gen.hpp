@@ -1,0 +1,20 @@
+// Synthetic FPGA configuration bitstream workload.
+//
+// Reference [10] of the paper (Huebner et al.) decompresses configuration
+// data in real time for dynamic FPGA self-reconfiguration. Configuration
+// bitstreams are dominated by frame structure: long runs of identical
+// routing/default words, sparse islands of logic data — which is why LZSS
+// decompression pays off there. This generator reproduces that shape:
+// fixed-size frames, most words default, islands of dense configuration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lzss::wl {
+
+/// Generates @p bytes of a deterministic configuration-bitstream-like image.
+[[nodiscard]] std::vector<std::uint8_t> fpga_bitstream(std::size_t bytes,
+                                                       std::uint64_t seed = 1);
+
+}  // namespace lzss::wl

@@ -1,0 +1,31 @@
+#include "workloads/corpus.hpp"
+
+#include <stdexcept>
+
+#include "workloads/bitstream_gen.hpp"
+#include "workloads/can_gen.hpp"
+#include "workloads/net_gen.hpp"
+#include "workloads/patterns.hpp"
+#include "workloads/text_gen.hpp"
+
+namespace lzss::wl {
+
+std::vector<std::string> corpus_names() {
+  return {"wiki", "x2e", "netlog", "bitstream", "random", "zeros", "periodic64", "mixed", "ramp"};
+}
+
+std::vector<std::uint8_t> make_corpus(const std::string& name, std::size_t bytes,
+                                      std::uint64_t seed) {
+  if (name == "wiki") return wiki_text(bytes, seed);
+  if (name == "x2e") return can_log(bytes, seed);
+  if (name == "netlog") return net_trace(bytes, seed);
+  if (name == "bitstream") return fpga_bitstream(bytes, seed);
+  if (name == "random") return random_bytes(bytes, seed);
+  if (name == "zeros") return zeros(bytes);
+  if (name == "periodic64") return periodic(bytes, 64, seed);
+  if (name == "mixed") return mixed(bytes, seed);
+  if (name == "ramp") return ramp(bytes);
+  throw std::invalid_argument("make_corpus: unknown corpus '" + name + "'");
+}
+
+}  // namespace lzss::wl

@@ -1,0 +1,21 @@
+// Named corpus registry: maps the data-set names used by the paper's
+// evaluation ("Wiki", "X2E") and the synthetic patterns to generators, so
+// benches and the estimator CLI can request data by name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lzss::wl {
+
+/// Returns the list of known corpus names.
+[[nodiscard]] std::vector<std::string> corpus_names();
+
+/// Generates @p bytes of the named corpus. Throws std::invalid_argument for
+/// unknown names. Known: "wiki", "x2e", "random", "zeros", "periodic64",
+/// "mixed", "ramp".
+[[nodiscard]] std::vector<std::uint8_t> make_corpus(const std::string& name, std::size_t bytes,
+                                                    std::uint64_t seed = 1);
+
+}  // namespace lzss::wl

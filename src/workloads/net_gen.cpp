@@ -1,0 +1,108 @@
+#include "workloads/net_gen.hpp"
+
+#include <array>
+
+#include "common/prng.hpp"
+
+namespace lzss::wl {
+namespace {
+
+struct Flow {
+  std::array<std::uint8_t, 6> src_mac, dst_mac;
+  std::array<std::uint8_t, 4> src_ip, dst_ip;
+  std::uint16_t src_port, dst_port;
+  std::uint16_t payload_len;  // typical size for this flow
+  std::uint8_t payload_kind;  // 0 = mostly-constant, 1 = counter, 2 = random
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> net_trace(std::size_t bytes, std::uint64_t seed) {
+  rng::Xoshiro256 rng(seed ^ 0x5EED'CAFE'F00Dull);
+
+  // A small population of flows, like a real embedded network.
+  std::vector<Flow> flows;
+  for (int i = 0; i < 12; ++i) {
+    Flow f;
+    for (auto& b : f.src_mac) b = rng.next_byte();
+    for (auto& b : f.dst_mac) b = rng.next_byte();
+    f.src_ip = {10, 0, static_cast<std::uint8_t>(rng.next_below(4)),
+                static_cast<std::uint8_t>(1 + rng.next_below(200))};
+    f.dst_ip = {10, 0, static_cast<std::uint8_t>(rng.next_below(4)),
+                static_cast<std::uint8_t>(1 + rng.next_below(200))};
+    f.src_port = static_cast<std::uint16_t>(1024 + rng.next_below(60000));
+    f.dst_port = static_cast<std::uint16_t>(rng.next_below(2) ? 5353 : 30490);  // mDNS / SOME/IP
+    f.payload_len = static_cast<std::uint16_t>(32 + rng.next_below(480));
+    f.payload_kind = static_cast<std::uint8_t>(rng.next_below(3));
+    flows.push_back(f);
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(bytes + 1024);
+  std::uint64_t time_us = 0;
+  std::uint32_t counter = 0;
+
+  auto put_u16be = [&](std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  };
+  auto put_u32le = [&](std::uint32_t v) {
+    for (int s = 0; s <= 24; s += 8) out.push_back(static_cast<std::uint8_t>((v >> s) & 0xFF));
+  };
+
+  while (out.size() < bytes) {
+    const Flow& f = flows[rng.next_below(flows.size())];
+    time_us += 20 + rng.next_below(400);
+    const std::uint16_t udp_len = static_cast<std::uint16_t>(8 + f.payload_len);
+    const std::uint16_t ip_len = static_cast<std::uint16_t>(20 + udp_len);
+    const std::uint32_t frame_len = 14u + ip_len;
+
+    // pcap-style record header.
+    put_u32le(static_cast<std::uint32_t>(time_us / 1'000'000));
+    put_u32le(static_cast<std::uint32_t>(time_us % 1'000'000));
+    put_u32le(frame_len);
+    put_u32le(frame_len);
+
+    // Ethernet.
+    out.insert(out.end(), f.dst_mac.begin(), f.dst_mac.end());
+    out.insert(out.end(), f.src_mac.begin(), f.src_mac.end());
+    put_u16be(0x0800);
+    // IPv4 (checksum left zero: loggers capture what the MAC saw).
+    out.push_back(0x45);
+    out.push_back(0);
+    put_u16be(ip_len);
+    put_u16be(static_cast<std::uint16_t>(counter));
+    put_u16be(0x4000);  // DF
+    out.push_back(64);  // TTL
+    out.push_back(17);  // UDP
+    put_u16be(0);
+    out.insert(out.end(), f.src_ip.begin(), f.src_ip.end());
+    out.insert(out.end(), f.dst_ip.begin(), f.dst_ip.end());
+    // UDP.
+    put_u16be(f.src_port);
+    put_u16be(f.dst_port);
+    put_u16be(udp_len);
+    put_u16be(0);
+    // Payload.
+    switch (f.payload_kind) {
+      case 0:  // mostly-constant service data
+        for (std::uint16_t i = 0; i < f.payload_len; ++i)
+          out.push_back(static_cast<std::uint8_t>(i * 7));
+        break;
+      case 1:  // counters and a few changing cells
+        for (std::uint16_t i = 0; i < f.payload_len; ++i) {
+          out.push_back(i < 4 ? static_cast<std::uint8_t>(counter >> (8 * i))
+                              : static_cast<std::uint8_t>(i));
+        }
+        break;
+      default:  // encrypted/compressed-looking payload
+        for (std::uint16_t i = 0; i < f.payload_len; ++i) out.push_back(rng.next_byte());
+        break;
+    }
+    ++counter;
+  }
+  out.resize(bytes);
+  return out;
+}
+
+}  // namespace lzss::wl

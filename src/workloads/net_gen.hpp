@@ -1,0 +1,20 @@
+// Synthetic network-trace workload.
+//
+// The paper's introduction motivates the compressor with "embedded
+// networking applications ... keeping a log of inter-node communications".
+// This generator produces a pcap-like capture of Ethernet/IPv4/UDP frames
+// between a small population of nodes: highly structured headers (great for
+// LZSS) carrying partly random payloads (bounding the ratio), the third
+// redundancy regime next to text ("wiki") and periodic binary ("x2e").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lzss::wl {
+
+/// Generates @p bytes of a deterministic packet capture (whole records:
+/// 16-byte pcap-style record header + frame).
+[[nodiscard]] std::vector<std::uint8_t> net_trace(std::size_t bytes, std::uint64_t seed = 1);
+
+}  // namespace lzss::wl

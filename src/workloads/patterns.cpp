@@ -1,0 +1,50 @@
+#include "workloads/patterns.hpp"
+
+#include "common/prng.hpp"
+
+namespace lzss::wl {
+
+std::vector<std::uint8_t> random_bytes(std::size_t bytes, std::uint64_t seed) {
+  rng::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(bytes);
+  for (auto& b : out) b = rng.next_byte();
+  return out;
+}
+
+std::vector<std::uint8_t> zeros(std::size_t bytes) {
+  return std::vector<std::uint8_t>(bytes, 0);
+}
+
+std::vector<std::uint8_t> periodic(std::size_t bytes, std::size_t period, std::uint64_t seed) {
+  rng::Xoshiro256 rng(seed ^ period);
+  std::vector<std::uint8_t> pattern(period);
+  for (auto& b : pattern) b = rng.next_byte();
+  std::vector<std::uint8_t> out(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) out[i] = pattern[i % period];
+  return out;
+}
+
+std::vector<std::uint8_t> mixed(std::size_t bytes, std::uint64_t seed) {
+  rng::Xoshiro256 rng(seed ^ 0xABCDEF);
+  std::vector<std::uint8_t> out;
+  out.reserve(bytes + 256);
+  while (out.size() < bytes) {
+    const std::size_t run = 16 + rng.next_below(240);
+    if (rng.next_below(2) == 0) {
+      for (std::size_t i = 0; i < run; ++i) out.push_back(rng.next_byte());
+    } else {
+      const std::uint8_t b = rng.next_byte();
+      out.insert(out.end(), run, b);
+    }
+  }
+  out.resize(bytes);
+  return out;
+}
+
+std::vector<std::uint8_t> ramp(std::size_t bytes) {
+  std::vector<std::uint8_t> out(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) out[i] = static_cast<std::uint8_t>(i & 0xFF);
+  return out;
+}
+
+}  // namespace lzss::wl

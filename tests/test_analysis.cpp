@@ -1,0 +1,123 @@
+#include "estimator/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "hw/compressor.hpp"
+#include "workloads/corpus.hpp"
+
+namespace lzss::est {
+namespace {
+
+TEST(StreamAnalysis, EmptyStream) {
+  const auto a = analyze_tokens({});
+  EXPECT_EQ(a.literals, 0u);
+  EXPECT_EQ(a.matches, 0u);
+  EXPECT_EQ(a.mean_match_length(), 0.0);
+  EXPECT_EQ(a.literal_entropy_bits(), 0.0);
+  EXPECT_EQ(a.match_coverage(), 0.0);
+}
+
+TEST(StreamAnalysis, CountsAndMeans) {
+  std::vector<core::Token> tokens{
+      core::Token::literal('a'), core::Token::literal('a'), core::Token::literal('b'),
+      core::Token::match(10, 4), core::Token::match(100, 8)};
+  const auto a = analyze_tokens(tokens);
+  EXPECT_EQ(a.literals, 3u);
+  EXPECT_EQ(a.matches, 2u);
+  EXPECT_EQ(a.match_bytes, 12u);
+  EXPECT_DOUBLE_EQ(a.mean_match_length(), 6.0);
+  EXPECT_DOUBLE_EQ(a.mean_match_distance(), 55.0);
+  EXPECT_NEAR(a.match_coverage(), 12.0 / 15.0, 1e-12);
+}
+
+TEST(StreamAnalysis, EntropyOfUniformPairIsOneBit) {
+  std::vector<core::Token> tokens;
+  for (int i = 0; i < 100; ++i) {
+    tokens.push_back(core::Token::literal('0'));
+    tokens.push_back(core::Token::literal('1'));
+  }
+  const auto a = analyze_tokens(tokens);
+  EXPECT_NEAR(a.literal_entropy_bits(), 1.0, 1e-9);
+}
+
+TEST(StreamAnalysis, BandHistogramsLandInRightBuckets) {
+  std::vector<core::Token> tokens{
+      core::Token::match(1, 3),      // length band 0 (len 3), distance band 0 (dist 1)
+      core::Token::match(5, 11),     // length band 8 (11-12), distance band 4 (5-6)
+      core::Token::match(1025, 258)  // length band 28 (258), distance band 20
+  };
+  const auto a = analyze_tokens(tokens);
+  EXPECT_EQ(a.length_band[0], 1u);
+  EXPECT_EQ(a.length_band[8], 1u);
+  EXPECT_EQ(a.length_band[28], 1u);
+  EXPECT_EQ(a.distance_band[0], 1u);
+  EXPECT_EQ(a.distance_band[4], 1u);
+  EXPECT_EQ(a.distance_band[20], 1u);
+}
+
+TEST(StreamAnalysis, HistogramsSumToCounts) {
+  hw::Compressor comp(hw::HwConfig::speed_optimized());
+  const auto data = wl::make_corpus("wiki", 128 * 1024);
+  const auto tokens = comp.compress(data).tokens;
+  const auto a = analyze_tokens(tokens);
+  EXPECT_EQ(std::accumulate(a.length_band.begin(), a.length_band.end(), std::uint64_t{0}),
+            a.matches);
+  EXPECT_EQ(std::accumulate(a.distance_band.begin(), a.distance_band.end(), std::uint64_t{0}),
+            a.matches);
+  EXPECT_EQ(std::accumulate(a.literal_freq.begin(), a.literal_freq.end(), std::uint64_t{0}),
+            a.literals);
+  EXPECT_EQ(a.literals + a.match_bytes, data.size());
+}
+
+TEST(StreamAnalysis, DistancesBoundedByWindowShowInBands) {
+  // A 4 KB window with 512 B fill-ahead cannot produce distances beyond
+  // 3584, i.e. nothing in the bands starting at 4097 or above.
+  hw::Compressor comp(hw::HwConfig::speed_optimized());
+  const auto data = wl::make_corpus("wiki", 128 * 1024);
+  const auto a = analyze_tokens(comp.compress(data).tokens);
+  for (unsigned band = 24; band < 30; ++band) {  // bases 4097, 6145, ...
+    EXPECT_EQ(a.distance_band[band], 0u) << band;
+  }
+}
+
+TEST(MatchingAnalysis, DerivedRatesAreConsistent) {
+  hw::Compressor comp(hw::HwConfig::speed_optimized());
+  const auto data = wl::make_corpus("wiki", 128 * 1024);
+  const auto res = comp.compress(data);
+  const auto m = analyze_matching(res.stats);
+  EXPECT_GT(m.probes_per_position, 0.1);
+  EXPECT_LT(m.probes_per_position, 4.0);  // chain limit is 4 at min level
+  EXPECT_GT(m.compare_bytes_per_probe, 1.0);
+  EXPECT_GT(m.cycles_per_token, 1.0);
+  EXPECT_GT(m.prefetch_hit_rate, 0.0);
+  EXPECT_LE(m.prefetch_hit_rate, 1.0);
+}
+
+TEST(MatchingAnalysis, BiggerHashFewerProbes) {
+  const auto data = wl::make_corpus("wiki", 128 * 1024);
+  hw::HwConfig h9 = hw::HwConfig::speed_optimized();
+  h9.hash.bits = 9;
+  hw::Compressor c9(h9);
+  hw::Compressor c15(hw::HwConfig::speed_optimized());
+  const auto m9 = analyze_matching(c9.compress(data).stats);
+  const auto m15 = analyze_matching(c15.compress(data).stats);
+  EXPECT_GT(m9.probes_per_position, m15.probes_per_position);
+}
+
+TEST(FormatAnalysis, MentionsEveryFigure) {
+  hw::Compressor comp(hw::HwConfig::speed_optimized());
+  const auto data = wl::make_corpus("x2e", 64 * 1024);
+  const auto res = comp.compress(data);
+  const auto text =
+      format_analysis(analyze_tokens(res.tokens), analyze_matching(res.stats));
+  EXPECT_NE(text.find("coverage"), std::string::npos);
+  EXPECT_NE(text.find("entropy"), std::string::npos);
+  EXPECT_NE(text.find("probes/position"), std::string::npos);
+  EXPECT_NE(text.find("length bands"), std::string::npos);
+  EXPECT_NE(text.find("distance bands"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lzss::est

@@ -1,0 +1,184 @@
+#include "common/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+
+namespace lzss::bits {
+namespace {
+
+TEST(BitWriter, EmptyProducesNothing) {
+  BitWriter w;
+  EXPECT_TRUE(w.byte_aligned());
+  EXPECT_EQ(w.take().size(), 0u);
+}
+
+TEST(BitWriter, SingleBitPadsToByte) {
+  BitWriter w;
+  w.put_bits(1, 1);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x01);  // LSB-first: first bit lands in bit 0
+}
+
+TEST(BitWriter, LsbFirstPacking) {
+  BitWriter w;
+  w.put_bits(0b1, 1);
+  w.put_bits(0b01, 2);   // bits 1..2
+  w.put_bits(0b10110, 5);  // bits 3..7
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10110'01'1);
+}
+
+TEST(BitWriter, ValueMaskedToWidth) {
+  BitWriter w;
+  w.put_bits(0xFFFFFFFFu, 4);  // only 4 bits taken
+  w.put_bits(0, 4);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x0F);
+}
+
+TEST(BitWriter, Full32BitWrite) {
+  BitWriter w;
+  w.put_bits(0xDEADBEEFu, 32);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0xEF);
+  EXPECT_EQ(bytes[1], 0xBE);
+  EXPECT_EQ(bytes[2], 0xAD);
+  EXPECT_EQ(bytes[3], 0xDE);
+}
+
+TEST(BitWriter, WideWritesAtOddPhase) {
+  BitWriter w;
+  w.put_bits(0x5, 3);
+  w.put_bits(0xFEDCBA98u, 32);
+  w.put_bits(0x3, 2);
+  BitReader r(w.bytes());
+  // Not yet taken: bytes() holds complete bytes only; use take for all bits.
+  const auto bytes = w.take();
+  BitReader r2(bytes);
+  EXPECT_EQ(r2.get_bits(3), 0x5u);
+  EXPECT_EQ(r2.get_bits(32), 0xFEDCBA98u);
+  EXPECT_EQ(r2.get_bits(2), 0x3u);
+}
+
+TEST(BitWriter, AlignToByteIsIdempotent) {
+  BitWriter w;
+  w.put_bits(1, 1);
+  w.align_to_byte();
+  w.align_to_byte();
+  EXPECT_EQ(w.bit_count(), 8u);
+}
+
+TEST(BitWriter, AlignedBytesAfterAlign) {
+  BitWriter w;
+  w.put_bits(0x3, 2);
+  w.align_to_byte();
+  const std::uint8_t payload[] = {0xAA, 0xBB};
+  w.put_aligned_bytes(payload);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 3u);
+  EXPECT_EQ(bytes[1], 0xAA);
+  EXPECT_EQ(bytes[2], 0xBB);
+}
+
+TEST(BitWriter, HuffmanCodesGoMsbFirst) {
+  BitWriter w;
+  // A 3-bit Huffman code 0b110 must appear as bits 1,1,0 in stream order,
+  // i.e. reversed into the LSB-first packing: 0b011.
+  w.put_huffman(0b110, 3);
+  const auto bytes = w.take();
+  EXPECT_EQ(bytes[0], 0b011);
+}
+
+TEST(ReverseBits, KnownValues) {
+  EXPECT_EQ(reverse_bits(0b1, 1), 0b1u);
+  EXPECT_EQ(reverse_bits(0b100, 3), 0b001u);
+  EXPECT_EQ(reverse_bits(0b0011000, 7), 0b0001100u);
+  EXPECT_EQ(reverse_bits(0x1, 16), 0x8000u);
+}
+
+TEST(BitReader, ReadsBackLsbFirst) {
+  BitWriter w;
+  w.put_bits(0b101, 3);
+  w.put_bits(0b11110000, 8);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bits(3), 0b101u);
+  EXPECT_EQ(r.get_bits(8), 0b11110000u);
+}
+
+TEST(BitReader, ThrowsAtEndOfData) {
+  const std::uint8_t one = 0xFF;
+  BitReader r({&one, 1});
+  EXPECT_EQ(r.get_bits(8), 0xFFu);
+  EXPECT_THROW((void)r.get_bits(1), std::out_of_range);
+}
+
+TEST(BitReader, AlignToByteDropsPartial) {
+  const std::uint8_t data[] = {0xFF, 0x5A};
+  BitReader r(data);
+  EXPECT_EQ(r.get_bits(3), 0b111u);
+  r.align_to_byte();
+  EXPECT_EQ(r.get_aligned_byte(), 0x5A);
+}
+
+TEST(BitReader, BitPositionTracksConsumption) {
+  const std::uint8_t data[] = {0x00, 0x00, 0x00};
+  BitReader r(data);
+  EXPECT_EQ(r.bit_position(), 0u);
+  (void)r.get_bits(5);
+  EXPECT_EQ(r.bit_position(), 5u);
+  (void)r.get_bits(11);
+  EXPECT_EQ(r.bit_position(), 16u);
+}
+
+TEST(BitReader, ExhaustedFlag) {
+  const std::uint8_t data[] = {0xAB};
+  BitReader r(data);
+  EXPECT_FALSE(r.exhausted());
+  (void)r.get_bits(8);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitRoundtrip, RandomSequences) {
+  rng::Xoshiro256 rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::pair<std::uint32_t, unsigned>> fields;
+    BitWriter w;
+    for (int i = 0; i < 200; ++i) {
+      const unsigned n = 1 + static_cast<unsigned>(rng.next_below(32));
+      const std::uint32_t v =
+          static_cast<std::uint32_t>(rng.next()) & ((n == 32) ? ~0u : ((1u << n) - 1));
+      fields.emplace_back(v, n);
+      w.put_bits(v, n);
+    }
+    const auto bytes = w.take();
+    BitReader r(bytes);
+    for (const auto& [v, n] : fields) {
+      EXPECT_EQ(r.get_bits(n), v);
+    }
+  }
+}
+
+TEST(BitRoundtrip, HuffmanOrderMatchesReverse) {
+  rng::Xoshiro256 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const unsigned n = 1 + static_cast<unsigned>(rng.next_below(15));
+    const std::uint32_t code = static_cast<std::uint32_t>(rng.next_below(1u << n));
+    BitWriter w;
+    w.put_huffman(code, n);
+    const auto bytes = w.take();
+    BitReader r(bytes);
+    // Reading bit-by-bit MSB-of-code-first must reconstruct the code.
+    std::uint32_t got = 0;
+    for (unsigned b = 0; b < n; ++b) got = (got << 1) | r.get_bit();
+    EXPECT_EQ(got, code);
+  }
+}
+
+}  // namespace
+}  // namespace lzss::bits

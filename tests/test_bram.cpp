@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "bram/dual_port_ram.hpp"
+#include "bram/geometry.hpp"
+
+namespace lzss::bram {
+namespace {
+
+TEST(DualPortRam, RejectsBadGeometry) {
+  EXPECT_THROW(DualPortRam("z", 0, 8), std::invalid_argument);
+  EXPECT_THROW(DualPortRam("w", 16, 0), std::invalid_argument);
+  EXPECT_THROW(DualPortRam("w", 16, 33), std::invalid_argument);
+}
+
+TEST(DualPortRam, WriteThenReadBack) {
+  DualPortRam ram("t", 16, 16);
+  ram.write(Port::A, 3, 0xBEEF);
+  ram.tick();
+  EXPECT_EQ(ram.read(Port::A, 3), 0xBEEFu);
+}
+
+TEST(DualPortRam, WidthMaskingAppliedOnWrite) {
+  DualPortRam ram("t", 8, 12);
+  ram.write(Port::A, 0, 0xFFFFF);
+  ram.tick();
+  EXPECT_EQ(ram.read(Port::A, 0), 0xFFFu);
+}
+
+TEST(DualPortRam, BothPortsUsableInOneCycle) {
+  DualPortRam ram("t", 8, 8);
+  ram.write(Port::A, 0, 1);
+  ram.write(Port::B, 1, 2);  // must not throw
+  ram.tick();
+  EXPECT_EQ(ram.peek(0), 1u);
+  EXPECT_EQ(ram.peek(1), 2u);
+}
+
+TEST(DualPortRam, SamePortTwicePerCycleThrows) {
+  DualPortRam ram("t", 8, 8);
+  (void)ram.read(Port::A, 0);
+  EXPECT_THROW((void)ram.read(Port::A, 1), PortConflictError);
+}
+
+TEST(DualPortRam, PortRearmsAfterTick) {
+  DualPortRam ram("t", 8, 8);
+  (void)ram.read(Port::A, 0);
+  ram.tick();
+  EXPECT_NO_THROW((void)ram.read(Port::A, 1));
+}
+
+TEST(DualPortRam, ExchangeReturnsOldValueAndStoresNew) {
+  DualPortRam ram("t", 8, 8);
+  ram.poke(5, 77);
+  EXPECT_EQ(ram.exchange(Port::A, 5, 88), 77u);
+  EXPECT_EQ(ram.peek(5), 88u);
+}
+
+TEST(DualPortRam, ExchangeCountsAsOnePortOp) {
+  DualPortRam ram("t", 8, 8);
+  (void)ram.exchange(Port::A, 0, 1);
+  EXPECT_THROW((void)ram.read(Port::A, 1), PortConflictError);
+  EXPECT_NO_THROW((void)ram.read(Port::B, 1));
+}
+
+TEST(DualPortRam, OutOfRangeAccessThrows) {
+  DualPortRam ram("t", 8, 8);
+  EXPECT_THROW((void)ram.read(Port::A, 8), std::out_of_range);
+  EXPECT_THROW(ram.poke(100, 0), std::out_of_range);
+  EXPECT_THROW((void)ram.peek(100), std::out_of_range);
+}
+
+TEST(DualPortRam, StatsCountPerPort) {
+  DualPortRam ram("t", 8, 8);
+  (void)ram.read(Port::A, 0);
+  ram.write(Port::B, 0, 1);
+  ram.tick();
+  ram.write(Port::B, 1, 2);
+  ram.tick();
+  EXPECT_EQ(ram.stats(Port::A).reads, 1u);
+  EXPECT_EQ(ram.stats(Port::A).writes, 0u);
+  EXPECT_EQ(ram.stats(Port::B).writes, 2u);
+  EXPECT_EQ(ram.stats(Port::B).busy_cycles, 2u);
+}
+
+TEST(DualPortRam, ResetClearsContentAndStats) {
+  DualPortRam ram("t", 8, 8);
+  ram.write(Port::A, 2, 9);
+  ram.tick();
+  ram.reset();
+  EXPECT_EQ(ram.peek(2), 0u);
+  EXPECT_EQ(ram.stats(Port::A).writes, 0u);
+  EXPECT_NO_THROW(ram.write(Port::A, 0, 1));
+}
+
+TEST(DualPortRam, BackdoorDoesNotUsePorts) {
+  DualPortRam ram("t", 8, 8);
+  ram.poke(0, 1);
+  (void)ram.peek(0);
+  EXPECT_NO_THROW((void)ram.read(Port::A, 0));
+  EXPECT_EQ(ram.stats(Port::A).reads, 1u);
+}
+
+// --- Virtex-5 BRAM budgeting -------------------------------------------
+
+TEST(Geometry, OneBram36HoldsUpTo36kbit) {
+  EXPECT_EQ(bram36_count(1024, 36), 1u);
+  EXPECT_EQ(bram36_count(2048, 18), 1u);
+  EXPECT_EQ(bram36_count(32768, 1), 1u);
+}
+
+TEST(Geometry, WideMemoriesTileHorizontally) {
+  EXPECT_EQ(bram36_count(1024, 72), 2u);
+  EXPECT_EQ(bram36_count(2048, 36), 2u);
+}
+
+TEST(Geometry, DeepMemoriesTileVertically) {
+  EXPECT_EQ(bram36_count(65536, 1), 2u);
+  EXPECT_EQ(bram36_count(4096, 18), 2u);
+}
+
+TEST(Geometry, AspectRatioChoiceMinimizesCount) {
+  // 4096 x 9 fits exactly one RAMB36 in its 4K x 9 mode.
+  EXPECT_EQ(bram36_count(4096, 9), 1u);
+  // 4096 x 10 must not be charged as 10 bit-slices; 2 primitives suffice.
+  EXPECT_EQ(bram36_count(4096, 10), 2u);
+}
+
+TEST(Geometry, Bram18Counts) {
+  EXPECT_EQ(bram18_count(512, 36), 1u);
+  EXPECT_EQ(bram18_count(1024, 18), 1u);
+  EXPECT_EQ(bram18_count(2048, 18), 2u);
+  EXPECT_EQ(bram18_count(16384, 1), 1u);
+}
+
+TEST(Geometry, ZeroSizedMemoryCostsNothing) {
+  EXPECT_EQ(bram36_count(0, 8), 0u);
+  EXPECT_EQ(bram18_count(128, 0), 0u);
+}
+
+TEST(Geometry, HeadTableSplitExamples) {
+  // 15-bit hash, 4 KB dictionary, 4 generation bits: 32768 x 16 entries.
+  EXPECT_EQ(natural_split_factor(32768, 16), 32u);
+  // 9-bit hash, tiny head table still occupies at least one BRAM18.
+  EXPECT_EQ(natural_split_factor(512, 14), 1u);
+}
+
+TEST(Geometry, Bram18NeverLessEfficientThanHalfOf36) {
+  for (const std::size_t depth : {512u, 1024u, 4096u, 32768u}) {
+    for (const unsigned width : {1u, 8u, 14u, 18u, 32u}) {
+      EXPECT_LE(bram36_count(depth, width), bram18_count(depth, width))
+          << depth << "x" << width;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lzss::bram

@@ -1,0 +1,45 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace lzss::env {
+namespace {
+
+TEST(Env, SizeOrFallsBack) {
+  unsetenv("LZSS_TEST_VAR");
+  EXPECT_EQ(size_or("LZSS_TEST_VAR", 7), 7u);
+  setenv("LZSS_TEST_VAR", "", 1);
+  EXPECT_EQ(size_or("LZSS_TEST_VAR", 7), 7u);
+  setenv("LZSS_TEST_VAR", "not-a-number", 1);
+  EXPECT_EQ(size_or("LZSS_TEST_VAR", 7), 7u);
+  unsetenv("LZSS_TEST_VAR");
+}
+
+TEST(Env, SizeOrParsesValues) {
+  setenv("LZSS_TEST_VAR", "42", 1);
+  EXPECT_EQ(size_or("LZSS_TEST_VAR", 7), 42u);
+  setenv("LZSS_TEST_VAR", "0", 1);
+  EXPECT_EQ(size_or("LZSS_TEST_VAR", 7), 0u);
+  unsetenv("LZSS_TEST_VAR");
+}
+
+TEST(Env, StringOr) {
+  unsetenv("LZSS_TEST_STR");
+  EXPECT_EQ(string_or("LZSS_TEST_STR", "dflt"), "dflt");
+  setenv("LZSS_TEST_STR", "value", 1);
+  EXPECT_EQ(string_or("LZSS_TEST_STR", "dflt"), "value");
+  unsetenv("LZSS_TEST_STR");
+}
+
+TEST(Env, BenchBytesScalesMiB) {
+  unsetenv("LZSS_BENCH_MB");
+  EXPECT_EQ(bench_bytes(4), 4u * 1024 * 1024);
+  setenv("LZSS_BENCH_MB", "2", 1);
+  EXPECT_EQ(bench_bytes(4), 2u * 1024 * 1024);
+  unsetenv("LZSS_BENCH_MB");
+}
+
+}  // namespace
+}  // namespace lzss::env

@@ -1,0 +1,114 @@
+#include "estimator/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "estimator/report.hpp"
+#include "estimator/sweep.hpp"
+#include "workloads/corpus.hpp"
+
+namespace lzss::est {
+namespace {
+
+TEST(Evaluate, BasicReportFields) {
+  const auto data = wl::make_corpus("wiki", 64 * 1024);
+  const auto ev = evaluate(hw::HwConfig::speed_optimized(), data);
+  EXPECT_EQ(ev.input_bytes, data.size());
+  EXPECT_GT(ev.compressed_bytes, 0u);
+  EXPECT_GT(ev.ratio(), 1.0);
+  EXPECT_GT(ev.cycles_per_byte(), 1.0);
+  EXPECT_GT(ev.mb_per_s(), 10.0);
+  EXPECT_GT(ev.resources.bram36_total, 0u);
+}
+
+TEST(Evaluate, ScaledSizeProjection) {
+  const auto data = wl::make_corpus("wiki", 64 * 1024);
+  const auto ev = evaluate(hw::HwConfig::speed_optimized(), data);
+  const double mb100 = ev.scaled_compressed_mb(100'000'000);
+  // A 100 MB input at this ratio: 100 / ratio megabytes.
+  EXPECT_NEAR(mb100, 100.0 / ev.ratio(), 0.5);
+}
+
+TEST(Sweep, CartesianProductOrderAndSize) {
+  const auto data = wl::make_corpus("wiki", 16 * 1024);
+  const auto result = run_sweep(hw::HwConfig::speed_optimized(),
+                                {dict_bits_axis({10, 12}), hash_bits_axis({9, 12, 15})}, data);
+  ASSERT_EQ(result.points.size(), 6u);
+  EXPECT_EQ(result.axis_names, (std::vector<std::string>{"dict_bits", "hash_bits"}));
+  // Row-major order: dict=10 x {9,12,15}, then dict=12 x {9,12,15}.
+  EXPECT_EQ(result.points[0].coordinates, (std::vector<std::int64_t>{10, 9}));
+  EXPECT_EQ(result.points[1].coordinates, (std::vector<std::int64_t>{10, 12}));
+  EXPECT_EQ(result.points[3].coordinates, (std::vector<std::int64_t>{12, 9}));
+  EXPECT_EQ(result.points[5].coordinates, (std::vector<std::int64_t>{12, 15}));
+}
+
+TEST(Sweep, SingleAxis) {
+  const auto data = wl::make_corpus("wiki", 16 * 1024);
+  const auto result = run_sweep(hw::HwConfig::speed_optimized(), {level_axis({1, 9})}, data);
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_LT(result.points[1].evaluation.compressed_bytes,
+            result.points[0].evaluation.compressed_bytes);
+}
+
+TEST(Sweep, RejectsEmptyAndTooManyAxes) {
+  const auto data = wl::make_corpus("wiki", 1024);
+  EXPECT_THROW((void)run_sweep(hw::HwConfig::speed_optimized(), {}, data),
+               std::invalid_argument);
+  std::vector<Axis> four{dict_bits_axis({12}), hash_bits_axis({15}), level_axis({1}),
+                         bus_width_axis({4})};
+  EXPECT_THROW((void)run_sweep(hw::HwConfig::speed_optimized(), four, data),
+               std::invalid_argument);
+}
+
+TEST(Sweep, NamedAxisLookup) {
+  EXPECT_EQ(named_axis("dict_bits", {10}).name, "dict_bits");
+  EXPECT_EQ(named_axis("hash_bits", {15}).name, "hash_bits");
+  EXPECT_EQ(named_axis("level", {1}).name, "level");
+  EXPECT_EQ(named_axis("generation_bits", {4}).name, "generation_bits");
+  EXPECT_EQ(named_axis("bus_width", {4}).name, "bus_width");
+  EXPECT_THROW((void)named_axis("bogus", {1}), std::invalid_argument);
+}
+
+TEST(Report, EvaluationTextContainsKeyFigures) {
+  const auto data = wl::make_corpus("wiki", 16 * 1024);
+  const auto ev = evaluate(hw::HwConfig::speed_optimized(), data);
+  const auto text = format_evaluation(ev);
+  EXPECT_NE(text.find("cycles/byte"), std::string::npos);
+  EXPECT_NE(text.find("RAMB36"), std::string::npos);
+  EXPECT_NE(text.find("dictionary"), std::string::npos);
+  EXPECT_NE(text.find("head"), std::string::npos);
+}
+
+TEST(Report, SweepTableHasOneLinePerPoint) {
+  const auto data = wl::make_corpus("wiki", 8 * 1024);
+  const auto result =
+      run_sweep(hw::HwConfig::speed_optimized(), {dict_bits_axis({10, 11, 12})}, data);
+  const auto table = format_sweep_table(result);
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 4);  // header + 3 rows
+}
+
+TEST(Report, CsvIsWellFormed) {
+  const auto data = wl::make_corpus("wiki", 8 * 1024);
+  const auto result = run_sweep(hw::HwConfig::speed_optimized(), {hash_bits_axis({9, 15})}, data);
+  const auto csv = format_sweep_csv(result);
+  const auto header_end = csv.find('\n');
+  const auto header = csv.substr(0, header_end);
+  const auto commas_in_header = std::count(header.begin(), header.end(), ',');
+  std::size_t pos = header_end + 1;
+  int rows = 0;
+  while (pos < csv.size()) {
+    const auto next = csv.find('\n', pos);
+    const auto line = csv.substr(pos, next - pos);
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), commas_in_header);
+    pos = next + 1;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(Evaluate, VerificationCatchesNothingOnHealthyModel) {
+  const auto data = wl::make_corpus("mixed", 32 * 1024);
+  EXPECT_NO_THROW((void)evaluate(hw::HwConfig::speed_optimized(), data, /*verify=*/true));
+}
+
+}  // namespace
+}  // namespace lzss::est

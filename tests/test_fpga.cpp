@@ -1,0 +1,93 @@
+#include "fpga/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lzss::fpga {
+namespace {
+
+TEST(Resources, FiveMemoriesReported) {
+  const auto r = estimate_resources(hw::HwConfig::speed_optimized());
+  ASSERT_EQ(r.memories.size(), 5u);
+  EXPECT_EQ(r.memories[0].name, "lookahead");
+  EXPECT_EQ(r.memories[1].name, "dictionary");
+  EXPECT_EQ(r.memories[2].name, "hash_cache");
+  EXPECT_EQ(r.memories[3].name, "head");
+  EXPECT_EQ(r.memories[4].name, "next");
+}
+
+TEST(Resources, SpeedOptimizedGeometry) {
+  // 4 KB dictionary, 15-bit hash, G=4.
+  const auto r = estimate_resources(hw::HwConfig::speed_optimized());
+  // lookahead: 128 x 32 = 4 kbit -> 1 RAMB36.
+  EXPECT_EQ(r.memories[0].bram36, 1u);
+  // dictionary: 1024 x 32 = 32 kbit -> 1 RAMB36.
+  EXPECT_EQ(r.memories[1].bram36, 1u);
+  // head: 32768 x 16 = 512 kbit -> 16 RAMB36 (32K x 1 slices x16).
+  EXPECT_EQ(r.memories[3].depth, 32768u);
+  EXPECT_EQ(r.memories[3].width_bits, 16u);
+  EXPECT_EQ(r.memories[3].bram36, 16u);
+  // next: 4096 x 12 -> 2 RAMB36.
+  EXPECT_EQ(r.memories[4].bram36, 2u);
+}
+
+TEST(Resources, HeadTableDominatesAtLargeHash) {
+  const auto r = estimate_resources(hw::HwConfig::speed_optimized());
+  std::size_t head = r.memories[3].bram36;
+  EXPECT_GT(head * 2, r.bram36_total);  // more than half the BRAM is head
+}
+
+TEST(Resources, BramGrowsWithHashBits) {
+  hw::HwConfig c9 = hw::HwConfig::speed_optimized();
+  c9.hash.bits = 9;
+  hw::HwConfig c15 = hw::HwConfig::speed_optimized();
+  const auto r9 = estimate_resources(c9);
+  const auto r15 = estimate_resources(c15);
+  EXPECT_LT(r9.bram36_total, r15.bram36_total);
+  // Paper: "increasing hash size raises the memory requirements
+  // exponentially" — head table bits = 2^H * (log2 D + G); the 9-bit head
+  // already sits in the one-BRAM minimum, the 15-bit one needs 16.
+  EXPECT_GE(r15.memories[3].bram36, r9.memories[3].bram36 * 8);
+}
+
+TEST(Resources, BramGrowsWithDictionary) {
+  hw::HwConfig small = hw::HwConfig::speed_optimized();
+  small.dict_bits = 10;
+  hw::HwConfig large = hw::HwConfig::speed_optimized();
+  large.dict_bits = 16;
+  EXPECT_LT(estimate_resources(small).bram36_total, estimate_resources(large).bram36_total);
+}
+
+TEST(Resources, LogicStaysNearPaperAnchor) {
+  // Table II / section V: LZSS + Huffman together use ~5-6 % of the
+  // XC5VFX70T's LUTs, roughly independent of the configuration.
+  for (const unsigned dict_bits : {10u, 12u, 14u, 16u}) {
+    for (const unsigned hash_bits : {9u, 12u, 15u}) {
+      hw::HwConfig c = hw::HwConfig::speed_optimized();
+      c.dict_bits = dict_bits;
+      c.hash.bits = hash_bits;
+      const auto r = estimate_resources(c);
+      EXPECT_GT(r.lut_percent(), 4.0) << c.describe();
+      EXPECT_LT(r.lut_percent(), 7.5) << c.describe();
+      EXPECT_LT(r.register_percent(), 7.5) << c.describe();
+    }
+  }
+}
+
+TEST(Resources, FitsTheTargetDevice) {
+  // Even the largest evaluated configuration (64 KB dictionary, 15-bit
+  // hash) must fit the 148 RAMB36 of the XC5VFX70T.
+  hw::HwConfig big = hw::HwConfig::speed_optimized();
+  big.dict_bits = 16;
+  const auto r = estimate_resources(big);
+  EXPECT_LT(r.bram36_total, r.device.bram36);
+  EXPECT_LT(r.bram_percent(), 100.0);
+}
+
+TEST(Resources, UtilizationPercentagesConsistent) {
+  const auto r = estimate_resources(hw::HwConfig::speed_optimized());
+  EXPECT_NEAR(r.lut_percent(), 100.0 * r.luts / 44800.0, 1e-9);
+  EXPECT_NEAR(r.bram_percent(), 100.0 * r.bram36_total / 148.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lzss::fpga

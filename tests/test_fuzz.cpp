@@ -1,0 +1,162 @@
+// Deterministic fuzzing: malformed inputs must fail loudly (throw), never
+// crash or return garbage silently; random inputs must round-trip under
+// randomized configurations.
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "deflate/container.hpp"
+#include "deflate/inflate.hpp"
+#include "hw/compressor.hpp"
+#include "lzss/decoder.hpp"
+#include "lzss/raw_container.hpp"
+#include "lzss/sw_encoder.hpp"
+#include "workloads/corpus.hpp"
+
+namespace lzss {
+namespace {
+
+TEST(FuzzInflate, BitFlipsNeverCrash) {
+  const auto data = wl::make_corpus("wiki", 8 * 1024);
+  const auto z = deflate::zlib_compress(data, core::MatchParams::speed_optimized());
+  rng::Xoshiro256 rng(2024);
+  int intact = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    auto corrupted = z;
+    const std::size_t byte = rng.next_below(corrupted.size());
+    corrupted[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    try {
+      const auto out = deflate::zlib_decompress(corrupted);
+      // Extremely unlikely but possible for flips in "don't care" padding;
+      // in that case the output must still be the original (Adler held).
+      EXPECT_EQ(out, data);
+      ++intact;
+    } catch (const deflate::InflateError&) {
+      // expected
+    } catch (const std::out_of_range&) {
+      // BitReader EOF on truncation-like corruption: also a clean failure
+    }
+  }
+  EXPECT_LT(intact, 10);
+}
+
+TEST(FuzzInflate, TruncationsNeverCrash) {
+  const auto data = wl::make_corpus("x2e", 8 * 1024);
+  const auto z = deflate::zlib_compress(data, core::MatchParams::speed_optimized());
+  for (std::size_t len = 0; len < z.size(); len += 7) {
+    EXPECT_THROW((void)deflate::zlib_decompress(std::span(z).subspan(0, len)),
+                 std::exception)
+        << len;
+  }
+}
+
+TEST(FuzzInflate, RandomGarbageNeverCrashes) {
+  rng::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> junk(rng.next_below(2048));
+    for (auto& b : junk) b = rng.next_byte();
+    try {
+      (void)deflate::zlib_decompress(junk);
+    } catch (const std::exception&) {
+      // any typed exception is fine; crashes/UB are what we are hunting
+    }
+  }
+  SUCCEED();
+}
+
+TEST(FuzzRawContainer, HeaderFuzzNeverCrashes) {
+  core::SoftwareEncoder enc(core::MatchParams::speed_optimized());
+  const auto data = wl::make_corpus("wiki", 4096);
+  const auto tokens = enc.encode(data);
+  const auto c = core::raw_container_pack(tokens, 12, data.size());
+  rng::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto corrupted = c;
+    corrupted[rng.next_below(21)] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    try {
+      const auto out = core::raw_container_unpack(corrupted);
+      EXPECT_EQ(out, data);  // flip may hit a redundant header bit pattern
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(FuzzDecoder, RandomTokenStreamsAreValidatedNotTrusted) {
+  rng::Xoshiro256 rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<core::Token> tokens;
+    const std::size_t n = 1 + rng.next_below(64);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.next_below(2) == 0) {
+        tokens.push_back(core::Token::literal(rng.next_byte()));
+      } else {
+        tokens.push_back(core::Token::match(
+            1 + static_cast<std::uint32_t>(rng.next_below(1000)),
+            core::kMinMatch + static_cast<std::uint32_t>(rng.next_below(256))));
+      }
+    }
+    try {
+      const auto out = core::decode_tokens(tokens, 4096);
+      // If it decoded, every match must have been backed by history.
+      std::size_t produced = 0;
+      for (const auto& t : tokens) {
+        if (!t.is_literal()) {
+          EXPECT_LE(t.distance(), produced);
+        }
+        produced += t.is_literal() ? 1 : t.length();
+      }
+      EXPECT_EQ(out.size(), produced);
+    } catch (const core::DecodeError&) {
+    }
+  }
+}
+
+TEST(FuzzRoundtrip, RandomConfigsRandomData) {
+  rng::Xoshiro256 rng(17);
+  for (int trial = 0; trial < 12; ++trial) {
+    hw::HwConfig cfg = hw::HwConfig::speed_optimized();
+    cfg.dict_bits = 10 + static_cast<unsigned>(rng.next_below(7));
+    cfg.hash.bits = 8 + static_cast<unsigned>(rng.next_below(9));
+    cfg.generation_bits = static_cast<unsigned>(rng.next_below(5));
+    cfg.bus_width_bytes = 1u << rng.next_below(3);
+    cfg.hash_prefetch = rng.next_below(2) == 0;
+    cfg.max_chain = 1 + static_cast<std::uint32_t>(rng.next_below(64));
+    cfg.nice_length = 4 + static_cast<std::uint32_t>(rng.next_below(250));
+    cfg.max_insert = 3 + static_cast<std::uint32_t>(rng.next_below(32));
+    if (cfg.position_bits() > 24) cfg.generation_bits = 0;
+
+    const char* corpora[] = {"wiki", "x2e", "mixed", "random"};
+    const auto data =
+        wl::make_corpus(corpora[rng.next_below(4)], 8 * 1024 + rng.next_below(40000), trial);
+
+    hw::Compressor comp(cfg);
+    const auto res = comp.compress(data);
+    ASSERT_TRUE(core::tokens_reproduce(res.tokens, data)) << cfg.describe();
+    for (const auto& t : res.tokens) {
+      if (!t.is_literal()) {
+        ASSERT_LE(t.distance(), cfg.max_distance()) << cfg.describe();
+      }
+    }
+  }
+}
+
+TEST(FuzzRoundtrip, SwEncoderRandomParams) {
+  rng::Xoshiro256 rng(23);
+  for (int trial = 0; trial < 12; ++trial) {
+    core::MatchParams p;
+    p.window_bits = 9 + static_cast<unsigned>(rng.next_below(7));
+    p.hash.bits = 8 + static_cast<unsigned>(rng.next_below(9));
+    p.max_chain = 1 + static_cast<std::uint32_t>(rng.next_below(512));
+    p.nice_length = 4 + static_cast<std::uint32_t>(rng.next_below(254));
+    p.good_length = 4 + static_cast<std::uint32_t>(rng.next_below(32));
+    p.max_lazy = 3 + static_cast<std::uint32_t>(rng.next_below(64));
+    p.strategy = rng.next_below(2) == 0 ? core::Strategy::kFast : core::Strategy::kSlow;
+
+    const auto data = wl::make_corpus("mixed", 4 * 1024 + rng.next_below(30000), trial + 100);
+    core::SoftwareEncoder enc(p);
+    const auto tokens = enc.encode(data);
+    ASSERT_TRUE(core::tokens_reproduce(tokens, data, p.window_size())) << p.describe();
+  }
+}
+
+}  // namespace
+}  // namespace lzss

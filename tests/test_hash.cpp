@@ -1,0 +1,92 @@
+#include "lzss/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/prng.hpp"
+
+namespace lzss::core {
+namespace {
+
+TEST(HashSpec, MaskAndTableSize) {
+  HashSpec h{.bits = 15};
+  EXPECT_EQ(h.mask(), 0x7FFFu);
+  EXPECT_EQ(h.table_size(), 32768u);
+  HashSpec h9{.bits = 9};
+  EXPECT_EQ(h9.mask(), 0x1FFu);
+}
+
+TEST(HashSpec, ShiftIsCeilOfThird) {
+  EXPECT_EQ((HashSpec{.bits = 15}.shift()), 5u);
+  EXPECT_EQ((HashSpec{.bits = 13}.shift()), 5u);
+  EXPECT_EQ((HashSpec{.bits = 12}.shift()), 4u);
+  EXPECT_EQ((HashSpec{.bits = 9}.shift()), 3u);
+}
+
+TEST(HashSpec, ValueWithinMask) {
+  for (const auto kind : {HashKind::kZlibShift, HashKind::kMultiplicative}) {
+    for (const unsigned bits : {9u, 12u, 15u}) {
+      const HashSpec h{.bits = bits, .kind = kind};
+      rng::Xoshiro256 rng(bits);
+      for (int i = 0; i < 1000; ++i) {
+        const auto v = h.hash3(rng.next_byte(), rng.next_byte(), rng.next_byte());
+        EXPECT_LE(v, h.mask());
+      }
+    }
+  }
+}
+
+TEST(HashSpec, Deterministic) {
+  const HashSpec h{.bits = 15};
+  EXPECT_EQ(h.hash3('a', 'b', 'c'), h.hash3('a', 'b', 'c'));
+}
+
+TEST(HashSpec, ZlibShiftMatchesRollingDefinition) {
+  const HashSpec h{.bits = 15};
+  const unsigned s = h.shift();
+  const std::uint8_t a = 0x12, b = 0x34, c = 0x56;
+  std::uint32_t rolling = a;
+  rolling = ((rolling << s) ^ b);
+  rolling = ((rolling << s) ^ c);
+  EXPECT_EQ(h.hash3(a, b, c), rolling & h.mask());
+}
+
+TEST(HashSpec, SensitiveToEveryByte) {
+  const HashSpec h{.bits = 15};
+  const auto base = h.hash3(10, 20, 30);
+  EXPECT_NE(h.hash3(11, 20, 30), base);
+  EXPECT_NE(h.hash3(10, 21, 30), base);
+  EXPECT_NE(h.hash3(10, 20, 31), base);
+}
+
+TEST(HashSpec, ReasonableSpreadOnText) {
+  // Hash of overlapping 3-grams of English-like text must cover a decent
+  // portion of a small table (collisions are what slow matching down).
+  const HashSpec h{.bits = 9};
+  const std::string text =
+      "the quick brown fox jumps over the lazy dog while the compressor "
+      "keeps hashing every three byte window of this sentence";
+  std::set<std::uint32_t> seen;
+  for (std::size_t i = 0; i + 2 < text.size(); ++i) {
+    seen.insert(h.hash3(static_cast<std::uint8_t>(text[i]), static_cast<std::uint8_t>(text[i + 1]),
+                        static_cast<std::uint8_t>(text[i + 2])));
+  }
+  EXPECT_GT(seen.size(), text.size() / 2);
+}
+
+TEST(HashSpec, KindsProduceDifferentFunctions) {
+  const HashSpec a{.bits = 15, .kind = HashKind::kZlibShift};
+  const HashSpec b{.bits = 15, .kind = HashKind::kMultiplicative};
+  int differing = 0;
+  rng::Xoshiro256 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint8_t x = rng.next_byte(), y = rng.next_byte(), z = rng.next_byte();
+    if (a.hash3(x, y, z) != b.hash3(x, y, z)) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+}  // namespace
+}  // namespace lzss::core

@@ -1,0 +1,175 @@
+// Tests of the three optimizations the paper ablates in Table III: wide data
+// buses, hash prefetching and generation bits (plus the head-table split and
+// the relative next table). These pin the *directions* the paper reports.
+#include <gtest/gtest.h>
+
+#include "hw/compressor.hpp"
+#include "lzss/decoder.hpp"
+#include "workloads/corpus.hpp"
+
+namespace lzss::hw {
+namespace {
+
+CompressResult run(const HwConfig& cfg, const std::vector<std::uint8_t>& data) {
+  Compressor c(cfg);
+  auto res = c.compress(data);
+  EXPECT_TRUE(core::tokens_reproduce(res.tokens, data)) << cfg.describe();
+  return res;
+}
+
+class Ablation : public ::testing::Test {
+ protected:
+  static const std::vector<std::uint8_t>& wiki() {
+    static const auto data = wl::make_corpus("wiki", 512 * 1024);
+    return data;
+  }
+};
+
+TEST_F(Ablation, NarrowBusIsMuchSlower) {
+  HwConfig wide = HwConfig::speed_optimized();
+  HwConfig narrow = wide;
+  narrow.bus_width_bytes = 1;  // the [11] baseline datapath
+  const auto rw = run(wide, wiki());
+  const auto rn = run(narrow, wiki());
+  // Paper: "wide data buses provide a 63-78% performance increase".
+  const double gain = rn.stats.cycles_per_byte() / rw.stats.cycles_per_byte();
+  EXPECT_GT(gain, 1.3);
+  EXPECT_LT(gain, 2.5);
+  // Identical token streams: the bus width only changes timing.
+  EXPECT_EQ(rw.tokens, rn.tokens);
+}
+
+TEST_F(Ablation, TwoByteBusSitsBetween) {
+  HwConfig cfg = HwConfig::speed_optimized();
+  const auto r4 = run(cfg, wiki());
+  cfg.bus_width_bytes = 2;
+  const auto r2 = run(cfg, wiki());
+  cfg.bus_width_bytes = 1;
+  const auto r1 = run(cfg, wiki());
+  EXPECT_LT(r4.stats.total_cycles, r2.stats.total_cycles);
+  EXPECT_LT(r2.stats.total_cycles, r1.stats.total_cycles);
+}
+
+TEST_F(Ablation, HashPrefetchSavesAWaitCyclePerLiteral) {
+  HwConfig on = HwConfig::speed_optimized();
+  HwConfig off = on;
+  off.hash_prefetch = false;
+  const auto ron = run(on, wiki());
+  const auto roff = run(off, wiki());
+  EXPECT_LT(ron.stats.total_cycles, roff.stats.total_cycles);
+  // Paper: prefetching is worth ~8% on text.
+  const double gain = static_cast<double>(roff.stats.total_cycles) /
+                      static_cast<double>(ron.stats.total_cycles);
+  EXPECT_GT(gain, 1.02);
+  EXPECT_LT(gain, 1.30);
+  EXPECT_GT(ron.stats.prefetch_hits, 0u);
+  EXPECT_EQ(roff.stats.prefetch_hits, 0u);
+  // The cycle saved is exactly a WaitData cycle; tokens are unchanged.
+  EXPECT_EQ(ron.tokens, roff.tokens);
+}
+
+TEST_F(Ablation, FewerGenerationBitsMeansMoreRotation) {
+  HwConfig g4 = HwConfig::speed_optimized();
+  HwConfig g1 = g4;
+  g1.generation_bits = 1;
+  const auto r4 = run(g4, wiki());
+  const auto r1 = run(g1, wiki());
+  // Rotation passes scale with 2^k (paper: "2^k times rarer").
+  EXPECT_GT(r1.stats.rotation_passes, r4.stats.rotation_passes * 10);
+  EXPECT_GT(r1.stats.rotating, r4.stats.rotating);
+  EXPECT_GT(r1.stats.total_cycles, r4.stats.total_cycles);
+}
+
+TEST_F(Ablation, UnsplitHeadTableRotatesSlower) {
+  HwConfig split = HwConfig::speed_optimized();
+  split.generation_bits = 1;  // make rotation frequent enough to matter
+  HwConfig unsplit = split;
+  unsplit.head_split = 1;
+  const auto rs = run(split, wiki());
+  const auto ru = run(unsplit, wiki());
+  EXPECT_GT(ru.stats.rotating, rs.stats.rotating * 4);
+  EXPECT_GT(ru.stats.total_cycles, rs.stats.total_cycles);
+}
+
+TEST_F(Ablation, AbsoluteNextTableAddsRotationWork) {
+  HwConfig rel = HwConfig::speed_optimized();
+  rel.generation_bits = 1;
+  HwConfig abs = rel;
+  abs.relative_next = false;
+  const auto rr = run(rel, wiki());
+  const auto ra = run(abs, wiki());
+  EXPECT_GE(ra.stats.rotating, rr.stats.rotating);
+  EXPECT_GE(ra.stats.total_cycles, rr.stats.total_cycles);
+}
+
+TEST_F(Ablation, AllOptimizationsOffIsSeveralTimesSlower) {
+  HwConfig opt = HwConfig::speed_optimized();
+  HwConfig base = opt;  // the [11]-like configuration of Table III's last row
+  base.bus_width_bytes = 1;
+  base.hash_prefetch = false;
+  base.generation_bits = 1;
+  base.head_split = 1;
+  base.relative_next = false;
+  const auto ro = run(opt, wiki());
+  const auto rb = run(base, wiki());
+  // Paper: overall 2.2x-4.8x depending on window size.
+  const double speedup = static_cast<double>(rb.stats.total_cycles) /
+                         static_cast<double>(ro.stats.total_cycles);
+  EXPECT_GT(speedup, 1.8);
+  EXPECT_LT(speedup, 6.0);
+}
+
+TEST_F(Ablation, GenerationBitsMatterMoreForSmallWindows) {
+  // Paper: "the most efficient optimization for small window sizes is the
+  // introduction of generation bits" — the rotation tax at G=1 is paid every
+  // N bytes, so a smaller N pays it more often.
+  auto rotation_tax = [&](unsigned dict_bits) {
+    HwConfig g4 = HwConfig::speed_optimized();
+    g4.dict_bits = dict_bits;
+    HwConfig g1 = g4;
+    g1.generation_bits = 1;
+    const auto r4 = run(g4, wiki());
+    const auto r1 = run(g1, wiki());
+    return static_cast<double>(r1.stats.total_cycles) /
+           static_cast<double>(r4.stats.total_cycles);
+  };
+  EXPECT_GT(rotation_tax(12), rotation_tax(16));
+}
+
+TEST_F(Ablation, LargerIterationLimitImprovesCompression) {
+  // Fig. 4's min vs max compression level trade-off.
+  HwConfig lo = HwConfig::speed_optimized().with_level(1);
+  HwConfig hi = HwConfig::speed_optimized().with_level(9);
+  const auto rl = run(lo, wiki());
+  const auto rh = run(hi, wiki());
+  EXPECT_LT(rh.tokens.size(), rl.tokens.size());           // better compression
+  EXPECT_GT(rh.stats.total_cycles, rl.stats.total_cycles); // slower
+}
+
+TEST_F(Ablation, LargerHashReducesCollisionProbes) {
+  // Fig. 3's rationale: a bigger hash lowers collision probability and with
+  // it the number of futile matching iterations.
+  HwConfig h9 = HwConfig::speed_optimized();
+  h9.hash.bits = 9;
+  HwConfig h15 = h9;
+  h15.hash.bits = 15;
+  const auto r9 = run(h9, wiki());
+  const auto r15 = run(h15, wiki());
+  EXPECT_LT(r15.stats.chain_probes, r9.stats.chain_probes);
+  EXPECT_LT(r15.stats.total_cycles, r9.stats.total_cycles);
+}
+
+TEST_F(Ablation, LargerDictionaryImprovesCompression) {
+  // Fig. 2: compressed size shrinks as the dictionary grows.
+  std::size_t prev_tokens = SIZE_MAX;
+  for (const unsigned dict_bits : {10u, 12u, 14u, 16u}) {
+    HwConfig cfg = HwConfig::speed_optimized();
+    cfg.dict_bits = dict_bits;
+    const auto r = run(cfg, wiki());
+    EXPECT_LT(r.tokens.size(), prev_tokens) << "dict_bits=" << dict_bits;
+    prev_tokens = r.tokens.size();
+  }
+}
+
+}  // namespace
+}  // namespace lzss::hw

@@ -1,0 +1,69 @@
+// Per-cycle architectural invariants of the hardware model, checked by
+// stepping the machine manually and sampling the debug view every clock.
+#include <gtest/gtest.h>
+
+#include "hw/compressor.hpp"
+#include "lzss/decoder.hpp"
+#include "workloads/corpus.hpp"
+
+namespace lzss::hw {
+namespace {
+
+void run_sampled(const HwConfig& cfg, const std::vector<std::uint8_t>& data) {
+  Compressor c(cfg);
+  c.set_input(data);
+  std::uint64_t prev_pos = 0;
+  std::uint64_t cycles = 0;
+  while (!c.done()) {
+    c.step();
+    const auto v = c.debug_view();
+    // The filler never runs past the fill-ahead window or the input.
+    ASSERT_LE(v.fill_pos, std::min<std::uint64_t>(v.pos + cfg.fill_ahead(), data.size()));
+    // Occupancy is consistent and bounded by the lookahead buffer.
+    ASSERT_EQ(v.occupancy, v.fill_pos - v.pos);
+    ASSERT_LE(v.occupancy, cfg.lookahead_bytes);
+    // Positions advance monotonically and never pass the input end.
+    ASSERT_GE(v.pos, prev_pos);
+    ASSERT_LE(v.pos, data.size());
+    prev_pos = v.pos;
+    // Register ranges.
+    ASSERT_LE(v.best_len, core::kMaxMatch);
+    ASSERT_LE(v.chain_left, cfg.max_chain);
+    ASSERT_LE(v.cand_len, core::kMaxMatch);
+    ASSERT_LE(v.state_code, 6u);
+    ++cycles;
+    ASSERT_LT(cycles, data.size() * 300 + 100000u);
+  }
+  ASSERT_EQ(c.debug_view().pos, data.size());
+  ASSERT_TRUE(core::tokens_reproduce(c.tokens(), data));
+}
+
+TEST(HwInvariants, SpeedOptimizedOnText) {
+  run_sampled(HwConfig::speed_optimized(), wl::make_corpus("wiki", 64 * 1024));
+}
+
+TEST(HwInvariants, SmallWindowThrottledFill) {
+  HwConfig cfg = HwConfig::speed_optimized();
+  cfg.dict_bits = 10;  // fill-ahead throttled to 262
+  run_sampled(cfg, wl::make_corpus("x2e", 48 * 1024));
+}
+
+TEST(HwInvariants, DeepChainsAtMaxLevel) {
+  run_sampled(HwConfig::speed_optimized().with_level(9), wl::make_corpus("mixed", 32 * 1024));
+}
+
+TEST(HwInvariants, FrequentRotation) {
+  HwConfig cfg = HwConfig::speed_optimized();
+  cfg.generation_bits = 1;
+  run_sampled(cfg, wl::make_corpus("wiki", 48 * 1024));
+}
+
+TEST(HwInvariants, NarrowBusNoPrefetch) {
+  HwConfig cfg = HwConfig::speed_optimized();
+  cfg.bus_width_bytes = 1;
+  cfg.hash_prefetch = false;
+  run_sampled(cfg, wl::make_corpus("netlog", 32 * 1024));
+}
+
+}  // namespace
+}  // namespace lzss::hw

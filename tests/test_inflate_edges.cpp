@@ -1,0 +1,120 @@
+// Inflate edge cases around the dynamic-block header and block framing that
+// the round-trip tests cannot reach (they only produce well-formed input).
+#include <gtest/gtest.h>
+
+#include "common/bitio.hpp"
+#include "deflate/dynamic_encoder.hpp"
+#include "deflate/encoder.hpp"
+#include "deflate/inflate.hpp"
+#include "lzss/sw_encoder.hpp"
+#include "workloads/corpus.hpp"
+
+namespace lzss::deflate {
+namespace {
+
+constexpr std::array<std::uint8_t, 19> kClcOrder{16, 17, 18, 0, 8,  7, 9,  6, 10, 5,
+                                                 11, 4,  12, 3, 13, 2, 14, 1, 15};
+
+// Builds a dynamic header with the given HLIT/HDIST whose code-length code
+// assigns length 1 to symbols {0, 8} (so lengths can be written literally).
+void write_header(bits::BitWriter& w, unsigned hlit, unsigned hdist) {
+  w.put_bits(1, 1);
+  w.put_bits(0b10, 2);
+  w.put_bits(hlit - 257, 5);
+  w.put_bits(hdist - 1, 4 + 1);
+  w.put_bits(19 - 4, 4);  // HCLEN = 19
+  for (std::size_t i = 0; i < 19; ++i) {
+    const std::uint8_t sym = kClcOrder[i];
+    w.put_bits((sym == 0 || sym == 8) ? 1 : 0, 3);
+  }
+}
+
+TEST(InflateEdges, Hlit287Rejected) {
+  // HLIT > 286 is invalid even before any lengths are read.
+  bits::BitWriter w;
+  write_header(w, 287, 1);
+  const auto stream = w.take();
+  EXPECT_THROW((void)inflate_raw(stream), InflateError);
+}
+
+TEST(InflateEdges, RepeatBeforeAnyLengthRejected) {
+  // CLC symbol 16 (copy previous) as the very first length symbol.
+  bits::BitWriter w;
+  w.put_bits(1, 1);
+  w.put_bits(0b10, 2);
+  w.put_bits(0, 5);   // HLIT = 257
+  w.put_bits(0, 5);   // HDIST = 1
+  w.put_bits(19 - 4, 4);
+  for (std::size_t i = 0; i < 19; ++i) {
+    const std::uint8_t sym = kClcOrder[i];
+    w.put_bits((sym == 16 || sym == 0) ? 1 : 0, 3);
+  }
+  // Code for 16 is one of the two 1-bit codes; canonical order gives
+  // symbol 0 -> code 0, symbol 16 -> code 1.
+  w.put_huffman(1, 1);  // "repeat previous" with no previous
+  w.put_bits(0, 2);     // repeat count field
+  const auto stream = w.take();
+  EXPECT_THROW((void)inflate_raw(stream), InflateError);
+}
+
+TEST(InflateEdges, OversubscribedLitLenCodeRejected) {
+  // Three literal symbols with code length 1 (over-subscribed Huffman code).
+  bits::BitWriter w;
+  write_header(w, 257, 1);
+  // lengths: sym0=1, sym1=1, sym2=1, rest 0. CLC: '0'->len0 code 0? With
+  // symbols {0,8} at length 1: canonical 0 -> code 0, 8 -> code 1.
+  auto put_len = [&](unsigned len) { w.put_huffman(len == 8 ? 1 : 0, 1); };
+  put_len(8);  // sym 0: length 8... use length 8? must over-subscribe at 1.
+  // Simpler: emit three length-1 entries is impossible with this CLC (it
+  // only encodes lengths 0 and 8); instead give 257 lit symbols length 8 —
+  // 257 8-bit codes over-subscribe (max 256).
+  for (int i = 0; i < 256; ++i) put_len(8);
+  put_len(8);  // distance symbol: fine
+  const auto stream = w.take();
+  EXPECT_THROW((void)inflate_raw(stream), InflateError);
+}
+
+TEST(InflateEdges, NonFinalChainTerminatesOnlyAtFinal) {
+  // Three fixed blocks; only the last is BFINAL. inflate must consume all.
+  core::SoftwareEncoder enc(core::MatchParams::speed_optimized());
+  const auto a = wl::make_corpus("wiki", 3000, 1);
+  const auto b = wl::make_corpus("wiki", 3000, 2);
+  const auto c = wl::make_corpus("wiki", 3000, 3);
+  bits::BitWriter w;
+  write_fixed_block(w, enc.encode(a), false);
+  // Note: the software encoder resets per encode(), so each block's matches
+  // stay within its own source — safe to concatenate.
+  write_fixed_block(w, enc.encode(b), false);
+  write_fixed_block(w, enc.encode(c), true);
+  const auto out = inflate_raw(w.take());
+  std::vector<std::uint8_t> joined = a;
+  joined.insert(joined.end(), b.begin(), b.end());
+  joined.insert(joined.end(), c.begin(), c.end());
+  EXPECT_EQ(out, joined);
+}
+
+TEST(InflateEdges, MissingFinalBlockHitsEndOfData) {
+  core::SoftwareEncoder enc(core::MatchParams::speed_optimized());
+  const auto a = wl::make_corpus("wiki", 2000);
+  bits::BitWriter w;
+  write_fixed_block(w, enc.encode(a), /*final_block=*/false);
+  const auto stream = w.take();
+  // The decoder keeps looking for the next block header and runs out.
+  EXPECT_THROW((void)inflate_raw(stream), std::exception);
+}
+
+TEST(InflateEdges, StoredBlockOfZeroBytes) {
+  bits::BitWriter w;
+  write_stored_block(w, {}, true);
+  EXPECT_TRUE(inflate_raw(w.take()).empty());
+}
+
+TEST(InflateEdges, MaximumLengthStoredBlock) {
+  const auto payload = wl::make_corpus("random", 0xFFFF);
+  bits::BitWriter w;
+  write_stored_block(w, payload, true);
+  EXPECT_EQ(inflate_raw(w.take()), payload);
+}
+
+}  // namespace
+}  // namespace lzss::deflate

@@ -1,0 +1,122 @@
+#include "deflate/inflate_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "deflate/container.hpp"
+#include "deflate/encoder.hpp"
+#include "deflate/stream_compressor.hpp"
+#include "workloads/corpus.hpp"
+
+namespace lzss::deflate {
+namespace {
+
+
+TEST(InflateStream, MatchesOneShotInflate) {
+  const auto data = wl::make_corpus("wiki", 300 * 1024);
+  StreamOptions opt;
+  opt.block_bytes = 64 * 1024;
+  opt.container = ContainerKind::kRaw;
+  StreamCompressor sc(opt);
+  sc.write(data);
+  const auto stream = sc.finish();
+
+  std::vector<std::uint8_t> out;
+  const auto stats = inflate_raw_stream(
+      stream, [&](std::span<const std::uint8_t> c) { out.insert(out.end(), c.begin(), c.end()); });
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(out, inflate_raw(stream));
+  EXPECT_EQ(stats.bytes_out, data.size());
+  EXPECT_GE(stats.blocks, 5u);
+}
+
+TEST(InflateStream, ChunksRespectTheLimit) {
+  const auto data = wl::make_corpus("x2e", 200 * 1024);
+  const auto z = zlib_compress(data, core::MatchParams::speed_optimized());
+  std::vector<std::size_t> sizes;
+  std::vector<std::uint8_t> out;
+  (void)zlib_decompress_stream(
+      z,
+      [&](std::span<const std::uint8_t> c) {
+        sizes.push_back(c.size());
+        out.insert(out.end(), c.begin(), c.end());
+      },
+      4096);
+  EXPECT_EQ(out, data);
+  EXPECT_GT(sizes.size(), 10u);
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) EXPECT_LE(sizes[i], 4096u);
+}
+
+TEST(InflateStream, CountsBlockKinds) {
+  const auto data = wl::make_corpus("mixed", 150 * 1024);
+  StreamOptions opt;
+  opt.block_bytes = 32 * 1024;
+  opt.container = ContainerKind::kRaw;
+  StreamCompressor sc(opt);
+  sc.write(data);
+  const auto stream = sc.finish();
+
+  std::uint64_t sink_bytes = 0;
+  const auto stats = inflate_raw_stream(
+      stream, [&](std::span<const std::uint8_t> c) { sink_bytes += c.size(); });
+  EXPECT_EQ(stats.blocks, sc.blocks().size());
+  EXPECT_EQ(stats.stored_blocks + stats.fixed_blocks + stats.dynamic_blocks, stats.blocks);
+  EXPECT_EQ(sink_bytes, data.size());
+  // The block-kind census must agree with what the compressor chose.
+  std::uint64_t stored = 0, fixed = 0, dynamic = 0;
+  for (const auto& b : sc.blocks()) {
+    stored += b.chosen == 's';
+    fixed += b.chosen == 'f';
+    dynamic += b.chosen == 'd';
+  }
+  EXPECT_EQ(stats.stored_blocks, stored);
+  EXPECT_EQ(stats.fixed_blocks, fixed);
+  EXPECT_EQ(stats.dynamic_blocks, dynamic);
+}
+
+TEST(InflateStream, LongRangeMatchesAcrossChunks) {
+  // Distances up to 32 KB must survive chunked emission: build data whose
+  // matches straddle many chunk boundaries.
+  std::vector<std::uint8_t> data = wl::make_corpus("wiki", 40 * 1024);
+  data.insert(data.end(), data.begin(), data.begin() + 30 * 1024);  // far back-reference bait
+  core::MatchParams p;
+  p.window_bits = 15;
+  const auto z = zlib_compress(data, p.with_level(9));
+  std::vector<std::uint8_t> out;
+  (void)zlib_decompress_stream(
+      z, [&](std::span<const std::uint8_t> c) { out.insert(out.end(), c.begin(), c.end()); },
+      512);
+  EXPECT_EQ(out, data);
+}
+
+TEST(InflateStream, ChecksumVerifiedIncrementally) {
+  const auto data = wl::make_corpus("wiki", 50 * 1024);
+  auto z = zlib_compress(data, core::MatchParams::speed_optimized());
+  z.back() ^= 0x01;
+  std::uint64_t sunk = 0;
+  EXPECT_THROW((void)zlib_decompress_stream(
+                   z, [&](std::span<const std::uint8_t> c) { sunk += c.size(); }),
+               InflateError);
+  // Data was streamed before the trailer check — that is the contract; the
+  // caller learns of corruption at the end.
+  EXPECT_EQ(sunk, data.size());
+}
+
+TEST(InflateStream, DistanceBeyondWindowRejected) {
+  // Hand-build a fixed block with an illegal first-token match.
+  std::vector<core::Token> tokens{core::Token::match(1, 3)};
+  const auto stream = deflate_fixed(tokens);
+  EXPECT_THROW((void)inflate_raw_stream(stream, [](std::span<const std::uint8_t>) {}),
+               InflateError);
+}
+
+TEST(InflateStream, EmptyStream) {
+  const auto stream = deflate_fixed({});
+  std::uint64_t sunk = 0;
+  const auto stats =
+      inflate_raw_stream(stream, [&](std::span<const std::uint8_t> c) { sunk += c.size(); });
+  EXPECT_EQ(stats.bytes_out, 0u);
+  EXPECT_EQ(sunk, 0u);
+}
+
+}  // namespace
+}  // namespace lzss::deflate

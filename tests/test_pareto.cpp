@@ -1,0 +1,82 @@
+#include "estimator/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/corpus.hpp"
+
+namespace lzss::est {
+namespace {
+
+TEST(Objectives, DominationRules) {
+  const Objectives a{50, 1.7, -21};
+  const Objectives b{40, 1.6, -21};
+  const Objectives c{40, 1.8, -21};   // trades speed for ratio vs a
+  const Objectives d{50, 1.7, -21};   // equal to a
+  EXPECT_TRUE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+  EXPECT_FALSE(a.dominates(c));
+  EXPECT_FALSE(c.dominates(a));
+  EXPECT_FALSE(a.dominates(d));  // equality is not domination
+}
+
+TEST(ParetoFront, HandBuiltSweep) {
+  // Forge a sweep result with known objective values.
+  SweepResult sweep;
+  sweep.axis_names = {"x"};
+  auto add = [&](double mbps, double ratio, std::size_t bram) {
+    SweepPoint p;
+    p.coordinates = {static_cast<std::int64_t>(sweep.points.size())};
+    p.evaluation.input_bytes = 1'000'000;
+    p.evaluation.compressed_bytes = static_cast<std::uint64_t>(1'000'000 / ratio);
+    p.evaluation.stats.bytes_in = 1'000'000;
+    p.evaluation.stats.total_cycles =
+        static_cast<std::uint64_t>(1'000'000 * p.evaluation.config.clock_mhz / mbps);
+    p.evaluation.resources.bram36_total = bram;
+    sweep.points.push_back(std::move(p));
+  };
+  add(50, 1.70, 21);  // 0: fast
+  add(40, 1.80, 30);  // 1: better ratio, more BRAM -> still on the front
+  add(35, 1.65, 25);  // 2: dominated by 0 (slower, worse ratio, more BRAM)
+  add(20, 1.60, 6);   // 3: cheapest BRAM -> on the front
+  add(19, 1.55, 8);   // 4: dominated by 3
+
+  const auto front = pareto_front(sweep);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(ParetoFront, RealSweepShrinksAndCoversExtremes) {
+  const auto data = wl::make_corpus("wiki", 48 * 1024);
+  const auto sweep = run_sweep(hw::HwConfig::speed_optimized(),
+                               {dict_bits_axis({10, 12, 14}), hash_bits_axis({9, 12, 15})}, data);
+  const auto front = pareto_front(sweep);
+  ASSERT_FALSE(front.empty());
+  EXPECT_LE(front.size(), sweep.points.size());
+
+  // The fastest and the best-ratio points are by definition non-dominated.
+  std::size_t fastest = 0, best_ratio = 0;
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    if (sweep.points[i].evaluation.mb_per_s() >
+        sweep.points[fastest].evaluation.mb_per_s())
+      fastest = i;
+    if (sweep.points[i].evaluation.ratio() > sweep.points[best_ratio].evaluation.ratio())
+      best_ratio = i;
+  }
+  EXPECT_NE(std::find(front.begin(), front.end(), fastest), front.end());
+  EXPECT_NE(std::find(front.begin(), front.end(), best_ratio), front.end());
+
+  // Nothing on the front may be dominated by anything in the sweep.
+  for (const auto i : front) {
+    const auto oi = Objectives::of(sweep.points[i].evaluation);
+    for (std::size_t j = 0; j < sweep.points.size(); ++j) {
+      EXPECT_FALSE(Objectives::of(sweep.points[j].evaluation).dominates(oi));
+    }
+  }
+}
+
+TEST(ParetoFront, EmptySweep) {
+  SweepResult sweep;
+  EXPECT_TRUE(pareto_front(sweep).empty());
+}
+
+}  // namespace
+}  // namespace lzss::est

@@ -1,0 +1,79 @@
+#include "hw/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/checksum.hpp"
+#include "deflate/container.hpp"
+#include "deflate/inflate.hpp"
+#include "workloads/corpus.hpp"
+
+namespace lzss::hw {
+namespace {
+
+TEST(Pipeline, DeflateStreamInflatesToInput) {
+  const auto data = wl::make_corpus("wiki", 200 * 1024);
+  const auto report = run_system(HwConfig::speed_optimized(), data);
+  EXPECT_EQ(deflate::inflate_raw(report.deflate_stream), data);
+  EXPECT_EQ(report.input_bytes, data.size());
+  EXPECT_EQ(report.deflate_bytes, report.deflate_stream.size());
+}
+
+TEST(Pipeline, ZlibContainerDecodesWithChecksum) {
+  const auto data = wl::make_corpus("x2e", 100 * 1024);
+  const auto report = run_system(HwConfig::speed_optimized(), data);
+  const auto z = deflate::zlib_wrap(report.deflate_stream, checksum::adler32(data), 12);
+  EXPECT_EQ(deflate::zlib_decompress(z), data);
+}
+
+TEST(Pipeline, DmaSetupIsIncludedInTotalTime) {
+  const auto data = wl::make_corpus("wiki", 64 * 1024);
+  stream::DmaTimings fast{.setup_cycles = 0, .bytes_per_beat = 4};
+  stream::DmaTimings slow{.setup_cycles = 50'000, .bytes_per_beat = 4};
+  const auto rf = run_system(HwConfig::speed_optimized(), data, fast);
+  const auto rs = run_system(HwConfig::speed_optimized(), data, slow);
+  EXPECT_GE(rs.total_cycles, rf.total_cycles + 50'000);
+  EXPECT_LT(rs.mb_per_s(100.0), rf.mb_per_s(100.0));
+}
+
+TEST(Pipeline, SetupAmortizesWithBlockSize) {
+  // The reason Table I runs both 10 MB and 50 MB fragments: throughput of
+  // the larger block is closer to the compressor's intrinsic speed.
+  stream::DmaTimings dma{.setup_cycles = 20'000, .bytes_per_beat = 4};
+  const auto small = wl::make_corpus("wiki", 64 * 1024);
+  const auto large = wl::make_corpus("wiki", 512 * 1024);
+  const auto rs = run_system(HwConfig::speed_optimized(), small, dma);
+  const auto rl = run_system(HwConfig::speed_optimized(), large, dma);
+  EXPECT_GT(rl.mb_per_s(100.0), rs.mb_per_s(100.0));
+}
+
+TEST(Pipeline, RatioMatchesOfflineEncoding) {
+  const auto data = wl::make_corpus("wiki", 128 * 1024);
+  const auto report = run_system(HwConfig::speed_optimized(), data);
+  EXPECT_GT(report.ratio(), 1.3);
+  EXPECT_LT(report.ratio(), 2.5);
+}
+
+TEST(Pipeline, ThroughputCloseToCompressorAlone) {
+  // The Huffman stage and DMA must not throttle the compressor: system
+  // throughput within a few percent of the bare cycle count.
+  const auto data = wl::make_corpus("wiki", 256 * 1024);
+  const auto report = run_system(HwConfig::speed_optimized(), data,
+                                 stream::DmaTimings{.setup_cycles = 0, .bytes_per_beat = 4});
+  const double bare = report.compressor.mb_per_s(100.0);
+  const double system = report.mb_per_s(100.0);
+  EXPECT_GT(system, bare * 0.97);
+}
+
+TEST(Pipeline, EmptyInputProducesValidEmptyStream) {
+  const auto report = run_system(HwConfig::speed_optimized(), {});
+  EXPECT_TRUE(deflate::inflate_raw(report.deflate_stream).empty());
+}
+
+TEST(Pipeline, TinyInput) {
+  const std::vector<std::uint8_t> data{'h', 'i'};
+  const auto report = run_system(HwConfig::speed_optimized(), data);
+  EXPECT_EQ(deflate::inflate_raw(report.deflate_stream), data);
+}
+
+}  // namespace
+}  // namespace lzss::hw

@@ -1,0 +1,48 @@
+#include "estimator/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "estimator/evaluate.hpp"
+#include "workloads/corpus.hpp"
+
+namespace lzss::est {
+namespace {
+
+TEST(Presets, AllValidAndNamed) {
+  const auto presets = standard_presets();
+  ASSERT_GE(presets.size(), 5u);
+  for (const auto& p : presets) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_FALSE(p.intent.empty());
+    EXPECT_NO_THROW(p.config.validate()) << p.name;
+  }
+}
+
+TEST(Presets, LookupByName) {
+  EXPECT_EQ(preset_by_name("speed").config.dict_bits, 12u);
+  EXPECT_EQ(preset_by_name("ratio").config.dict_bits, 16u);
+  EXPECT_FALSE(preset_by_name("baseline-2007").config.hash_prefetch);
+  EXPECT_THROW((void)preset_by_name("warp-speed"), std::invalid_argument);
+}
+
+TEST(Presets, IntentsHoldOnRealData) {
+  const auto data = wl::make_corpus("wiki", 256 * 1024);
+  const auto speed = evaluate(preset_by_name("speed").config, data);
+  const auto ratio = evaluate(preset_by_name("ratio").config, data);
+  const auto min_bram = evaluate(preset_by_name("min-bram").config, data);
+  const auto baseline = evaluate(preset_by_name("baseline-2007").config, data);
+
+  // speed is the fastest of the quality presets; ratio compresses best.
+  EXPECT_GT(speed.mb_per_s(), ratio.mb_per_s());
+  EXPECT_GT(ratio.ratio(), speed.ratio());
+  // min-bram uses the least block RAM of all presets.
+  for (const auto& p : standard_presets()) {
+    const auto ev = evaluate(p.config, data);
+    EXPECT_GE(ev.resources.bram36_total, min_bram.resources.bram36_total) << p.name;
+  }
+  // the 2007 baseline is several times slower than the paper's design.
+  EXPECT_GT(speed.mb_per_s() / baseline.mb_per_s(), 2.0);
+}
+
+}  // namespace
+}  // namespace lzss::est

@@ -1,0 +1,74 @@
+#include "common/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace lzss::rng {
+namespace {
+
+TEST(Xoshiro, DeterministicAcrossInstances) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, NextBelowStaysInBounds) {
+  Xoshiro256 r(9);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 255ull, 1000000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro, NextBelowOneIsAlwaysZero) {
+  Xoshiro256 r(10);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Xoshiro, NextDoubleInUnitInterval) {
+  Xoshiro256 r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, ByteDistributionRoughlyUniform) {
+  Xoshiro256 r(12);
+  std::array<int, 256> hist{};
+  constexpr int kSamples = 256 * 200;
+  for (int i = 0; i < kSamples; ++i) hist[r.next_byte()]++;
+  for (const int h : hist) {
+    EXPECT_GT(h, 100);  // expectation 200; generous bounds
+    EXPECT_LT(h, 320);
+  }
+}
+
+TEST(Xoshiro, NextBelowCoversRange) {
+  Xoshiro256 r(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Splitmix, AdvancesItsState) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace lzss::rng

@@ -1,0 +1,123 @@
+#include "rtl/vhdl_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "deflate/fixed_tables.hpp"
+
+namespace lzss::rtl {
+namespace {
+
+const VhdlBundle& default_bundle() {
+  static const VhdlBundle b = generate_vhdl(hw::HwConfig::speed_optimized());
+  return b;
+}
+
+TEST(VhdlGen, BundleContainsAllFiles) {
+  const auto& b = default_bundle();
+  EXPECT_EQ(b.size(), 5u);
+  for (const char* f : {"lzss_pkg.vhd", "dual_port_bram.vhd", "huffman_tables.vhd",
+                        "lzss_memories.vhd", "lzss_top.vhd"}) {
+    EXPECT_TRUE(b.contains(f)) << f;
+  }
+}
+
+TEST(VhdlGen, PackageConstantsMatchConfig) {
+  const hw::HwConfig cfg = hw::HwConfig::speed_optimized();
+  const auto& pkg = default_bundle().at("lzss_pkg.vhd");
+  EXPECT_NE(pkg.find("DICT_BITS        : natural := 12"), std::string::npos);
+  EXPECT_NE(pkg.find("HASH_BITS        : natural := 15"), std::string::npos);
+  EXPECT_NE(pkg.find("POSITION_BITS    : natural := 16"), std::string::npos);
+  EXPECT_NE(pkg.find("MAX_DISTANCE     : natural := " + std::to_string(cfg.max_distance())),
+            std::string::npos);
+  EXPECT_NE(pkg.find("ROTATION_BYTES   : natural := " +
+                     std::to_string(cfg.rotation_interval())),
+            std::string::npos);
+  EXPECT_NE(pkg.find("HEAD_SPLIT_M     : natural := " +
+                     std::to_string(cfg.head_split_factor())),
+            std::string::npos);
+  EXPECT_NE(pkg.find("ST_HASH_UPDATE"), std::string::npos);
+}
+
+TEST(VhdlGen, HuffmanRomMatchesFixedTables) {
+  const auto& rom = default_bundle().at("huffman_tables.vhd");
+  const auto& lit = deflate::fixed_litlen_code();
+  // Spot anchors: literal 0 code 48, EOB code 0 with 7 bits, symbol 280 code 192.
+  EXPECT_EQ(lit.code[0], 48);
+  EXPECT_NE(rom.find("LITLEN_CODE"), std::string::npos);
+  EXPECT_NE(rom.find("48, "), std::string::npos);
+  EXPECT_NE(rom.find("192, "), std::string::npos);
+  // Length base row must contain 258 (the max-match band).
+  EXPECT_NE(rom.find("258"), std::string::npos);
+  // Distance base row must contain 24577.
+  EXPECT_NE(rom.find("24577"), std::string::npos);
+}
+
+TEST(VhdlGen, MemoriesDeclareComputedGeometry) {
+  const auto& mem = default_bundle().at("lzss_memories.vhd");
+  EXPECT_NE(mem.find("head: 32768 x 16"), std::string::npos);
+  EXPECT_NE(mem.find("next: 4096 x 12"), std::string::npos);
+  EXPECT_NE(mem.find("dictionary: 1024 x 32"), std::string::npos);
+  EXPECT_NE(mem.find("ADDR_BITS => 15"), std::string::npos);  // head
+  EXPECT_NE(mem.find("DATA_BITS => 16"), std::string::npos);
+}
+
+TEST(VhdlGen, GeometryTracksConfig) {
+  hw::HwConfig big = hw::HwConfig::speed_optimized();
+  big.dict_bits = 16;
+  const auto b = generate_vhdl(big);
+  EXPECT_NE(b.at("lzss_memories.vhd").find("next: 65536 x 16"), std::string::npos);
+  EXPECT_NE(b.at("lzss_pkg.vhd").find("DICT_BYTES       : natural := 65536"),
+            std::string::npos);
+}
+
+TEST(VhdlGen, TopInstantiatesMemoriesAndStates) {
+  const auto& top = default_bundle().at("lzss_top.vhd");
+  EXPECT_NE(top.find("entity lzss_top is"), std::string::npos);
+  EXPECT_NE(top.find("u_memories : entity work.lzss_memories"), std::string::npos);
+  EXPECT_NE(top.find("when ST_MATCHING"), std::string::npos);
+  EXPECT_NE(top.find("m_out_ready"), std::string::npos);
+  EXPECT_NE(top.find("s_in_valid"), std::string::npos);
+}
+
+TEST(VhdlGen, BramTemplateUsesReadFirstIdiom) {
+  const auto& bram = default_bundle().at("dual_port_bram.vhd");
+  EXPECT_NE(bram.find("read-first"), std::string::npos);
+  EXPECT_NE(bram.find("shared variable ram"), std::string::npos);
+  EXPECT_NE(bram.find("entity dual_port_bram"), std::string::npos);
+}
+
+TEST(VhdlGen, BalancedParensAndNoPlaceholders) {
+  for (const auto& [name, text] : default_bundle()) {
+    EXPECT_EQ(std::count(text.begin(), text.end(), '('),
+              std::count(text.begin(), text.end(), ')'))
+        << name;
+    EXPECT_EQ(text.find("TODO"), std::string::npos) << name;
+    EXPECT_EQ(text.find("%s"), std::string::npos) << name;
+  }
+}
+
+TEST(VhdlGen, RejectsInvalidConfig) {
+  hw::HwConfig bad = hw::HwConfig::speed_optimized();
+  bad.dict_bits = 7;
+  EXPECT_THROW((void)generate_vhdl(bad), std::invalid_argument);
+}
+
+TEST(VhdlGen, WriteBundleCreatesFiles) {
+  const auto dir = std::filesystem::temp_directory_path() / "lzss_rtl_test";
+  std::filesystem::remove_all(dir);
+  const auto n = write_bundle(default_bundle(), dir.string());
+  EXPECT_EQ(n, 5u);
+  for (const auto& [name, text] : default_bundle()) {
+    std::ifstream f(dir / name);
+    ASSERT_TRUE(f.good()) << name;
+    std::string content((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, text) << name;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace lzss::rtl

@@ -1,0 +1,181 @@
+#include "deflate/stream_compressor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "deflate/inflate.hpp"
+#include "workloads/corpus.hpp"
+
+namespace lzss::deflate {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(StreamCompressor, EmptyInputValidStream) {
+  StreamCompressor sc;
+  const auto z = sc.finish();
+  EXPECT_TRUE(zlib_decompress(z).empty());
+  EXPECT_EQ(sc.blocks().size(), 1u);
+}
+
+TEST(StreamCompressor, SingleSmallBlock) {
+  StreamCompressor sc;
+  const auto data = bytes("hello streaming world");
+  sc.write(data);
+  const auto z = sc.finish();
+  EXPECT_EQ(zlib_decompress(z), data);
+  EXPECT_EQ(sc.blocks().size(), 1u);
+}
+
+TEST(StreamCompressor, SplitsIntoBlocks) {
+  StreamOptions opt;
+  opt.block_bytes = 16 * 1024;
+  StreamCompressor sc(opt);
+  const auto data = wl::make_corpus("wiki", 100 * 1024);
+  sc.write(data);
+  const auto z = sc.finish();
+  EXPECT_EQ(zlib_decompress(z), data);
+  EXPECT_GE(sc.blocks().size(), 5u);
+  EXPECT_LE(sc.blocks().size(), 8u);
+  // Every non-final block covers at least the configured span.
+  for (std::size_t i = 0; i + 1 < sc.blocks().size(); ++i) {
+    EXPECT_GE(sc.blocks()[i].source_bytes, opt.block_bytes);
+  }
+}
+
+TEST(StreamCompressor, ChunkedWritesEquivalentToOneShot) {
+  const auto data = wl::make_corpus("x2e", 80 * 1024);
+  StreamCompressor a, b;
+  a.write(data);
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::size_t n = std::min<std::size_t>(7777, data.size() - i);
+    b.write({data.data() + i, n});
+    i += n;
+  }
+  EXPECT_EQ(a.finish(), b.finish());
+}
+
+TEST(StreamCompressor, FlushForcesBlockBoundary) {
+  StreamOptions opt;
+  opt.block_bytes = 1024 * 1024;  // would otherwise be one block
+  StreamCompressor sc(opt);
+  const auto part1 = wl::make_corpus("wiki", 20 * 1024, 1);
+  const auto part2 = wl::make_corpus("wiki", 20 * 1024, 2);
+  sc.write(part1);
+  sc.flush();
+  sc.write(part2);
+  const auto z = sc.finish();
+  EXPECT_EQ(sc.blocks().size(), 2u);
+  auto joined = part1;
+  joined.insert(joined.end(), part2.begin(), part2.end());
+  EXPECT_EQ(zlib_decompress(z), joined);
+}
+
+TEST(StreamCompressor, AutoPolicyPicksStoredForRandomData) {
+  StreamOptions opt;
+  opt.block_bytes = 32 * 1024;
+  StreamCompressor sc(opt);
+  const auto data = wl::make_corpus("random", 64 * 1024);
+  sc.write(data);
+  const auto z = sc.finish();
+  EXPECT_EQ(zlib_decompress(z), data);
+  for (const auto& b : sc.blocks()) EXPECT_EQ(b.chosen, 's') << "random data must be stored";
+  // Stored framing is tiny: output within 1 % of the input size.
+  EXPECT_LT(z.size(), data.size() + data.size() / 100 + 64);
+}
+
+TEST(StreamCompressor, AutoPolicyPicksDynamicForSkewedData) {
+  StreamOptions opt;
+  opt.block_bytes = 64 * 1024;
+  StreamCompressor sc(opt);
+  const auto data = wl::make_corpus("x2e", 128 * 1024);
+  sc.write(data);
+  (void)sc.finish();
+  for (const auto& b : sc.blocks()) EXPECT_EQ(b.chosen, 'd');
+}
+
+TEST(StreamCompressor, PolicyOverridesWork) {
+  const auto data = wl::make_corpus("wiki", 40 * 1024);
+  StreamOptions fixed_opt;
+  fixed_opt.policy = BlockPolicy::kFixedOnly;
+  StreamCompressor sf(fixed_opt);
+  sf.write(data);
+  const auto zf = sf.finish();
+  for (const auto& b : sf.blocks()) EXPECT_EQ(b.chosen, 'f');
+
+  StreamOptions dyn_opt;
+  dyn_opt.policy = BlockPolicy::kDynamicOnly;
+  StreamCompressor sd(dyn_opt);
+  sd.write(data);
+  const auto zd = sd.finish();
+  for (const auto& b : sd.blocks()) EXPECT_EQ(b.chosen, 'd');
+
+  EXPECT_EQ(zlib_decompress(zf), data);
+  EXPECT_EQ(zlib_decompress(zd), data);
+  EXPECT_LT(zd.size(), zf.size());
+}
+
+TEST(StreamCompressor, AutoNeverWorseThanAnySinglePolicy) {
+  for (const char* corpus : {"wiki", "x2e", "random", "zeros", "mixed"}) {
+    const auto data = wl::make_corpus(corpus, 96 * 1024);
+    auto size_with = [&](BlockPolicy p) {
+      StreamOptions o;
+      o.block_bytes = 32 * 1024;
+      o.policy = p;
+      StreamCompressor sc(o);
+      sc.write(data);
+      return sc.finish().size();
+    };
+    const auto zauto = size_with(BlockPolicy::kAuto);
+    EXPECT_LE(zauto, size_with(BlockPolicy::kFixedOnly) + 8) << corpus;
+    EXPECT_LE(zauto, size_with(BlockPolicy::kDynamicOnly) + 8) << corpus;
+  }
+}
+
+TEST(StreamCompressor, GzipAndRawContainers) {
+  const auto data = wl::make_corpus("wiki", 30 * 1024);
+  StreamOptions gz;
+  gz.container = ContainerKind::kGzip;
+  StreamCompressor sg(gz);
+  sg.write(data);
+  EXPECT_EQ(gzip_decompress(sg.finish()), data);
+
+  StreamOptions raw;
+  raw.container = ContainerKind::kRaw;
+  StreamCompressor sr(raw);
+  sr.write(data);
+  EXPECT_EQ(inflate_raw(sr.finish()), data);
+}
+
+TEST(StreamCompressor, ReusableAfterFinish) {
+  StreamCompressor sc;
+  const auto a = bytes("first payload first payload");
+  const auto b = bytes("second second second");
+  sc.write(a);
+  const auto za = sc.finish();
+  sc.write(b);
+  const auto zb = sc.finish();
+  EXPECT_EQ(zlib_decompress(za), a);
+  EXPECT_EQ(zlib_decompress(zb), b);
+}
+
+TEST(StreamCompressor, BlockRecordsAreConsistent) {
+  StreamOptions opt;
+  opt.block_bytes = 8 * 1024;
+  StreamCompressor sc(opt);
+  const auto data = wl::make_corpus("mixed", 64 * 1024);
+  sc.write(data);
+  (void)sc.finish();
+  std::size_t total_source = 0;
+  for (const auto& b : sc.blocks()) {
+    total_source += b.source_bytes;
+    EXPECT_GT(b.fixed_bits, 0u);
+    EXPECT_GT(b.dynamic_bits, 0u);
+  }
+  EXPECT_EQ(total_source, data.size());
+}
+
+}  // namespace
+}  // namespace lzss::deflate

@@ -1,0 +1,87 @@
+#include "lzss/token.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+
+namespace lzss::core {
+namespace {
+
+TEST(Token, LiteralAccessors) {
+  const Token t = Token::literal(0x41);
+  EXPECT_TRUE(t.is_literal());
+  EXPECT_EQ(t.literal_byte(), 0x41);
+  EXPECT_EQ(t.distance(), 0u);
+}
+
+TEST(Token, MatchAccessors) {
+  const Token t = Token::match(6, 4);
+  EXPECT_FALSE(t.is_literal());
+  EXPECT_EQ(t.distance(), 6u);
+  EXPECT_EQ(t.length(), 4u);
+}
+
+TEST(Token, EqualityComparesFields) {
+  EXPECT_EQ(Token::literal('a'), Token::literal('a'));
+  EXPECT_NE(Token::literal('a'), Token::literal('b'));
+  EXPECT_EQ(Token::match(3, 5), Token::match(3, 5));
+  EXPECT_NE(Token::match(3, 5), Token::match(4, 5));
+  EXPECT_NE(Token::literal(0), Token::match(1, 3));
+}
+
+TEST(Token, BoundsOfLengthRange) {
+  EXPECT_EQ(Token::match(1, kMinMatch).length(), kMinMatch);
+  EXPECT_EQ(Token::match(1, kMaxMatch).length(), kMaxMatch);
+}
+
+TEST(RawFormat, PaperExampleSnowySnow) {
+  // "snowy snow" -> 6 literals + copy 4 bytes from distance 6 (section III).
+  const std::string s = "snowy snow";
+  std::vector<Token> tokens;
+  for (int i = 0; i < 6; ++i) tokens.push_back(Token::literal(static_cast<std::uint8_t>(s[i])));
+  tokens.push_back(Token::match(6, 4));
+
+  const unsigned window_bits = 12;
+  const auto packed = pack_raw_tokens(tokens, window_bits);
+  // 7 commands x (12 + 8) bits = 140 bits = 17.5 -> 18 bytes.
+  EXPECT_EQ(packed.size(), 18u);
+  const auto unpacked = unpack_raw_tokens(packed, tokens.size(), window_bits);
+  EXPECT_EQ(unpacked, tokens);
+}
+
+TEST(RawFormat, LengthFieldStoresLengthMinusThree) {
+  const std::vector<Token> tokens{Token::match(1, 3)};
+  const auto packed = pack_raw_tokens(tokens, 8);
+  // D=1 in 8 bits, then L=0 in 8 bits.
+  ASSERT_EQ(packed.size(), 2u);
+  EXPECT_EQ(packed[0], 0x01);
+  EXPECT_EQ(packed[1], 0x00);
+}
+
+TEST(RawFormat, DistanceMustFitField) {
+  const std::vector<Token> too_far{Token::match(256, 3)};
+  EXPECT_THROW((void)pack_raw_tokens(too_far, 8), std::invalid_argument);
+  const std::vector<Token> fits{Token::match(255, 3)};
+  EXPECT_NO_THROW((void)pack_raw_tokens(fits, 8));
+}
+
+TEST(RawFormat, RandomRoundtrip) {
+  rng::Xoshiro256 rng(99);
+  for (const unsigned window_bits : {9u, 12u, 15u}) {
+    std::vector<Token> tokens;
+    for (int i = 0; i < 500; ++i) {
+      if (rng.next_below(2) == 0) {
+        tokens.push_back(Token::literal(rng.next_byte()));
+      } else {
+        const auto dist = 1 + static_cast<std::uint32_t>(rng.next_below((1u << window_bits) - 1));
+        const auto len = kMinMatch + static_cast<std::uint32_t>(rng.next_below(256));
+        tokens.push_back(Token::match(dist, len));
+      }
+    }
+    const auto packed = pack_raw_tokens(tokens, window_bits);
+    EXPECT_EQ(unpack_raw_tokens(packed, tokens.size(), window_bits), tokens);
+  }
+}
+
+}  // namespace
+}  // namespace lzss::core

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "deflate/container.hpp"
+#include "lzss/params.hpp"
+#include "workloads/bitstream_gen.hpp"
+#include "workloads/can_gen.hpp"
+#include "workloads/corpus.hpp"
+#include "workloads/net_gen.hpp"
+#include "workloads/patterns.hpp"
+#include "workloads/text_gen.hpp"
+
+namespace lzss::wl {
+namespace {
+
+double zlib_ratio(const std::vector<std::uint8_t>& data) {
+  const auto z = deflate::zlib_compress(data, core::MatchParams::speed_optimized());
+  return static_cast<double>(data.size()) / static_cast<double>(z.size());
+}
+
+TEST(Workloads, ExactSizes) {
+  for (const auto& name : corpus_names()) {
+    EXPECT_EQ(make_corpus(name, 12345).size(), 12345u) << name;
+    EXPECT_EQ(make_corpus(name, 0).size(), 0u) << name;
+  }
+}
+
+TEST(Workloads, DeterministicPerSeed) {
+  for (const auto& name : corpus_names()) {
+    EXPECT_EQ(make_corpus(name, 4096, 7), make_corpus(name, 4096, 7)) << name;
+  }
+}
+
+TEST(Workloads, SeedsChangeStochasticCorpora) {
+  EXPECT_NE(wiki_text(4096, 1), wiki_text(4096, 2));
+  EXPECT_NE(can_log(4096, 1), can_log(4096, 2));
+  EXPECT_NE(random_bytes(4096, 1), random_bytes(4096, 2));
+}
+
+TEST(Workloads, UnknownCorpusRejected) {
+  EXPECT_THROW((void)make_corpus("nope", 16), std::invalid_argument);
+}
+
+TEST(WikiText, LooksLikeText) {
+  const auto data = wiki_text(100000);
+  std::size_t printable = 0, spaces = 0;
+  for (const auto b : data) {
+    if (b == ' ' || b == '\n') ++spaces;
+    if (b >= 0x20 && b < 0x7F) ++printable;
+  }
+  EXPECT_GT(printable + spaces, data.size() * 95 / 100);
+  EXPECT_GT(spaces, data.size() / 12);  // English: a space roughly every 6 chars
+}
+
+TEST(WikiText, CompressionRatioInEnwikRegime) {
+  // The paper reports ratio 1.68-1.70 for the Wikipedia fragment at the
+  // speed-optimized setting (4 KB window, min level, fixed Huffman).
+  const double r = zlib_ratio(wiki_text(512 * 1024));
+  EXPECT_GT(r, 1.45);
+  EXPECT_LT(r, 2.0);
+}
+
+TEST(WikiText, DoesNotDegenerateIntoLongQuotes) {
+  // With low-order mixing the chain must not replay the seed verbatim:
+  // compression with a huge window should stay far from trivially small.
+  core::MatchParams p;
+  p.window_bits = 15;
+  const auto data = wiki_text(256 * 1024);
+  const auto z = deflate::zlib_compress(data, p.with_level(9));
+  EXPECT_GT(static_cast<double>(data.size()) / static_cast<double>(z.size()), 1.5);
+  EXPECT_LT(static_cast<double>(data.size()) / static_cast<double>(z.size()), 5.0);
+}
+
+TEST(CanLog, WholeRecordsWithMonotonicTimestamps) {
+  const auto data = can_log(kCanRecordBytes * 1000);
+  std::uint32_t prev_ts = 0;
+  for (std::size_t i = 0; i + kCanRecordBytes <= data.size(); i += kCanRecordBytes) {
+    const std::uint32_t ts = data[i] | (data[i + 1] << 8) | (data[i + 2] << 16) |
+                             (static_cast<std::uint32_t>(data[i + 3]) << 24);
+    EXPECT_GE(ts, prev_ts);
+    prev_ts = ts;
+    EXPECT_EQ(data[i + 8], 8) << "dlc";
+    EXPECT_EQ(data[i + 18], 0x20) << "Rx flag";
+  }
+}
+
+TEST(CanLog, SmallIdPopulation) {
+  const auto data = can_log(kCanRecordBytes * 2000);
+  std::set<std::uint32_t> ids;
+  for (std::size_t i = 0; i + kCanRecordBytes <= data.size(); i += kCanRecordBytes) {
+    ids.insert(data[i + 4] | (data[i + 5] << 8));
+  }
+  EXPECT_LE(ids.size(), 20u);
+  EXPECT_GE(ids.size(), 5u);
+}
+
+TEST(CanLog, CompressionRatioNearPaper) {
+  // Table I: X2E ratio ~1.7 at the speed-optimized setting.
+  const double r = zlib_ratio(can_log(512 * 1024));
+  EXPECT_GT(r, 1.4);
+  EXPECT_LT(r, 2.4);
+}
+
+TEST(NetTrace, FramesAreStructurallyValid) {
+  const auto data = net_trace(256 * 1024);
+  std::size_t at = 0;
+  std::size_t frames = 0;
+  while (at + 16 <= data.size()) {
+    const std::uint32_t cap_len = data[at + 8] | (data[at + 9] << 8) |
+                                  (data[at + 10] << 16) |
+                                  (static_cast<std::uint32_t>(data[at + 11]) << 24);
+    if (at + 16 + cap_len > data.size()) break;  // trailing partial record
+    const std::size_t frame = at + 16;
+    // Ethernet type 0x0800, IPv4 version/IHL 0x45, protocol UDP (17).
+    ASSERT_EQ(data[frame + 12], 0x08);
+    ASSERT_EQ(data[frame + 13], 0x00);
+    ASSERT_EQ(data[frame + 14], 0x45);
+    ASSERT_EQ(data[frame + 14 + 9], 17);
+    at = frame + cap_len;
+    ++frames;
+  }
+  EXPECT_GT(frames, 300u);
+}
+
+TEST(NetTrace, CompressesLikeStructuredTraffic) {
+  // Headers are highly redundant, payloads partly random: the ratio must
+  // land between pure text and random data.
+  const double r = zlib_ratio(net_trace(512 * 1024));
+  EXPECT_GT(r, 1.3);
+  EXPECT_LT(r, 3.5);
+}
+
+TEST(NetTrace, Deterministic) {
+  EXPECT_EQ(net_trace(64 * 1024, 5), net_trace(64 * 1024, 5));
+  EXPECT_NE(net_trace(64 * 1024, 5), net_trace(64 * 1024, 6));
+}
+
+TEST(Bitstream, PreambleAndFrameStructure) {
+  const auto data = fpga_bitstream(64 * 1024);
+  // Sync pattern 0xFFFFFFFF AA995566 at the front.
+  ASSERT_GE(data.size(), 8u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(data[static_cast<std::size_t>(i)], 0xFF);
+  EXPECT_EQ(data[4], 0xAA);
+  EXPECT_EQ(data[5], 0x99);
+  // Mostly default frames: zeros dominate.
+  std::size_t zeros_count = 0;
+  for (const auto b : data) zeros_count += (b == 0);
+  EXPECT_GT(zeros_count, data.size() / 2);
+}
+
+TEST(Bitstream, HighlyCompressibleLikeRealConfigData) {
+  // Configuration data compresses far better than text — that is the whole
+  // premise of reference [10].
+  const double r = zlib_ratio(fpga_bitstream(512 * 1024));
+  EXPECT_GT(r, 6.0);
+  EXPECT_LT(r, 40.0);
+}
+
+TEST(Bitstream, Deterministic) {
+  EXPECT_EQ(fpga_bitstream(32 * 1024, 3), fpga_bitstream(32 * 1024, 3));
+  EXPECT_NE(fpga_bitstream(32 * 1024, 3), fpga_bitstream(32 * 1024, 4));
+}
+
+TEST(Patterns, RatioOrdering) {
+  const std::size_t n = 256 * 1024;
+  const double r_zero = zlib_ratio(zeros(n));
+  const double r_period = zlib_ratio(periodic(n, 64));
+  const double r_text = zlib_ratio(wiki_text(n));
+  const double r_rand = zlib_ratio(random_bytes(n));
+  EXPECT_GT(r_zero, r_period);
+  EXPECT_GT(r_period, r_text);
+  EXPECT_GT(r_text, r_rand);
+  EXPECT_LT(r_rand, 1.0);  // incompressible data expands under fixed Huffman
+}
+
+TEST(Patterns, RampHasNoShortPeriodRepeats) {
+  const auto data = ramp(1024);
+  for (std::size_t i = 0; i + 3 + 200 < 256; ++i) {
+    // Within one 256-cycle, no 3-gram repeats.
+    for (std::size_t j = i + 1; j < i + 200; ++j) {
+      EXPECT_FALSE(data[i] == data[j] && data[i + 1] == data[j + 1] && data[i + 2] == data[j + 2]);
+    }
+  }
+}
+
+TEST(Patterns, MixedContainsBothRegimes) {
+  const auto data = mixed(64 * 1024);
+  const double r = zlib_ratio(data);
+  EXPECT_GT(r, 1.2);
+  EXPECT_LT(r, 4.0);
+}
+
+}  // namespace
+}  // namespace lzss::wl

@@ -1,0 +1,161 @@
+// lzss_estimate — the paper's interactive estimation tool as a CLI.
+//
+// "We have provided an interactive estimation tool that compresses a given
+// file using several presets and produces reports regarding the block RAM
+// amount, compression ratio and clock cycle usage."
+//
+//   lzss_estimate [options]
+//     --corpus <name>       built-in data sample (default wiki); see --list
+//     --file <path>         use a file instead of a generated corpus
+//     --mb <n>              sample size in MiB for generated corpora (default 4)
+//     --seed <n>            generator seed (default 1)
+//     --dict <bits>         base dictionary bits (default 12)
+//     --hash <bits>         base hash bits (default 15)
+//     --level <1..9>        base compression level (default 1)
+//     --sweep <axis=v1,v2,...>   up to 3 of: dict_bits, hash_bits, level,
+//                                generation_bits, bus_width
+//     --csv                 machine-readable output for sweeps
+//     --analyze             add token/match distribution analysis (no sweep)
+//     --presets             evaluate every standard preset on the sample
+//     --list                list built-in corpora and exit
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "estimator/analysis.hpp"
+#include "estimator/presets.hpp"
+#include "estimator/report.hpp"
+#include "estimator/sweep.hpp"
+#include "workloads/corpus.hpp"
+
+namespace {
+
+std::vector<std::int64_t> parse_values(const std::string& csv) {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoll(item));
+  return out;
+}
+
+int usage() {
+  std::fprintf(stderr, "usage: lzss_estimate [--corpus name|--file path] [--mb n] [--seed n]\n"
+                       "                     [--dict bits] [--hash bits] [--level n]\n"
+                       "                     [--sweep axis=v1,v2,...]... [--csv] [--list]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lzss;
+  std::string corpus = "wiki", file;
+  std::size_t mb = 4;
+  std::uint64_t seed = 1;
+  unsigned dict_bits = 12, hash_bits = 15;
+  int level = 1;
+  bool csv = false;
+  bool analyze = false;
+  bool presets = false;
+  std::vector<est::Axis> axes;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : nullptr; };
+    if (arg == "--list") {
+      for (const auto& n : wl::corpus_names()) std::printf("%s\n", n.c_str());
+      return 0;
+    }
+    if (arg == "--csv") {
+      csv = true;
+      continue;
+    }
+    if (arg == "--analyze") {
+      analyze = true;
+      continue;
+    }
+    if (arg == "--presets") {
+      presets = true;
+      continue;
+    }
+    const char* v = next();
+    if (v == nullptr) return usage();
+    if (arg == "--corpus") {
+      corpus = v;
+    } else if (arg == "--file") {
+      file = v;
+    } else if (arg == "--mb") {
+      mb = static_cast<std::size_t>(std::stoull(v));
+    } else if (arg == "--seed") {
+      seed = std::stoull(v);
+    } else if (arg == "--dict") {
+      dict_bits = static_cast<unsigned>(std::stoul(v));
+    } else if (arg == "--hash") {
+      hash_bits = static_cast<unsigned>(std::stoul(v));
+    } else if (arg == "--level") {
+      level = std::stoi(v);
+    } else if (arg == "--sweep") {
+      const std::string spec = v;
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) return usage();
+      try {
+        axes.push_back(est::named_axis(spec.substr(0, eq), parse_values(spec.substr(eq + 1))));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    std::vector<std::uint8_t> data;
+    if (!file.empty()) {
+      std::ifstream f(file, std::ios::binary);
+      if (!f) throw std::runtime_error("cannot open " + file);
+      data.assign(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
+    } else {
+      data = wl::make_corpus(corpus, mb * 1024 * 1024, seed);
+    }
+
+    hw::HwConfig base = hw::HwConfig::speed_optimized().with_level(level);
+    base.dict_bits = dict_bits;
+    base.hash.bits = hash_bits;
+
+    if (presets) {
+      std::printf("%-14s %8s %8s %8s %8s  %s\n", "preset", "MB/s", "ratio", "RAMB36", "LUTs",
+                  "intent");
+      for (const auto& p : est::standard_presets()) {
+        const auto ev = est::evaluate(p.config, data);
+        std::printf("%-14s %8.1f %8.3f %8zu %8u  %s\n", p.name.c_str(), ev.mb_per_s(),
+                    ev.ratio(), ev.resources.bram36_total, ev.resources.luts,
+                    p.intent.c_str());
+      }
+      return 0;
+    }
+
+    if (axes.empty()) {
+      const auto ev = est::evaluate(base, data);
+      std::printf("%s", est::format_evaluation(ev).c_str());
+      if (analyze) {
+        hw::Compressor comp(base);
+        const auto res = comp.compress(data);
+        std::printf("\n%s", est::format_analysis(est::analyze_tokens(res.tokens),
+                                                 est::analyze_matching(res.stats))
+                                .c_str());
+      }
+      return 0;
+    }
+    const auto sweep = est::run_sweep(base, axes, data);
+    std::printf("%s", csv ? est::format_sweep_csv(sweep).c_str()
+                          : est::format_sweep_table(sweep).c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,54 @@
+// lzss_genrtl — emit the VHDL bundle for a configuration.
+//
+//   lzss_genrtl [--dict bits] [--hash bits] [--gen bits] [--bus bytes] -o <dir>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "rtl/vhdl_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lzss;
+  hw::HwConfig cfg = hw::HwConfig::speed_optimized();
+  std::string out_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : nullptr; };
+    const char* v = next();
+    if (v == nullptr) {
+      std::fprintf(stderr, "usage: lzss_genrtl [--dict bits] [--hash bits] [--gen bits] "
+                           "[--bus bytes] -o <dir>\n");
+      return 2;
+    }
+    if (arg == "--dict") {
+      cfg.dict_bits = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--hash") {
+      cfg.hash.bits = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--gen") {
+      cfg.generation_bits = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--bus") {
+      cfg.bus_width_bytes = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "-o") {
+      out_dir = v;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (out_dir.empty()) {
+    std::fprintf(stderr, "lzss_genrtl: -o <dir> is required\n");
+    return 2;
+  }
+
+  try {
+    const auto bundle = rtl::generate_vhdl(cfg);
+    const auto n = rtl::write_bundle(bundle, out_dir);
+    std::printf("wrote %zu VHDL files for {%s} to %s\n", n, cfg.describe().c_str(),
+                out_dir.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
