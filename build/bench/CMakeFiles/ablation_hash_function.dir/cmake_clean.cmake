@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hash_function.dir/ablation_hash_function.cpp.o"
+  "CMakeFiles/ablation_hash_function.dir/ablation_hash_function.cpp.o.d"
+  "ablation_hash_function"
+  "ablation_hash_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hash_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_archive.dir/ext_archive.cpp.o"
+  "CMakeFiles/ext_archive.dir/ext_archive.cpp.o.d"
+  "ext_archive"
+  "ext_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_decompression.dir/ext_decompression.cpp.o"
+  "CMakeFiles/ext_decompression.dir/ext_decompression.cpp.o.d"
+  "ext_decompression"
+  "ext_decompression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_decompression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multi_engine.dir/ext_multi_engine.cpp.o"
+  "CMakeFiles/ext_multi_engine.dir/ext_multi_engine.cpp.o.d"
+  "ext_multi_engine"
+  "ext_multi_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_compressed_size.dir/fig2_compressed_size.cpp.o"
+  "CMakeFiles/fig2_compressed_size.dir/fig2_compressed_size.cpp.o.d"
+  "fig2_compressed_size"
+  "fig2_compressed_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_compressed_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

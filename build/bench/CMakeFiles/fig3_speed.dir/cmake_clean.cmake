@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_speed.dir/fig3_speed.cpp.o"
+  "CMakeFiles/fig3_speed.dir/fig3_speed.cpp.o.d"
+  "fig3_speed"
+  "fig3_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

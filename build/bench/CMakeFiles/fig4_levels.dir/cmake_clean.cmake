@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_levels.dir/fig4_levels.cpp.o"
+  "CMakeFiles/fig4_levels.dir/fig4_levels.cpp.o.d"
+  "fig4_levels"
+  "fig4_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

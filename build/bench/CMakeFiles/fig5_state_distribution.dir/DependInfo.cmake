@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_state_distribution.cpp" "bench/CMakeFiles/fig5_state_distribution.dir/fig5_state_distribution.cpp.o" "gcc" "bench/CMakeFiles/fig5_state_distribution.dir/fig5_state_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lzss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/lzss_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/lzss/CMakeFiles/lzss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/deflate/CMakeFiles/lzss_deflate.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/lzss_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/lzss_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/swmodel/CMakeFiles/lzss_swmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimator/CMakeFiles/lzss_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lzss_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lzss_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/logger/CMakeFiles/lzss_logger.dir/DependInfo.cmake"
+  "/root/repo/build/src/bram/CMakeFiles/lzss_bram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_utilization.dir/table2_utilization.cpp.o"
+  "CMakeFiles/table2_utilization.dir/table2_utilization.cpp.o.d"
+  "table2_utilization"
+  "table2_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

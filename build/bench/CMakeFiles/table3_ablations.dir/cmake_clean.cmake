@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ablations.dir/table3_ablations.cpp.o"
+  "CMakeFiles/table3_ablations.dir/table3_ablations.cpp.o.d"
+  "table3_ablations"
+  "table3_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_logger.dir/embedded_logger.cpp.o"
+  "CMakeFiles/embedded_logger.dir/embedded_logger.cpp.o.d"
+  "embedded_logger"
+  "embedded_logger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_logger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

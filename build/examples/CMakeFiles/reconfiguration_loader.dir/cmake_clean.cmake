@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfiguration_loader.dir/reconfiguration_loader.cpp.o"
+  "CMakeFiles/reconfiguration_loader.dir/reconfiguration_loader.cpp.o.d"
+  "reconfiguration_loader"
+  "reconfiguration_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfiguration_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveform_debug.dir/waveform_debug.cpp.o"
+  "CMakeFiles/waveform_debug.dir/waveform_debug.cpp.o.d"
+  "waveform_debug"
+  "waveform_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveform_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

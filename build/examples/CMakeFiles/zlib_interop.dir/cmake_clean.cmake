@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zlib_interop.dir/zlib_interop.cpp.o"
+  "CMakeFiles/zlib_interop.dir/zlib_interop.cpp.o.d"
+  "zlib_interop"
+  "zlib_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zlib_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("bram")
+subdirs("stream")
+subdirs("lzss")
+subdirs("deflate")
+subdirs("hw")
+subdirs("fpga")
+subdirs("swmodel")
+subdirs("workloads")
+subdirs("estimator")
+subdirs("parallel")
+subdirs("rtl")
+subdirs("logger")

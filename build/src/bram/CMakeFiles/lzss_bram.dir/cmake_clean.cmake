@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_bram.dir/dual_port_ram.cpp.o"
+  "CMakeFiles/lzss_bram.dir/dual_port_ram.cpp.o.d"
+  "CMakeFiles/lzss_bram.dir/geometry.cpp.o"
+  "CMakeFiles/lzss_bram.dir/geometry.cpp.o.d"
+  "liblzss_bram.a"
+  "liblzss_bram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_bram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

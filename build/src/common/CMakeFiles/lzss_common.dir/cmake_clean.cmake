@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_common.dir/bitio.cpp.o"
+  "CMakeFiles/lzss_common.dir/bitio.cpp.o.d"
+  "CMakeFiles/lzss_common.dir/checksum.cpp.o"
+  "CMakeFiles/lzss_common.dir/checksum.cpp.o.d"
+  "CMakeFiles/lzss_common.dir/env.cpp.o"
+  "CMakeFiles/lzss_common.dir/env.cpp.o.d"
+  "CMakeFiles/lzss_common.dir/vcd.cpp.o"
+  "CMakeFiles/lzss_common.dir/vcd.cpp.o.d"
+  "liblzss_common.a"
+  "liblzss_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

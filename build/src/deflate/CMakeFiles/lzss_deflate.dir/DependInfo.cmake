@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deflate/container.cpp" "src/deflate/CMakeFiles/lzss_deflate.dir/container.cpp.o" "gcc" "src/deflate/CMakeFiles/lzss_deflate.dir/container.cpp.o.d"
+  "/root/repo/src/deflate/dynamic_encoder.cpp" "src/deflate/CMakeFiles/lzss_deflate.dir/dynamic_encoder.cpp.o" "gcc" "src/deflate/CMakeFiles/lzss_deflate.dir/dynamic_encoder.cpp.o.d"
+  "/root/repo/src/deflate/encoder.cpp" "src/deflate/CMakeFiles/lzss_deflate.dir/encoder.cpp.o" "gcc" "src/deflate/CMakeFiles/lzss_deflate.dir/encoder.cpp.o.d"
+  "/root/repo/src/deflate/fixed_tables.cpp" "src/deflate/CMakeFiles/lzss_deflate.dir/fixed_tables.cpp.o" "gcc" "src/deflate/CMakeFiles/lzss_deflate.dir/fixed_tables.cpp.o.d"
+  "/root/repo/src/deflate/huffman.cpp" "src/deflate/CMakeFiles/lzss_deflate.dir/huffman.cpp.o" "gcc" "src/deflate/CMakeFiles/lzss_deflate.dir/huffman.cpp.o.d"
+  "/root/repo/src/deflate/inflate.cpp" "src/deflate/CMakeFiles/lzss_deflate.dir/inflate.cpp.o" "gcc" "src/deflate/CMakeFiles/lzss_deflate.dir/inflate.cpp.o.d"
+  "/root/repo/src/deflate/inflate_stream.cpp" "src/deflate/CMakeFiles/lzss_deflate.dir/inflate_stream.cpp.o" "gcc" "src/deflate/CMakeFiles/lzss_deflate.dir/inflate_stream.cpp.o.d"
+  "/root/repo/src/deflate/stream_compressor.cpp" "src/deflate/CMakeFiles/lzss_deflate.dir/stream_compressor.cpp.o" "gcc" "src/deflate/CMakeFiles/lzss_deflate.dir/stream_compressor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lzss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lzss/CMakeFiles/lzss_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_deflate.dir/container.cpp.o"
+  "CMakeFiles/lzss_deflate.dir/container.cpp.o.d"
+  "CMakeFiles/lzss_deflate.dir/dynamic_encoder.cpp.o"
+  "CMakeFiles/lzss_deflate.dir/dynamic_encoder.cpp.o.d"
+  "CMakeFiles/lzss_deflate.dir/encoder.cpp.o"
+  "CMakeFiles/lzss_deflate.dir/encoder.cpp.o.d"
+  "CMakeFiles/lzss_deflate.dir/fixed_tables.cpp.o"
+  "CMakeFiles/lzss_deflate.dir/fixed_tables.cpp.o.d"
+  "CMakeFiles/lzss_deflate.dir/huffman.cpp.o"
+  "CMakeFiles/lzss_deflate.dir/huffman.cpp.o.d"
+  "CMakeFiles/lzss_deflate.dir/inflate.cpp.o"
+  "CMakeFiles/lzss_deflate.dir/inflate.cpp.o.d"
+  "CMakeFiles/lzss_deflate.dir/inflate_stream.cpp.o"
+  "CMakeFiles/lzss_deflate.dir/inflate_stream.cpp.o.d"
+  "CMakeFiles/lzss_deflate.dir/stream_compressor.cpp.o"
+  "CMakeFiles/lzss_deflate.dir/stream_compressor.cpp.o.d"
+  "liblzss_deflate.a"
+  "liblzss_deflate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_deflate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_estimator.dir/analysis.cpp.o"
+  "CMakeFiles/lzss_estimator.dir/analysis.cpp.o.d"
+  "CMakeFiles/lzss_estimator.dir/evaluate.cpp.o"
+  "CMakeFiles/lzss_estimator.dir/evaluate.cpp.o.d"
+  "CMakeFiles/lzss_estimator.dir/pareto.cpp.o"
+  "CMakeFiles/lzss_estimator.dir/pareto.cpp.o.d"
+  "CMakeFiles/lzss_estimator.dir/presets.cpp.o"
+  "CMakeFiles/lzss_estimator.dir/presets.cpp.o.d"
+  "CMakeFiles/lzss_estimator.dir/report.cpp.o"
+  "CMakeFiles/lzss_estimator.dir/report.cpp.o.d"
+  "CMakeFiles/lzss_estimator.dir/sweep.cpp.o"
+  "CMakeFiles/lzss_estimator.dir/sweep.cpp.o.d"
+  "liblzss_estimator.a"
+  "liblzss_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

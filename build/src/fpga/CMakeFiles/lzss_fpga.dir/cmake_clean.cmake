@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_fpga.dir/resource_model.cpp.o"
+  "CMakeFiles/lzss_fpga.dir/resource_model.cpp.o.d"
+  "liblzss_fpga.a"
+  "liblzss_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/compressor.cpp" "src/hw/CMakeFiles/lzss_hw.dir/compressor.cpp.o" "gcc" "src/hw/CMakeFiles/lzss_hw.dir/compressor.cpp.o.d"
+  "/root/repo/src/hw/config.cpp" "src/hw/CMakeFiles/lzss_hw.dir/config.cpp.o" "gcc" "src/hw/CMakeFiles/lzss_hw.dir/config.cpp.o.d"
+  "/root/repo/src/hw/decompressor.cpp" "src/hw/CMakeFiles/lzss_hw.dir/decompressor.cpp.o" "gcc" "src/hw/CMakeFiles/lzss_hw.dir/decompressor.cpp.o.d"
+  "/root/repo/src/hw/huffman_decode_stage.cpp" "src/hw/CMakeFiles/lzss_hw.dir/huffman_decode_stage.cpp.o" "gcc" "src/hw/CMakeFiles/lzss_hw.dir/huffman_decode_stage.cpp.o.d"
+  "/root/repo/src/hw/huffman_stage.cpp" "src/hw/CMakeFiles/lzss_hw.dir/huffman_stage.cpp.o" "gcc" "src/hw/CMakeFiles/lzss_hw.dir/huffman_stage.cpp.o.d"
+  "/root/repo/src/hw/pipeline.cpp" "src/hw/CMakeFiles/lzss_hw.dir/pipeline.cpp.o" "gcc" "src/hw/CMakeFiles/lzss_hw.dir/pipeline.cpp.o.d"
+  "/root/repo/src/hw/trace.cpp" "src/hw/CMakeFiles/lzss_hw.dir/trace.cpp.o" "gcc" "src/hw/CMakeFiles/lzss_hw.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lzss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lzss/CMakeFiles/lzss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bram/CMakeFiles/lzss_bram.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/lzss_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/deflate/CMakeFiles/lzss_deflate.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

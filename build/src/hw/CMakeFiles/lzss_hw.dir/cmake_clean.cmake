@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_hw.dir/compressor.cpp.o"
+  "CMakeFiles/lzss_hw.dir/compressor.cpp.o.d"
+  "CMakeFiles/lzss_hw.dir/config.cpp.o"
+  "CMakeFiles/lzss_hw.dir/config.cpp.o.d"
+  "CMakeFiles/lzss_hw.dir/decompressor.cpp.o"
+  "CMakeFiles/lzss_hw.dir/decompressor.cpp.o.d"
+  "CMakeFiles/lzss_hw.dir/huffman_decode_stage.cpp.o"
+  "CMakeFiles/lzss_hw.dir/huffman_decode_stage.cpp.o.d"
+  "CMakeFiles/lzss_hw.dir/huffman_stage.cpp.o"
+  "CMakeFiles/lzss_hw.dir/huffman_stage.cpp.o.d"
+  "CMakeFiles/lzss_hw.dir/pipeline.cpp.o"
+  "CMakeFiles/lzss_hw.dir/pipeline.cpp.o.d"
+  "CMakeFiles/lzss_hw.dir/trace.cpp.o"
+  "CMakeFiles/lzss_hw.dir/trace.cpp.o.d"
+  "liblzss_hw.a"
+  "liblzss_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_logger.dir/archive.cpp.o"
+  "CMakeFiles/lzss_logger.dir/archive.cpp.o.d"
+  "liblzss_logger.a"
+  "liblzss_logger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_logger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lzss/decoder.cpp" "src/lzss/CMakeFiles/lzss_core.dir/decoder.cpp.o" "gcc" "src/lzss/CMakeFiles/lzss_core.dir/decoder.cpp.o.d"
+  "/root/repo/src/lzss/incremental_encoder.cpp" "src/lzss/CMakeFiles/lzss_core.dir/incremental_encoder.cpp.o" "gcc" "src/lzss/CMakeFiles/lzss_core.dir/incremental_encoder.cpp.o.d"
+  "/root/repo/src/lzss/params.cpp" "src/lzss/CMakeFiles/lzss_core.dir/params.cpp.o" "gcc" "src/lzss/CMakeFiles/lzss_core.dir/params.cpp.o.d"
+  "/root/repo/src/lzss/raw_container.cpp" "src/lzss/CMakeFiles/lzss_core.dir/raw_container.cpp.o" "gcc" "src/lzss/CMakeFiles/lzss_core.dir/raw_container.cpp.o.d"
+  "/root/repo/src/lzss/sw_encoder.cpp" "src/lzss/CMakeFiles/lzss_core.dir/sw_encoder.cpp.o" "gcc" "src/lzss/CMakeFiles/lzss_core.dir/sw_encoder.cpp.o.d"
+  "/root/repo/src/lzss/token.cpp" "src/lzss/CMakeFiles/lzss_core.dir/token.cpp.o" "gcc" "src/lzss/CMakeFiles/lzss_core.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lzss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

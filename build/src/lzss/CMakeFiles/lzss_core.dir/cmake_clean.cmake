@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_core.dir/decoder.cpp.o"
+  "CMakeFiles/lzss_core.dir/decoder.cpp.o.d"
+  "CMakeFiles/lzss_core.dir/incremental_encoder.cpp.o"
+  "CMakeFiles/lzss_core.dir/incremental_encoder.cpp.o.d"
+  "CMakeFiles/lzss_core.dir/params.cpp.o"
+  "CMakeFiles/lzss_core.dir/params.cpp.o.d"
+  "CMakeFiles/lzss_core.dir/raw_container.cpp.o"
+  "CMakeFiles/lzss_core.dir/raw_container.cpp.o.d"
+  "CMakeFiles/lzss_core.dir/sw_encoder.cpp.o"
+  "CMakeFiles/lzss_core.dir/sw_encoder.cpp.o.d"
+  "CMakeFiles/lzss_core.dir/token.cpp.o"
+  "CMakeFiles/lzss_core.dir/token.cpp.o.d"
+  "liblzss_core.a"
+  "liblzss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

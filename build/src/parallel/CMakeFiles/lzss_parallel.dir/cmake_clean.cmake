@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_parallel.dir/multi_engine.cpp.o"
+  "CMakeFiles/lzss_parallel.dir/multi_engine.cpp.o.d"
+  "liblzss_parallel.a"
+  "liblzss_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

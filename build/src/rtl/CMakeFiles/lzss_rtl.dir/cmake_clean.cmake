@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_rtl.dir/vhdl_gen.cpp.o"
+  "CMakeFiles/lzss_rtl.dir/vhdl_gen.cpp.o.d"
+  "liblzss_rtl.a"
+  "liblzss_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_stream.dir/dma.cpp.o"
+  "CMakeFiles/lzss_stream.dir/dma.cpp.o.d"
+  "CMakeFiles/lzss_stream.dir/word_packer.cpp.o"
+  "CMakeFiles/lzss_stream.dir/word_packer.cpp.o.d"
+  "liblzss_stream.a"
+  "liblzss_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblzss_stream.a"
+)

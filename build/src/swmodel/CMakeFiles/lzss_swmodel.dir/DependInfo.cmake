@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swmodel/cache_sim.cpp" "src/swmodel/CMakeFiles/lzss_swmodel.dir/cache_sim.cpp.o" "gcc" "src/swmodel/CMakeFiles/lzss_swmodel.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/swmodel/ppc440_model.cpp" "src/swmodel/CMakeFiles/lzss_swmodel.dir/ppc440_model.cpp.o" "gcc" "src/swmodel/CMakeFiles/lzss_swmodel.dir/ppc440_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lzss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lzss/CMakeFiles/lzss_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_swmodel.dir/cache_sim.cpp.o"
+  "CMakeFiles/lzss_swmodel.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/lzss_swmodel.dir/ppc440_model.cpp.o"
+  "CMakeFiles/lzss_swmodel.dir/ppc440_model.cpp.o.d"
+  "liblzss_swmodel.a"
+  "liblzss_swmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_swmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bitstream_gen.cpp" "src/workloads/CMakeFiles/lzss_workloads.dir/bitstream_gen.cpp.o" "gcc" "src/workloads/CMakeFiles/lzss_workloads.dir/bitstream_gen.cpp.o.d"
+  "/root/repo/src/workloads/can_gen.cpp" "src/workloads/CMakeFiles/lzss_workloads.dir/can_gen.cpp.o" "gcc" "src/workloads/CMakeFiles/lzss_workloads.dir/can_gen.cpp.o.d"
+  "/root/repo/src/workloads/corpus.cpp" "src/workloads/CMakeFiles/lzss_workloads.dir/corpus.cpp.o" "gcc" "src/workloads/CMakeFiles/lzss_workloads.dir/corpus.cpp.o.d"
+  "/root/repo/src/workloads/net_gen.cpp" "src/workloads/CMakeFiles/lzss_workloads.dir/net_gen.cpp.o" "gcc" "src/workloads/CMakeFiles/lzss_workloads.dir/net_gen.cpp.o.d"
+  "/root/repo/src/workloads/patterns.cpp" "src/workloads/CMakeFiles/lzss_workloads.dir/patterns.cpp.o" "gcc" "src/workloads/CMakeFiles/lzss_workloads.dir/patterns.cpp.o.d"
+  "/root/repo/src/workloads/text_gen.cpp" "src/workloads/CMakeFiles/lzss_workloads.dir/text_gen.cpp.o" "gcc" "src/workloads/CMakeFiles/lzss_workloads.dir/text_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lzss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_workloads.dir/bitstream_gen.cpp.o"
+  "CMakeFiles/lzss_workloads.dir/bitstream_gen.cpp.o.d"
+  "CMakeFiles/lzss_workloads.dir/can_gen.cpp.o"
+  "CMakeFiles/lzss_workloads.dir/can_gen.cpp.o.d"
+  "CMakeFiles/lzss_workloads.dir/corpus.cpp.o"
+  "CMakeFiles/lzss_workloads.dir/corpus.cpp.o.d"
+  "CMakeFiles/lzss_workloads.dir/net_gen.cpp.o"
+  "CMakeFiles/lzss_workloads.dir/net_gen.cpp.o.d"
+  "CMakeFiles/lzss_workloads.dir/patterns.cpp.o"
+  "CMakeFiles/lzss_workloads.dir/patterns.cpp.o.d"
+  "CMakeFiles/lzss_workloads.dir/text_gen.cpp.o"
+  "CMakeFiles/lzss_workloads.dir/text_gen.cpp.o.d"
+  "liblzss_workloads.a"
+  "liblzss_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

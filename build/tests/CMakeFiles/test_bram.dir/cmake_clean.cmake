@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bram.dir/test_bram.cpp.o"
+  "CMakeFiles/test_bram.dir/test_bram.cpp.o.d"
+  "test_bram"
+  "test_bram.pdb"
+  "test_bram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

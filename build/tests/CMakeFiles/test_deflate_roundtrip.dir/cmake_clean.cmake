@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deflate_roundtrip.dir/test_deflate_roundtrip.cpp.o"
+  "CMakeFiles/test_deflate_roundtrip.dir/test_deflate_roundtrip.cpp.o.d"
+  "test_deflate_roundtrip"
+  "test_deflate_roundtrip.pdb"
+  "test_deflate_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deflate_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed_tables.dir/test_fixed_tables.cpp.o"
+  "CMakeFiles/test_fixed_tables.dir/test_fixed_tables.cpp.o.d"
+  "test_fixed_tables"
+  "test_fixed_tables.pdb"
+  "test_fixed_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_huffman_stage.dir/test_huffman_stage.cpp.o"
+  "CMakeFiles/test_huffman_stage.dir/test_huffman_stage.cpp.o.d"
+  "test_huffman_stage"
+  "test_huffman_stage.pdb"
+  "test_huffman_stage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_huffman_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

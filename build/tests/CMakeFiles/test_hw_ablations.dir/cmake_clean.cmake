@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_ablations.dir/test_hw_ablations.cpp.o"
+  "CMakeFiles/test_hw_ablations.dir/test_hw_ablations.cpp.o.d"
+  "test_hw_ablations"
+  "test_hw_ablations.pdb"
+  "test_hw_ablations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_compressor.dir/test_hw_compressor.cpp.o"
+  "CMakeFiles/test_hw_compressor.dir/test_hw_compressor.cpp.o.d"
+  "test_hw_compressor"
+  "test_hw_compressor.pdb"
+  "test_hw_compressor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_compressor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

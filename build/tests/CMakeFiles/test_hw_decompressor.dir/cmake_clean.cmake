@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_decompressor.dir/test_hw_decompressor.cpp.o"
+  "CMakeFiles/test_hw_decompressor.dir/test_hw_decompressor.cpp.o.d"
+  "test_hw_decompressor"
+  "test_hw_decompressor.pdb"
+  "test_hw_decompressor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_decompressor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

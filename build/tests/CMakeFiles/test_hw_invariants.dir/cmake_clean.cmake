@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_invariants.dir/test_hw_invariants.cpp.o"
+  "CMakeFiles/test_hw_invariants.dir/test_hw_invariants.cpp.o.d"
+  "test_hw_invariants"
+  "test_hw_invariants.pdb"
+  "test_hw_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

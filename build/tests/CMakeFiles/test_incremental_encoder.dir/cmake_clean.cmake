@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incremental_encoder.dir/test_incremental_encoder.cpp.o"
+  "CMakeFiles/test_incremental_encoder.dir/test_incremental_encoder.cpp.o.d"
+  "test_incremental_encoder"
+  "test_incremental_encoder.pdb"
+  "test_incremental_encoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incremental_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

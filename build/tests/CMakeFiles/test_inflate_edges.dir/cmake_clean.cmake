@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inflate_edges.dir/test_inflate_edges.cpp.o"
+  "CMakeFiles/test_inflate_edges.dir/test_inflate_edges.cpp.o.d"
+  "test_inflate_edges"
+  "test_inflate_edges.pdb"
+  "test_inflate_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inflate_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inflate_stream.dir/test_inflate_stream.cpp.o"
+  "CMakeFiles/test_inflate_stream.dir/test_inflate_stream.cpp.o.d"
+  "test_inflate_stream"
+  "test_inflate_stream.pdb"
+  "test_inflate_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inflate_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_engine.dir/test_multi_engine.cpp.o"
+  "CMakeFiles/test_multi_engine.dir/test_multi_engine.cpp.o.d"
+  "test_multi_engine"
+  "test_multi_engine.pdb"
+  "test_multi_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

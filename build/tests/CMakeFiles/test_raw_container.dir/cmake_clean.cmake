@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raw_container.dir/test_raw_container.cpp.o"
+  "CMakeFiles/test_raw_container.dir/test_raw_container.cpp.o.d"
+  "test_raw_container"
+  "test_raw_container.pdb"
+  "test_raw_container[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raw_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_gen.dir/test_rtl_gen.cpp.o"
+  "CMakeFiles/test_rtl_gen.dir/test_rtl_gen.cpp.o.d"
+  "test_rtl_gen"
+  "test_rtl_gen.pdb"
+  "test_rtl_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

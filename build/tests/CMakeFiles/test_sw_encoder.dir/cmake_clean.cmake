@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sw_encoder.dir/test_sw_encoder.cpp.o"
+  "CMakeFiles/test_sw_encoder.dir/test_sw_encoder.cpp.o.d"
+  "test_sw_encoder"
+  "test_sw_encoder.pdb"
+  "test_sw_encoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sw_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

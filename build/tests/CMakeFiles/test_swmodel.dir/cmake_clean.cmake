@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swmodel.dir/test_swmodel.cpp.o"
+  "CMakeFiles/test_swmodel.dir/test_swmodel.cpp.o.d"
+  "test_swmodel"
+  "test_swmodel.pdb"
+  "test_swmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcd_trace.dir/test_vcd_trace.cpp.o"
+  "CMakeFiles/test_vcd_trace.dir/test_vcd_trace.cpp.o.d"
+  "test_vcd_trace"
+  "test_vcd_trace.pdb"
+  "test_vcd_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_estimate.dir/lzss_estimate.cpp.o"
+  "CMakeFiles/lzss_estimate.dir/lzss_estimate.cpp.o.d"
+  "lzss_estimate"
+  "lzss_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

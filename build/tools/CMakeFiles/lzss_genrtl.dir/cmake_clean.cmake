@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_genrtl.dir/lzss_genrtl.cpp.o"
+  "CMakeFiles/lzss_genrtl.dir/lzss_genrtl.cpp.o.d"
+  "lzss_genrtl"
+  "lzss_genrtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_genrtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzsszip.dir/lzsszip.cpp.o"
+  "CMakeFiles/lzsszip.dir/lzsszip.cpp.o.d"
+  "lzsszip"
+  "lzsszip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzsszip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
