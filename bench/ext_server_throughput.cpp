@@ -1,0 +1,161 @@
+// Extension: the compression service under concurrent load.
+//
+// N loadgen threads drive the full wire path (frame encode → session parse →
+// bounded queue → worker pool → frame decode) over the in-process loopback
+// transport. Two design-space axes the paper's figures don't cover:
+//   * aggregate host throughput vs. the number of service engines (workers),
+//   * reject (BUSY) rate vs. the bounded queue depth under saturation —
+//     the software twin of the valid/ready backpressure in stream/channel.
+#include "bench_util.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "server/service.hpp"
+#include "server/tcp.hpp"
+
+namespace {
+
+using namespace lzss;
+
+struct LoadResult {
+  double mb_per_s = 0;
+  double reject_rate = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t busy = 0;
+};
+
+/// Closed-loop load: each thread sends @p requests_per_thread compress
+/// requests of @p chunk bytes back to back; BUSY answers count as rejects
+/// (no retry, the loadgen moves on — an open-loop client would back off).
+LoadResult run_load(server::Service& service, const std::vector<std::uint8_t>& corpus,
+                    unsigned threads, std::size_t chunk, int requests_per_thread) {
+  std::atomic<std::uint64_t> ok{0}, busy{0}, ok_bytes{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      server::LoopbackClient client(service);
+      for (int i = 0; i < requests_per_thread; ++i) {
+        // Stride through the corpus so requests are not byte-identical.
+        const std::size_t off = ((static_cast<std::size_t>(t) * 7919 +
+                                  static_cast<std::size_t>(i) * 104729) *
+                                 chunk) %
+                                (corpus.size() - chunk);
+        server::RequestFrame req;
+        req.id = static_cast<std::uint64_t>(t) << 32 | static_cast<std::uint32_t>(i);
+        req.opcode = server::Opcode::kCompress;
+        req.payload.assign(corpus.begin() + static_cast<std::ptrdiff_t>(off),
+                           corpus.begin() + static_cast<std::ptrdiff_t>(off + chunk));
+        const auto resp = client.call(req);
+        if (resp.status == server::Status::kOk) {
+          ok.fetch_add(1);
+          ok_bytes.fetch_add(chunk);
+        } else if (resp.status == server::Status::kBusy) {
+          busy.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  LoadResult r;
+  r.ok = ok.load();
+  r.busy = busy.load();
+  r.mb_per_s = secs > 0 ? static_cast<double>(ok_bytes.load()) / 1e6 / secs : 0;
+  const double total = static_cast<double>(r.ok + r.busy);
+  r.reject_rate = total > 0 ? static_cast<double>(r.busy) / total : 0;
+  return r;
+}
+
+void print_tables() {
+  bench::print_title("EXTENSION — COMPRESSION SERVICE UNDER LOAD (loopback transport)",
+                     "N loadgen threads x 64 KiB compress requests, full wire path");
+
+  const std::size_t bytes = std::max<std::size_t>(bench::sample_bytes(2), 1 << 20);
+  const auto& corpus = bench::cached_corpus("wiki", bytes);
+  const std::size_t chunk = 64 * 1024;
+
+  std::printf("\n-- throughput vs engines (queue depth 64, 2x oversubscribed load) --\n");
+  std::printf("(engines are host threads: scaling needs cores; this host has %u)\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-9s %9s %14s %9s %9s %12s\n", "engines", "threads", "host MB/s", "ok", "busy",
+              "reject rate");
+  double base = 0;
+  for (const unsigned engines : {1u, 2u, 4u}) {
+    server::ServiceConfig cfg;
+    cfg.workers = engines;
+    cfg.queue_depth = 64;
+    server::Service service(cfg);
+    const auto r = run_load(service, corpus, /*threads=*/engines * 2, chunk,
+                            /*requests_per_thread=*/8);
+    if (engines == 1) base = r.mb_per_s;
+    std::printf("%-9u %9u %11.2f (%4.2fx) %6llu %9llu %11.1f%%\n", engines, engines * 2,
+                r.mb_per_s, base > 0 ? r.mb_per_s / base : 0,
+                static_cast<unsigned long long>(r.ok),
+                static_cast<unsigned long long>(r.busy), 100 * r.reject_rate);
+  }
+
+  std::printf("\n-- backpressure vs queue depth (1 engine, 12 loadgen threads) --\n");
+  std::printf("%-12s %9s %9s %12s %16s\n", "queue depth", "ok", "busy", "reject rate",
+              "queue high water");
+  for (const std::size_t depth : {1u, 2u, 4u, 8u, 16u}) {
+    server::ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.queue_depth = depth;
+    server::Service service(cfg);
+    const auto r = run_load(service, corpus, /*threads=*/12, chunk,
+                            /*requests_per_thread=*/4);
+    const auto stats = service.snapshot();
+    std::printf("%-12zu %9llu %9llu %11.1f%% %16llu\n", depth,
+                static_cast<unsigned long long>(r.ok),
+                static_cast<unsigned long long>(r.busy), 100 * r.reject_rate,
+                static_cast<unsigned long long>(stats.queue_high_water));
+  }
+}
+
+void BM_LoopbackCompress64K(benchmark::State& state) {
+  static server::Service service([] {
+    server::ServiceConfig cfg;
+    cfg.workers = 2;
+    return cfg;
+  }());
+  server::LoopbackClient client(service);
+  const auto& corpus = bench::cached_corpus("wiki", 1 << 20);
+  server::RequestFrame req;
+  req.opcode = server::Opcode::kCompress;
+  req.payload.assign(corpus.begin(), corpus.begin() + 64 * 1024);
+  for (auto _ : state) {
+    auto r = req;
+    benchmark::DoNotOptimize(client.call(r).payload.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64 * 1024);
+}
+BENCHMARK(BM_LoopbackCompress64K)->Unit(benchmark::kMillisecond);
+
+void BM_PingRoundTrip(benchmark::State& state) {
+  static server::Service service([] {
+    server::ServiceConfig cfg;
+    cfg.workers = 1;
+    return cfg;
+  }());
+  server::LoopbackClient client(service);
+  server::RequestFrame req;
+  req.opcode = server::Opcode::kPing;
+  for (auto _ : state) {
+    auto r = req;
+    benchmark::DoNotOptimize(client.call(r).status);
+  }
+}
+BENCHMARK(BM_PingRoundTrip);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return lzss::bench::run_bench_main(argc, argv, print_tables);
+}

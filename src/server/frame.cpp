@@ -1,0 +1,208 @@
+#include "server/frame.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lzss::server {
+
+namespace {
+
+constexpr std::uint8_t kRequestMagic[4] = {'L', 'Z', 'R', 'Q'};
+constexpr std::uint8_t kResponseMagic[4] = {'L', 'Z', 'R', 'S'};
+
+void put_le16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_le64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t get_le16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t get_le32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const RequestFrame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kRequestHeaderSize + frame.payload.size());
+  for (const std::uint8_t b : kRequestMagic) out.push_back(b);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(frame.opcode));
+  put_le16(out, frame.flags);
+  put_le64(out, frame.id);
+  put_le32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response(const ResponseFrame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kResponseHeaderSize + frame.payload.size());
+  for (const std::uint8_t b : kResponseMagic) out.push_back(b);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(frame.status));
+  put_le16(out, frame.flags);
+  put_le64(out, frame.id);
+  put_le32(out, frame.adler);
+  put_le32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+const char* opcode_name(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kPing: return "ping";
+    case Opcode::kCompress: return "compress";
+    case Opcode::kDecompress: return "decompress";
+    case Opcode::kStats: return "stats";
+  }
+  return "?";
+}
+
+const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kBusy: return "BUSY";
+    case Status::kBadRequest: return "BAD_REQUEST";
+    case Status::kUnsupported: return "UNSUPPORTED";
+    case Status::kCorrupt: return "CORRUPT";
+    case Status::kTooLarge: return "TOO_LARGE";
+    case Status::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+const char* parse_error_name(ParseError e) noexcept {
+  switch (e) {
+    case ParseError::kNone: return "none";
+    case ParseError::kBadMagic: return "bad magic";
+    case ParseError::kBadVersion: return "bad version";
+    case ParseError::kBadOpcode: return "bad opcode";
+    case ParseError::kBadStatus: return "bad status";
+    case ParseError::kOversize: return "oversize payload";
+  }
+  return "?";
+}
+
+namespace detail {
+
+bool FrameAccumulator::feed(std::span<const std::uint8_t> bytes) {
+  if (error_ != ParseError::kNone) return false;
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  validate_prefix();
+  return error_ == ParseError::kNone;
+}
+
+void FrameAccumulator::validate_prefix() {
+  // Check magic and version as soon as those bytes arrive, so a garbage
+  // connection is rejected without waiting for a full (possibly huge,
+  // possibly never-completing) header.
+  while (validated_ < buf_.size() && validated_ < magic_.size()) {
+    if (buf_[validated_] != magic_[validated_]) {
+      error_ = ParseError::kBadMagic;
+      return;
+    }
+    ++validated_;
+  }
+  if (validated_ == magic_.size() && buf_.size() > magic_.size()) {
+    if (buf_[magic_.size()] != kProtocolVersion) {
+      error_ = ParseError::kBadVersion;
+      return;
+    }
+    ++validated_;
+  }
+}
+
+std::uint32_t FrameAccumulator::payload_length() const noexcept {
+  // Both frame kinds store the payload length in the last 4 header bytes.
+  return get_le32(buf_.data() + header_size_ - 4);
+}
+
+bool FrameAccumulator::frame_ready() {
+  if (error_ != ParseError::kNone || buf_.size() < header_size_) return false;
+  if (!header_checked_) {
+    const ParseError e = validate_header(std::span(buf_).first(header_size_));
+    if (e != ParseError::kNone) {
+      error_ = e;
+      return false;
+    }
+    if (payload_length() > max_payload_) {
+      error_ = ParseError::kOversize;
+      return false;
+    }
+    header_checked_ = true;
+  }
+  return buf_.size() >= header_size_ + payload_length();
+}
+
+std::vector<std::uint8_t> FrameAccumulator::consume_frame() {
+  const std::size_t total = header_size_ + payload_length();
+  std::vector<std::uint8_t> frame(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(total));
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(total));
+  header_checked_ = false;
+  validated_ = 0;
+  validate_prefix();  // eagerly re-check whatever of the next frame is buffered
+  return frame;
+}
+
+}  // namespace detail
+
+RequestParser::RequestParser(std::size_t max_payload) noexcept
+    : FrameAccumulator(kRequestMagic, kRequestHeaderSize, max_payload) {}
+
+ParseError RequestParser::validate_header(std::span<const std::uint8_t> header) const {
+  if (header[5] > static_cast<std::uint8_t>(Opcode::kStats)) return ParseError::kBadOpcode;
+  return ParseError::kNone;
+}
+
+std::optional<RequestFrame> RequestParser::next() {
+  if (!frame_ready()) return std::nullopt;
+  const auto bytes = consume_frame();
+  RequestFrame f;
+  f.opcode = static_cast<Opcode>(bytes[5]);
+  f.flags = get_le16(bytes.data() + 6);
+  f.id = get_le64(bytes.data() + 8);
+  f.payload.assign(bytes.begin() + kRequestHeaderSize, bytes.end());
+  return f;
+}
+
+ResponseParser::ResponseParser(std::size_t max_payload) noexcept
+    : FrameAccumulator(kResponseMagic, kResponseHeaderSize, max_payload) {}
+
+ParseError ResponseParser::validate_header(std::span<const std::uint8_t> header) const {
+  if (header[5] > static_cast<std::uint8_t>(Status::kInternal)) return ParseError::kBadStatus;
+  return ParseError::kNone;
+}
+
+std::optional<ResponseFrame> ResponseParser::next() {
+  if (!frame_ready()) return std::nullopt;
+  const auto bytes = consume_frame();
+  ResponseFrame f;
+  f.status = static_cast<Status>(bytes[5]);
+  f.flags = get_le16(bytes.data() + 6);
+  f.id = get_le64(bytes.data() + 8);
+  f.adler = get_le32(bytes.data() + 16);
+  f.payload.assign(bytes.begin() + kResponseHeaderSize, bytes.end());
+  return f;
+}
+
+}  // namespace lzss::server

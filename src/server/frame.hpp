@@ -1,0 +1,172 @@
+// Wire framing for the compression service.
+//
+// The service speaks a length-prefixed binary protocol over any byte
+// transport (TCP, or the in-process loopback). Two frame kinds, both
+// little-endian, both with a fixed header followed by a payload:
+//
+//   request  (20-byte header)          response (24-byte header)
+//   ----------------------------       ----------------------------
+//   0   magic   "LZRQ"                 0   magic   "LZRS"
+//   4   version (1)                    4   version (1)
+//   5   opcode                         5   status
+//   6   flags   u16                    6   flags   u16 (echoed)
+//   8   id      u64                    8   id      u64 (echoed)
+//   16  length  u32                    16  adler   u32 (Adler-32, see below)
+//   20  payload                        20  length  u32
+//                                      24  payload
+//
+// Flags: bit 0 selects the compressed container (0 = zlib/RFC 1950,
+// 1 = raw LZSS "LZS1"); bits 8..15 carry a preset id (0 = the service
+// default, 1..N = estimator presets in standard_presets() order). The
+// response's adler field is the Adler-32 of the *uncompressed* data: the
+// original input for COMPRESS, the reconstructed output for DECOMPRESS —
+// so a client can verify a round trip without inflating.
+//
+// Parsing is incremental and strict: bad magic, unknown version/opcode/
+// status, and lengths beyond kMaxPayload poison the parser (a typed
+// ParseError, never UB), which is the transport's cue to answer
+// BAD_REQUEST and drop the connection. Truncated frames simply wait for
+// more bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace lzss::server {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Hard cap on a single frame's payload; larger lengths are a protocol error.
+inline constexpr std::uint32_t kMaxPayload = 64u * 1024 * 1024;
+
+inline constexpr std::size_t kRequestHeaderSize = 20;
+inline constexpr std::size_t kResponseHeaderSize = 24;
+
+enum class Opcode : std::uint8_t {
+  kPing = 0,
+  kCompress = 1,
+  kDecompress = 2,
+  kStats = 3,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBusy = 1,         ///< bounded queue full — retry later
+  kBadRequest = 2,   ///< malformed frame / unusable parameters
+  kUnsupported = 3,  ///< unknown preset id
+  kCorrupt = 4,      ///< DECOMPRESS payload failed to parse or checksum
+  kTooLarge = 5,     ///< payload exceeds the service's limit
+  kInternal = 6,     ///< unexpected server-side failure
+};
+
+enum class ParseError : std::uint8_t {
+  kNone = 0,
+  kBadMagic,
+  kBadVersion,
+  kBadOpcode,
+  kBadStatus,
+  kOversize,
+};
+
+/// Container selector in flags bit 0.
+inline constexpr std::uint16_t kFlagRawContainer = 0x0001;
+
+[[nodiscard]] constexpr std::uint16_t flags_with_preset(std::uint16_t flags,
+                                                        std::uint8_t preset_id) noexcept {
+  return static_cast<std::uint16_t>((flags & 0x00FF) | (std::uint16_t{preset_id} << 8));
+}
+[[nodiscard]] constexpr std::uint8_t preset_of_flags(std::uint16_t flags) noexcept {
+  return static_cast<std::uint8_t>(flags >> 8);
+}
+
+struct RequestFrame {
+  std::uint64_t id = 0;
+  Opcode opcode = Opcode::kPing;
+  std::uint16_t flags = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct ResponseFrame {
+  std::uint64_t id = 0;
+  Status status = Status::kOk;
+  std::uint16_t flags = 0;
+  std::uint32_t adler = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const RequestFrame& frame);
+[[nodiscard]] std::vector<std::uint8_t> encode_response(const ResponseFrame& frame);
+
+[[nodiscard]] const char* opcode_name(Opcode op) noexcept;
+[[nodiscard]] const char* status_name(Status s) noexcept;
+[[nodiscard]] const char* parse_error_name(ParseError e) noexcept;
+
+namespace detail {
+
+/// Shared incremental machinery: accumulates transport bytes, validates the
+/// header prefix eagerly (bad magic is detected after 4 bytes, not after a
+/// full header), and extracts complete frames. The request/response parsers
+/// below supply the header geometry and field validation.
+class FrameAccumulator {
+ public:
+  FrameAccumulator(std::span<const std::uint8_t> magic, std::size_t header_size,
+                   std::size_t max_payload) noexcept
+      : magic_(magic), header_size_(header_size), max_payload_(max_payload) {}
+
+  /// Returns false (and ignores the bytes) once the stream is poisoned.
+  bool feed(std::span<const std::uint8_t> bytes);
+
+  /// True when a full header + payload is buffered and validated.
+  [[nodiscard]] bool frame_ready();
+
+  [[nodiscard]] ParseError error() const noexcept { return error_; }
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size(); }
+
+ protected:
+  /// Header-field validation hook; called once per frame when the full
+  /// header is available. Returns kNone to accept.
+  [[nodiscard]] virtual ParseError validate_header(std::span<const std::uint8_t> header) const = 0;
+  virtual ~FrameAccumulator() = default;
+
+  /// Consumes the ready frame's bytes; only valid after frame_ready().
+  [[nodiscard]] std::vector<std::uint8_t> consume_frame();
+
+  [[nodiscard]] std::uint32_t payload_length() const noexcept;
+
+ private:
+  void validate_prefix();
+
+  std::span<const std::uint8_t> magic_;
+  std::size_t header_size_;
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t validated_ = 0;       ///< prefix bytes already checked
+  bool header_checked_ = false;     ///< validate_header ran for the pending frame
+  ParseError error_ = ParseError::kNone;
+};
+
+}  // namespace detail
+
+/// Incremental request parser (server side).
+class RequestParser final : public detail::FrameAccumulator {
+ public:
+  explicit RequestParser(std::size_t max_payload = kMaxPayload) noexcept;
+  /// Extracts the next complete frame, or nullopt (need more bytes / error).
+  [[nodiscard]] std::optional<RequestFrame> next();
+
+ protected:
+  [[nodiscard]] ParseError validate_header(std::span<const std::uint8_t> header) const override;
+};
+
+/// Incremental response parser (client side).
+class ResponseParser final : public detail::FrameAccumulator {
+ public:
+  explicit ResponseParser(std::size_t max_payload = kMaxPayload) noexcept;
+  [[nodiscard]] std::optional<ResponseFrame> next();
+
+ protected:
+  [[nodiscard]] ParseError validate_header(std::span<const std::uint8_t> header) const override;
+};
+
+}  // namespace lzss::server

@@ -1,0 +1,288 @@
+#include "server/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "common/checksum.hpp"
+#include "deflate/container.hpp"
+#include "deflate/inflate.hpp"
+#include "estimator/presets.hpp"
+#include "lzss/raw_container.hpp"
+#include "parallel/multi_engine.hpp"
+
+namespace lzss::server {
+
+namespace {
+
+/// zlib's CINFO field only reaches 2^15; larger dictionaries still produce
+/// distances Deflate can carry (<= 32 KB after max_distance trimming).
+unsigned container_window_bits(const hw::HwConfig& cfg) noexcept {
+  return std::clamp(cfg.dict_bits, 8u, 15u);
+}
+
+}  // namespace
+
+void ServiceConfig::validate() const {
+  if (workers == 0) throw std::invalid_argument("ServiceConfig: zero workers");
+  if (queue_depth == 0) throw std::invalid_argument("ServiceConfig: zero queue depth");
+  if (large_engines == 0) throw std::invalid_argument("ServiceConfig: zero large_engines");
+  if (max_payload > kMaxPayload)
+    throw std::invalid_argument("ServiceConfig: max_payload exceeds the protocol cap");
+  hw.validate();
+}
+
+std::string ServiceStats::render() const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line), "%-11s %9s %9s %9s %9s %12s %12s %8s %8s\n", "opcode",
+                "requests", "ok", "busy", "errors", "bytes_in", "bytes_out", "p50_us", "p99_us");
+  out += line;
+  for (std::size_t i = 0; i < per_opcode.size(); ++i) {
+    const OpcodeCounters& c = per_opcode[i];
+    std::snprintf(line, sizeof(line),
+                  "%-11s %9llu %9llu %9llu %9llu %12llu %12llu %8llu %8llu\n",
+                  opcode_name(static_cast<Opcode>(i)),
+                  static_cast<unsigned long long>(c.requests),
+                  static_cast<unsigned long long>(c.ok),
+                  static_cast<unsigned long long>(c.busy),
+                  static_cast<unsigned long long>(c.errors),
+                  static_cast<unsigned long long>(c.bytes_in),
+                  static_cast<unsigned long long>(c.bytes_out),
+                  static_cast<unsigned long long>(c.p50_us),
+                  static_cast<unsigned long long>(c.p99_us));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "queue high water: %llu\n",
+                static_cast<unsigned long long>(queue_high_water));
+  out += line;
+  return out;
+}
+
+Service::Service(ServiceConfig config) : cfg_(std::move(config)) {
+  cfg_.validate();
+  workers_.reserve(cfg_.workers);
+  for (unsigned i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() { stop(); }
+
+void Service::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+}
+
+void Service::submit(RequestFrame&& request, Completion done) {
+  const Opcode op = request.opcode;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  if (op == Opcode::kPing || op == Opcode::kStats) {
+    // Control plane: answered inline so health checks and observability keep
+    // working while the data-plane queue is saturated.
+    ResponseFrame resp;
+    resp.id = request.id;
+    resp.flags = request.flags;
+    if (op == Opcode::kStats) {
+      const std::string text = snapshot().render();
+      resp.payload.assign(text.begin(), text.end());
+    }
+    finish(op, request, resp, t0, done);
+    return;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (!stopping_ && queue_.size() < cfg_.queue_depth) {
+      queue_.push_back(Job{std::move(request), std::move(done), t0});
+      queue_high_water_ = std::max<std::uint64_t>(queue_high_water_, queue_.size());
+      lock.unlock();
+      queue_cv_.notify_one();
+      return;
+    }
+  }
+
+  // Queue full (or service stopping): reject-with-BUSY, the software twin of
+  // de-asserting `ready` on a valid/ready link.
+  ResponseFrame busy;
+  busy.id = request.id;
+  busy.flags = request.flags;
+  busy.status = Status::kBusy;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    OpState& s = ops_[static_cast<std::size_t>(op)];
+    ++s.counters.requests;
+    ++s.counters.busy;
+  }
+  done(std::move(busy));
+}
+
+void Service::worker_loop() {
+  // Each worker owns one long-lived model instance for the default config;
+  // compress() resets all architectural state per request.
+  hw::Compressor compressor(cfg_.hw);
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ResponseFrame resp;
+    try {
+      resp = process(job.request, compressor);
+    } catch (const std::exception&) {
+      resp.status = Status::kInternal;
+    }
+    resp.id = job.request.id;
+    resp.flags = job.request.flags;
+    finish(job.request.opcode, job.request, resp, job.enqueued_at, job.done);
+  }
+}
+
+ResponseFrame Service::process(RequestFrame& request, hw::Compressor& compressor) {
+  if (request.payload.size() > cfg_.max_payload) {
+    ResponseFrame resp;
+    resp.status = Status::kTooLarge;
+    return resp;
+  }
+
+  // Resolve the preset: 0 = service default, 1..N = estimator preset ladder.
+  const std::uint8_t preset_id = preset_of_flags(request.flags);
+  const hw::HwConfig* cfg = &cfg_.hw;
+  hw::HwConfig preset_cfg;
+  if (preset_id != 0) {
+    const auto presets = est::standard_presets();
+    if (preset_id > presets.size()) {
+      ResponseFrame resp;
+      resp.status = Status::kUnsupported;
+      return resp;
+    }
+    preset_cfg = presets[preset_id - 1].config;
+    cfg = &preset_cfg;
+  }
+
+  if (request.opcode == Opcode::kDecompress) return do_decompress(request);
+  return do_compress(request, *cfg, preset_id == 0 ? &compressor : nullptr);
+}
+
+ResponseFrame Service::do_compress(const RequestFrame& request, const hw::HwConfig& cfg,
+                                   hw::Compressor* default_compressor) {
+  const std::span<const std::uint8_t> input(request.payload);
+  ResponseFrame resp;
+  resp.adler = checksum::adler32(input);
+
+  const bool raw = (request.flags & kFlagRawContainer) != 0;
+  const bool large = input.size() >= cfg_.large_threshold;
+
+  if (!raw && large && !input.empty()) {
+    // Large zlib requests stripe across a bank of engines; the stitched
+    // multi-block Deflate stream wraps into one valid zlib container.
+    const auto report = par::compress_multi_engine(cfg, input, cfg_.large_engines);
+    resp.payload = deflate::zlib_wrap(report.deflate_stream, resp.adler,
+                                      container_window_bits(cfg));
+    return resp;
+  }
+
+  // Small requests (and every raw-container request: that container carries a
+  // single token stream) run on one model instance — the worker's own when
+  // the request uses the service default config.
+  std::vector<core::Token> tokens;
+  if (default_compressor != nullptr) {
+    tokens = default_compressor->compress(input).tokens;
+  } else {
+    hw::Compressor ad_hoc(cfg);
+    tokens = ad_hoc.compress(input).tokens;
+  }
+  if (raw) {
+    resp.payload = core::raw_container_pack(tokens, cfg.dict_bits, input.size());
+  } else {
+    resp.payload = deflate::zlib_wrap_tokens(tokens, input, container_window_bits(cfg),
+                                             deflate::BlockKind::kFixed);
+  }
+  return resp;
+}
+
+ResponseFrame Service::do_decompress(const RequestFrame& request) {
+  ResponseFrame resp;
+  const bool raw = (request.flags & kFlagRawContainer) != 0;
+  try {
+    resp.payload = raw ? core::raw_container_unpack(request.payload)
+                       : deflate::zlib_decompress(request.payload);
+  } catch (const std::exception&) {
+    resp.status = Status::kCorrupt;
+    resp.payload.clear();
+    return resp;
+  }
+  resp.adler = checksum::adler32(resp.payload);
+  return resp;
+}
+
+void Service::finish(Opcode op, const RequestFrame& request, ResponseFrame& response,
+                     std::chrono::steady_clock::time_point t0, const Completion& done) {
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    OpState& s = ops_[static_cast<std::size_t>(op)];
+    ++s.counters.requests;
+    if (response.status == Status::kOk) {
+      ++s.counters.ok;
+    } else {
+      ++s.counters.errors;
+    }
+    s.counters.bytes_in += request.payload.size();
+    s.counters.bytes_out += response.payload.size();
+    const auto sample = static_cast<std::uint32_t>(
+        std::min<long long>(micros, std::numeric_limits<std::uint32_t>::max()));
+    if (s.latency_ring.size() < kLatencyRingSize) {
+      s.latency_ring.push_back(sample);
+    } else {
+      s.latency_ring[s.ring_next] = sample;
+    }
+    s.ring_next = (s.ring_next + 1) % kLatencyRingSize;
+  }
+  done(std::move(response));
+}
+
+ServiceStats Service::snapshot() const {
+  ServiceStats out;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      out.per_opcode[i] = ops_[i].counters;
+      std::vector<std::uint32_t> samples = ops_[i].latency_ring;
+      if (!samples.empty()) {
+        auto pct = [&samples](double q) {
+          const auto k = static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1));
+          std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(k),
+                           samples.end());
+          return static_cast<std::uint64_t>(samples[k]);
+        };
+        out.per_opcode[i].p50_us = pct(0.50);
+        out.per_opcode[i].p99_us = pct(0.99);
+      }
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    out.queue_high_water = queue_high_water_;
+  }
+  return out;
+}
+
+}  // namespace lzss::server

@@ -1,0 +1,129 @@
+// The compression service: a fixed worker pool behind a bounded MPMC queue.
+//
+// This is the software analogue of the valid/ready backpressure the hardware
+// model exposes in stream/channel.hpp: the queue has a fixed depth, and when
+// it is full submit() answers BUSY immediately instead of blocking — the
+// client decides whether to retry, exactly like a stalled LocalLink producer.
+//
+// Dispatch policy: PING and STATS are control-plane and answered inline (they
+// never queue, never see BUSY). COMPRESS and DECOMPRESS are data-plane and go
+// through the queue to a worker. Each worker owns a long-lived hw::Compressor
+// for the service's default configuration; payloads at or above
+// large_threshold take the par::MultiEngine striped path instead, so one big
+// request does not serialize behind a single model instance.
+//
+// Counters are per-opcode (requests, ok, busy, errors, bytes in/out) plus a
+// bounded ring of service-time samples from which the STATS opcode reports
+// p50/p99 microseconds.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hw/compressor.hpp"
+#include "hw/config.hpp"
+#include "server/frame.hpp"
+
+namespace lzss::server {
+
+struct ServiceConfig {
+  unsigned workers = 2;                  ///< data-plane worker threads
+  std::size_t queue_depth = 64;          ///< bounded MPMC queue capacity
+  unsigned large_engines = 4;            ///< MultiEngine width for large payloads
+  std::size_t large_threshold = 1 << 18; ///< bytes; >= this stripes across engines
+  std::size_t max_payload = kMaxPayload; ///< per-request payload cap
+  hw::HwConfig hw = hw::HwConfig::speed_optimized();
+
+  void validate() const;  ///< throws std::invalid_argument when inconsistent
+};
+
+struct OpcodeCounters {
+  std::uint64_t requests = 0;  ///< everything submitted, including rejects
+  std::uint64_t ok = 0;
+  std::uint64_t busy = 0;      ///< rejected by the bounded queue
+  std::uint64_t errors = 0;    ///< non-OK, non-BUSY responses
+  std::uint64_t bytes_in = 0;  ///< request payload bytes accepted (not rejects)
+  std::uint64_t bytes_out = 0; ///< response payload bytes produced
+  std::uint64_t p50_us = 0;    ///< service-time percentiles over recent samples
+  std::uint64_t p99_us = 0;
+};
+
+struct ServiceStats {
+  std::array<OpcodeCounters, 4> per_opcode;  ///< indexed by Opcode
+  std::uint64_t queue_high_water = 0;
+
+  [[nodiscard]] const OpcodeCounters& of(Opcode op) const noexcept {
+    return per_opcode[static_cast<std::size_t>(op)];
+  }
+  /// Human-readable table, also the STATS opcode's response payload.
+  [[nodiscard]] std::string render() const;
+};
+
+class Service {
+ public:
+  using Completion = std::function<void(ResponseFrame&&)>;
+
+  explicit Service(ServiceConfig config);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Never blocks. PING/STATS complete inline; COMPRESS/DECOMPRESS either
+  /// enqueue (completion fires later on a worker thread) or complete inline
+  /// with BUSY when the queue is full.
+  void submit(RequestFrame&& request, Completion done);
+
+  [[nodiscard]] ServiceStats snapshot() const;
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+  /// Drains the queue (pending jobs still run) and joins the workers.
+  /// Called by the destructor; idempotent.
+  void stop();
+
+ private:
+  struct Job {
+    RequestFrame request;
+    Completion done;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  void worker_loop();
+  [[nodiscard]] ResponseFrame process(RequestFrame& request, hw::Compressor& compressor);
+  [[nodiscard]] ResponseFrame do_compress(const RequestFrame& request,
+                                          const hw::HwConfig& cfg,
+                                          hw::Compressor* default_compressor);
+  [[nodiscard]] ResponseFrame do_decompress(const RequestFrame& request);
+  void finish(Opcode op, const RequestFrame& request, ResponseFrame& response,
+              std::chrono::steady_clock::time_point t0, const Completion& done);
+
+  ServiceConfig cfg_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::uint64_t queue_high_water_ = 0;
+  std::vector<std::thread> workers_;
+
+  // Counters: one slab per opcode, all guarded by stats_mutex_ (the service
+  // times are microseconds-to-milliseconds, so one mutex is not contended).
+  struct OpState {
+    OpcodeCounters counters;
+    std::vector<std::uint32_t> latency_ring;  ///< recent service micros
+    std::size_t ring_next = 0;
+  };
+  static constexpr std::size_t kLatencyRingSize = 4096;
+  mutable std::mutex stats_mutex_;
+  std::array<OpState, 4> ops_;
+};
+
+}  // namespace lzss::server

@@ -1,0 +1,41 @@
+#include "server/session.hpp"
+
+namespace lzss::server {
+
+void Session::on_bytes(std::span<const std::uint8_t> bytes) {
+  if (closed_) return;
+  parser_.feed(bytes);
+  while (auto frame = parser_.next()) {
+    ++requests_seen_;
+    handler_(std::move(*frame));
+  }
+  if (parser_.error() != ParseError::kNone) {
+    // Protocol violation: one terminal error response, then the transport
+    // drops us. The id is 0 because the offending frame never parsed.
+    ResponseFrame err;
+    err.status = ParseError::kOversize == parser_.error() ? Status::kTooLarge
+                                                          : Status::kBadRequest;
+    enqueue_response(err);
+    closed_ = true;
+  }
+}
+
+void Session::enqueue_response(const ResponseFrame& response) {
+  const auto bytes = encode_response(response);
+  const std::lock_guard<std::mutex> lock(out_mutex_);
+  outbox_.insert(outbox_.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t> Session::take_outgoing() {
+  const std::lock_guard<std::mutex> lock(out_mutex_);
+  std::vector<std::uint8_t> out;
+  out.swap(outbox_);
+  return out;
+}
+
+bool Session::has_outgoing() const {
+  const std::lock_guard<std::mutex> lock(out_mutex_);
+  return !outbox_.empty();
+}
+
+}  // namespace lzss::server

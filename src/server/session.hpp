@@ -1,0 +1,66 @@
+// One client connection's state: the incremental request parser plus a
+// thread-safe response queue.
+//
+// The transport pushes raw bytes in via on_bytes(); complete, validated
+// requests are handed to the RequestHandler (which typically submits them to
+// the Service). Worker threads later deliver responses via
+// enqueue_response() from arbitrary threads; the transport drains the
+// serialized bytes with take_outgoing() on its own thread. A parse error
+// enqueues a single BAD_REQUEST response and closes the session — the
+// transport should flush the outbox and drop the connection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "server/frame.hpp"
+
+namespace lzss::server {
+
+class Session {
+ public:
+  using RequestHandler = std::function<void(RequestFrame&&)>;
+
+  Session(std::uint64_t id, RequestHandler handler)
+      : id_(id), handler_(std::move(handler)) {}
+
+  /// Two-phase wiring for transports whose handler must weakly reference the
+  /// session itself (create the shared_ptr first, then install the handler).
+  /// Must happen before the first on_bytes().
+  void set_handler(RequestHandler handler) { handler_ = std::move(handler); }
+
+  /// Feeds transport bytes; invokes the handler once per complete frame.
+  /// Call from the transport thread only.
+  void on_bytes(std::span<const std::uint8_t> bytes);
+
+  /// Serializes @p response into the outbox. Safe from any thread.
+  void enqueue_response(const ResponseFrame& response);
+
+  /// Drains the serialized response bytes (empty when nothing is pending).
+  /// Safe from any thread.
+  [[nodiscard]] std::vector<std::uint8_t> take_outgoing();
+  [[nodiscard]] bool has_outgoing() const;
+
+  /// True once a protocol violation poisoned the inbound stream.
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+  [[nodiscard]] ParseError parse_error() const noexcept { return parser_.error(); }
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  /// Requests parsed so far (for observability / tests).
+  [[nodiscard]] std::uint64_t requests_seen() const noexcept { return requests_seen_; }
+
+ private:
+  std::uint64_t id_;
+  RequestHandler handler_;
+  RequestParser parser_;
+  bool closed_ = false;
+  std::uint64_t requests_seen_ = 0;
+
+  mutable std::mutex out_mutex_;
+  std::vector<std::uint8_t> outbox_;
+};
+
+}  // namespace lzss::server

@@ -1,0 +1,314 @@
+#include "server/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <stdexcept>
+
+namespace lzss::server {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw std::runtime_error("fcntl(O_NONBLOCK) failed");
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// TcpServer
+
+TcpServer::TcpServer(Service& service, std::uint16_t port, int backlog) : service_(service) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    throw_errno("bind");
+  }
+  if (::listen(listen_fd_, backlog) < 0) {
+    ::close(listen_fd_);
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(listen_fd_);
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+
+  if (::pipe(wake_pipe_) < 0) {
+    ::close(listen_fd_);
+    throw_errno("pipe");
+  }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+}
+
+TcpServer::~TcpServer() {
+  stop();
+  // Drain the worker pool before tearing down: in-flight completions capture
+  // `this` (for wake()) and the sessions; they must all fire first.
+  service_.stop();
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void TcpServer::stop() noexcept {
+  stopping_.store(true);
+  wake();
+}
+
+void TcpServer::wake() noexcept {
+  const char b = 'w';
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const auto n = ::write(wake_pipe_[1], &b, 1);
+}
+
+void TcpServer::handle_readable(int fd, Conn& conn) {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.session->on_bytes(std::span(buf, static_cast<std::size_t>(n)));
+      if (conn.session->closed()) return;  // poisoned: stop reading, flush the error
+      continue;
+    }
+    if (n == 0) {
+      conn.peer_closed = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    conn.peer_closed = true;
+    return;
+  }
+}
+
+bool TcpServer::flush_writable(int fd, Conn& conn) {
+  while (!conn.write_buf.empty()) {
+    const ssize_t n =
+        ::send(fd, conn.write_buf.data(), conn.write_buf.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.write_buf.erase(conn.write_buf.begin(), conn.write_buf.begin() + n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;  // broken pipe etc.
+  }
+  return true;
+}
+
+void TcpServer::close_conn(int fd) {
+  ::close(fd);
+  conns_.erase(fd);
+}
+
+void TcpServer::run() {
+  std::vector<pollfd> fds;
+  while (!stopping_.load()) {
+    // Move completed responses from the sessions into the write buffers so
+    // POLLOUT interest is accurate.
+    for (auto& [fd, conn] : conns_) {
+      if (conn.session->has_outgoing()) {
+        const auto bytes = conn.session->take_outgoing();
+        conn.write_buf.insert(conn.write_buf.end(), bytes.begin(), bytes.end());
+      }
+    }
+
+    fds.clear();
+    pollfd p{};
+    p.fd = wake_pipe_[0];
+    p.events = POLLIN;
+    fds.push_back(p);
+    p.fd = listen_fd_;
+    fds.push_back(p);
+    for (auto& [fd, conn] : conns_) {
+      p.fd = fd;
+      p.events = POLLIN;
+      if (!conn.write_buf.empty()) p.events |= POLLOUT;
+      fds.push_back(p);
+    }
+
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[256];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      for (;;) {
+        const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+        if (cfd < 0) break;
+        set_nonblocking(cfd);
+        auto session = std::make_shared<Session>(next_session_id_++, nullptr);
+        std::weak_ptr<Session> weak = session;
+        session->set_handler([this, weak](RequestFrame&& frame) {
+          service_.submit(std::move(frame), [this, weak](ResponseFrame&& resp) {
+            if (const auto sp = weak.lock()) {
+              sp->enqueue_response(resp);
+              wake();
+            }
+          });
+        });
+        conns_.emplace(cfd, Conn{std::move(session), {}, false});
+        connections_accepted_.fetch_add(1);
+      }
+    }
+
+    std::vector<int> to_close;
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      const int fd = fds[i].fd;
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Conn& conn = it->second;
+      bool dead = false;
+      if ((fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) conn.peer_closed = true;
+      if ((fds[i].revents & POLLIN) != 0 && !conn.peer_closed) handle_readable(fd, conn);
+      if ((fds[i].revents & POLLOUT) != 0 || !conn.write_buf.empty()) {
+        if (conn.session->has_outgoing()) {
+          const auto bytes = conn.session->take_outgoing();
+          conn.write_buf.insert(conn.write_buf.end(), bytes.begin(), bytes.end());
+        }
+        if (!flush_writable(fd, conn)) dead = true;
+      }
+      const bool drained = conn.write_buf.empty() && !conn.session->has_outgoing();
+      if (dead || conn.peer_closed || (conn.session->closed() && drained)) to_close.push_back(fd);
+    }
+    for (const int fd : to_close) close_conn(fd);
+  }
+}
+
+// --------------------------------------------------------------------------
+// TcpClient
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0 || res == nullptr)
+    throw std::runtime_error("cannot resolve " + host);
+  fd_ = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd_ < 0) {
+    ::freeaddrinfo(res);
+    throw_errno("socket");
+  }
+  if (::connect(fd_, res->ai_addr, res->ai_addrlen) < 0) {
+    ::freeaddrinfo(res);
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("connect");
+  }
+  ::freeaddrinfo(res);
+}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ResponseFrame TcpClient::call(const RequestFrame& request) {
+  const auto wire = encode_request(request);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("send");
+  }
+
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    if (auto frame = parser_.next()) return std::move(*frame);
+    if (parser_.error() != ParseError::kNone)
+      throw std::runtime_error(std::string("protocol error from server: ") +
+                               parse_error_name(parser_.error()));
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      parser_.feed(std::span(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n == 0) throw std::runtime_error("server closed the connection mid-response");
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
+// --------------------------------------------------------------------------
+// LoopbackClient
+
+ResponseFrame LoopbackClient::call(const RequestFrame& request) {
+  // Heap-allocated wait state so the worker-side completion can safely
+  // outlive any particular stack frame; weak session capture avoids a
+  // session -> handler -> session ownership cycle.
+  struct WaitState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool completed = false;
+  };
+  const auto state = std::make_shared<WaitState>();
+
+  auto session = std::make_shared<Session>(0, nullptr);
+  const std::weak_ptr<Session> weak = session;
+  session->set_handler([this, weak, state](RequestFrame&& frame) {
+    service_.submit(std::move(frame), [weak, state](ResponseFrame&& resp) {
+      if (const auto sp = weak.lock()) sp->enqueue_response(resp);
+      {
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        state->completed = true;
+      }
+      state->cv.notify_one();
+    });
+  });
+
+  session->on_bytes(encode_request(request));
+  if (!session->closed()) {
+    // The handler submitted the request; wait for the worker's completion.
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] { return state->completed; });
+  }
+  // (A closed session means the request itself violated the protocol — e.g.
+  // an oversize payload — and the error response is already in the outbox.)
+
+  ResponseParser parser;
+  parser.feed(session->take_outgoing());
+  auto frame = parser.next();
+  if (!frame) throw std::runtime_error("loopback: no response frame");
+  return std::move(*frame);
+}
+
+}  // namespace lzss::server

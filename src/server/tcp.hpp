@@ -1,0 +1,104 @@
+// Transports for the compression service.
+//
+// TcpServer is a minimal poll(2)-based front end (POSIX only, no external
+// dependencies): one thread multiplexes the listening socket and every
+// connection; worker completions land in the per-connection Session outbox
+// from arbitrary threads and a self-pipe wakes the poll loop to flush them.
+//
+// TcpClient is the matching blocking client used by tools/lzss_client.
+//
+// LoopbackClient runs the identical byte path — encode_request → Session →
+// RequestParser → Service → encode_response → ResponseParser — entirely
+// in-process, so the whole stack is unit-testable without sockets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/service.hpp"
+#include "server/session.hpp"
+
+namespace lzss::server {
+
+class TcpServer {
+ public:
+  /// Binds and listens immediately; throws std::runtime_error on failure.
+  /// @param port 0 picks an ephemeral port (see port()).
+  TcpServer(Service& service, std::uint16_t port, int backlog = 64);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound port (useful with port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Serves until stop(); call from a dedicated thread.
+  void run();
+
+  /// Thread-safe and signal-safe (only writes one byte to the wake pipe).
+  void stop() noexcept;
+
+  /// Connections accepted so far (observability / tests).
+  [[nodiscard]] std::uint64_t connections_accepted() const noexcept {
+    return connections_accepted_.load();
+  }
+
+ private:
+  struct Conn {
+    std::shared_ptr<Session> session;
+    std::vector<std::uint8_t> write_buf;  ///< bytes taken from the session, partially written
+    bool peer_closed = false;
+  };
+
+  void handle_readable(int fd, Conn& conn);
+  bool flush_writable(int fd, Conn& conn);  ///< false when the conn must close
+  void close_conn(int fd);
+  void wake() noexcept;
+
+  Service& service_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::uint64_t next_session_id_ = 1;
+  std::map<int, Conn> conns_;
+};
+
+/// Blocking request/response client over TCP.
+class TcpClient {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  TcpClient(const std::string& host, std::uint16_t port);
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Sends one request and blocks for its response. Throws on transport or
+  /// protocol errors (application-level failures arrive as resp.status).
+  [[nodiscard]] ResponseFrame call(const RequestFrame& request);
+
+ private:
+  int fd_ = -1;
+  ResponseParser parser_;
+};
+
+/// In-process transport: full wire encode/parse round trip against a Service,
+/// no sockets. Thread-safe — concurrent call()s are independent.
+class LoopbackClient {
+ public:
+  explicit LoopbackClient(Service& service) noexcept : service_(service) {}
+
+  [[nodiscard]] ResponseFrame call(const RequestFrame& request);
+
+ private:
+  Service& service_;
+};
+
+}  // namespace lzss::server

@@ -10,6 +10,7 @@
 #include "lzss/decoder.hpp"
 #include "lzss/raw_container.hpp"
 #include "lzss/sw_encoder.hpp"
+#include "server/frame.hpp"
 #include "workloads/corpus.hpp"
 
 namespace lzss {
@@ -108,6 +109,83 @@ TEST(FuzzDecoder, RandomTokenStreamsAreValidatedNotTrusted) {
     } catch (const core::DecodeError&) {
     }
   }
+}
+
+TEST(FuzzServerFrame, MutatedFramesNeverCrashTheParser) {
+  // Random single/multi-byte mutations of a valid request frame: the parser
+  // must either reject with a typed error, wait for more bytes, or — when
+  // the mutation misses every validated field — round-trip the frame.
+  rng::Xoshiro256 rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    server::RequestFrame f;
+    f.id = rng.next();
+    f.opcode = static_cast<server::Opcode>(rng.next_below(4));
+    f.flags = static_cast<std::uint16_t>(rng.next());
+    f.payload.resize(rng.next_below(256));
+    for (auto& b : f.payload) b = rng.next_byte();
+    auto wire = server::encode_request(f);
+
+    const std::size_t mutations = 1 + rng.next_below(4);
+    for (std::size_t m = 0; m < mutations; ++m)
+      wire[rng.next_below(wire.size())] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+
+    server::RequestParser parser;
+    parser.feed(wire);
+    for (int spins = 0; spins < 8; ++spins) {
+      const auto out = parser.next();
+      if (!out.has_value()) break;
+      // Anything that parsed must respect the protocol's own invariants.
+      EXPECT_LE(out->payload.size(), server::kMaxPayload);
+      EXPECT_LE(static_cast<unsigned>(out->opcode),
+                static_cast<unsigned>(server::Opcode::kStats));
+    }
+    SUCCEED();
+  }
+}
+
+TEST(FuzzServerFrame, MutationsOffTheWireStillRoundTripWhenAccepted) {
+  // Mutate only payload bytes: header validation cannot fire, so the frame
+  // must parse and the (mutated) payload must come back verbatim.
+  rng::Xoshiro256 rng(37);
+  for (int trial = 0; trial < 200; ++trial) {
+    server::RequestFrame f;
+    f.id = trial;
+    f.opcode = server::Opcode::kCompress;
+    f.payload.resize(16 + rng.next_below(128));
+    for (auto& b : f.payload) b = rng.next_byte();
+    auto wire = server::encode_request(f);
+    wire[server::kRequestHeaderSize + rng.next_below(f.payload.size())] ^= 0xFF;
+
+    server::RequestParser parser;
+    ASSERT_TRUE(parser.feed(wire));
+    const auto out = parser.next();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->id, f.id);
+    EXPECT_EQ(out->payload.size(), f.payload.size());
+  }
+}
+
+TEST(FuzzServerFrame, RandomGarbageAndRandomChunkingNeverCrash) {
+  rng::Xoshiro256 rng(41);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> junk(rng.next_below(4096));
+    for (auto& b : junk) b = rng.next_byte();
+    server::RequestParser rp;
+    server::ResponseParser sp;
+    std::size_t pos = 0;
+    while (pos < junk.size()) {
+      const std::size_t n = std::min<std::size_t>(1 + rng.next_below(97), junk.size() - pos);
+      const auto chunk = std::span(junk).subspan(pos, n);
+      rp.feed(chunk);
+      sp.feed(chunk);
+      while (rp.next().has_value()) {
+      }
+      while (sp.next().has_value()) {
+      }
+      pos += n;
+    }
+  }
+  SUCCEED();
 }
 
 TEST(FuzzRoundtrip, RandomConfigsRandomData) {

@@ -1,0 +1,243 @@
+// Wire-framing edge cases: the parser must accept a valid stream fed at any
+// granularity, and map every malformation onto a typed ParseError without UB.
+#include <gtest/gtest.h>
+
+#include "server/frame.hpp"
+#include "server/session.hpp"
+
+namespace lzss::server {
+namespace {
+
+RequestFrame sample_request() {
+  RequestFrame f;
+  f.id = 0x1122334455667788ull;
+  f.opcode = Opcode::kCompress;
+  f.flags = flags_with_preset(kFlagRawContainer, 3);
+  f.payload = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x42};
+  return f;
+}
+
+ResponseFrame sample_response() {
+  ResponseFrame f;
+  f.id = 0x8877665544332211ull;
+  f.status = Status::kOk;
+  f.flags = 0x0101;
+  f.adler = 0xCAFEF00Du;
+  f.payload = {1, 2, 3};
+  return f;
+}
+
+TEST(ServerFrame, RequestRoundTrip) {
+  const RequestFrame in = sample_request();
+  const auto wire = encode_request(in);
+  ASSERT_EQ(wire.size(), kRequestHeaderSize + in.payload.size());
+
+  RequestParser p;
+  EXPECT_TRUE(p.feed(wire));
+  const auto out = p.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->id, in.id);
+  EXPECT_EQ(out->opcode, in.opcode);
+  EXPECT_EQ(out->flags, in.flags);
+  EXPECT_EQ(out->payload, in.payload);
+  EXPECT_EQ(preset_of_flags(out->flags), 3);
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_EQ(p.error(), ParseError::kNone);
+}
+
+TEST(ServerFrame, ResponseRoundTrip) {
+  const ResponseFrame in = sample_response();
+  const auto wire = encode_response(in);
+  ASSERT_EQ(wire.size(), kResponseHeaderSize + in.payload.size());
+
+  ResponseParser p;
+  EXPECT_TRUE(p.feed(wire));
+  const auto out = p.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->id, in.id);
+  EXPECT_EQ(out->status, in.status);
+  EXPECT_EQ(out->flags, in.flags);
+  EXPECT_EQ(out->adler, in.adler);
+  EXPECT_EQ(out->payload, in.payload);
+}
+
+TEST(ServerFrame, TruncationAtEveryByteOffset) {
+  const auto wire = encode_request(sample_request());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    RequestParser p;
+    EXPECT_TRUE(p.feed(std::span(wire).first(len))) << len;
+    EXPECT_FALSE(p.next().has_value()) << len;
+    EXPECT_EQ(p.error(), ParseError::kNone) << len;  // incomplete, not invalid
+    EXPECT_EQ(p.buffered(), len);
+  }
+}
+
+TEST(ServerFrame, ByteAtATimeFeedingYieldsTheFrame) {
+  const RequestFrame in = sample_request();
+  const auto wire = encode_request(in);
+  RequestParser p;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    EXPECT_TRUE(p.feed(std::span(wire).subspan(i, 1)));
+    EXPECT_FALSE(p.next().has_value()) << i;
+  }
+  EXPECT_TRUE(p.feed(std::span(wire).last(1)));
+  const auto out = p.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->payload, in.payload);
+}
+
+TEST(ServerFrame, BackToBackFramesInOneFeed) {
+  RequestFrame a = sample_request();
+  RequestFrame b;
+  b.id = 2;
+  b.opcode = Opcode::kPing;
+  auto wire = encode_request(a);
+  const auto wb = encode_request(b);
+  wire.insert(wire.end(), wb.begin(), wb.end());
+
+  RequestParser p;
+  EXPECT_TRUE(p.feed(wire));
+  const auto f1 = p.next();
+  const auto f2 = p.next();
+  ASSERT_TRUE(f1.has_value());
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f1->id, a.id);
+  EXPECT_EQ(f2->id, 2u);
+  EXPECT_EQ(f2->opcode, Opcode::kPing);
+  EXPECT_FALSE(p.next().has_value());
+}
+
+TEST(ServerFrame, ZeroLengthPayload) {
+  RequestFrame in;
+  in.id = 7;
+  in.opcode = Opcode::kStats;
+  const auto wire = encode_request(in);
+  EXPECT_EQ(wire.size(), kRequestHeaderSize);
+  RequestParser p;
+  EXPECT_TRUE(p.feed(wire));
+  const auto out = p.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->payload.empty());
+}
+
+TEST(ServerFrame, BadMagicDetectedEarly) {
+  auto wire = encode_request(sample_request());
+  wire[2] = 'X';
+  RequestParser p;
+  // Only the first three bytes: the bad magic byte is already visible.
+  EXPECT_FALSE(p.feed(std::span(wire).first(3)));
+  EXPECT_EQ(p.error(), ParseError::kBadMagic);
+  EXPECT_FALSE(p.next().has_value());
+  // Poisoned: further feeds are rejected.
+  EXPECT_FALSE(p.feed(std::span(wire).subspan(3)));
+}
+
+TEST(ServerFrame, BadVersionRejected) {
+  auto wire = encode_request(sample_request());
+  wire[4] = 99;
+  RequestParser p;
+  EXPECT_FALSE(p.feed(wire));
+  EXPECT_EQ(p.error(), ParseError::kBadVersion);
+}
+
+TEST(ServerFrame, BadOpcodeRejected) {
+  auto wire = encode_request(sample_request());
+  wire[5] = 0x77;
+  RequestParser p;
+  p.feed(wire);
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_EQ(p.error(), ParseError::kBadOpcode);
+}
+
+TEST(ServerFrame, BadStatusRejected) {
+  auto wire = encode_response(sample_response());
+  wire[5] = 0x7F;
+  ResponseParser p;
+  p.feed(wire);
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_EQ(p.error(), ParseError::kBadStatus);
+}
+
+TEST(ServerFrame, OversizeLengthRejected) {
+  auto wire = encode_request(sample_request());
+  // Patch the length field (last 4 header bytes) to kMaxPayload + 1.
+  const std::uint32_t huge = kMaxPayload + 1;
+  for (int i = 0; i < 4; ++i)
+    wire[kRequestHeaderSize - 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(huge >> (8 * i));
+  RequestParser p;
+  p.feed(wire);
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_EQ(p.error(), ParseError::kOversize);
+}
+
+TEST(ServerFrame, CustomPayloadCapApplies) {
+  RequestFrame in = sample_request();
+  in.payload.assign(100, 0xAA);
+  const auto wire = encode_request(in);
+  RequestParser p(/*max_payload=*/64);
+  p.feed(wire);
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_EQ(p.error(), ParseError::kOversize);
+}
+
+TEST(ServerFrame, SecondFrameValidatedAfterFirstConsumed) {
+  auto wire = encode_request(sample_request());
+  auto second = encode_request(sample_request());
+  second[0] = '?';  // bad magic on the *second* frame
+  wire.insert(wire.end(), second.begin(), second.end());
+
+  RequestParser p;
+  EXPECT_TRUE(p.feed(wire));  // first frame's prefix is fine at feed time
+  ASSERT_TRUE(p.next().has_value());
+  // Consuming frame 1 re-validates the buffered remainder: poisoned now.
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_EQ(p.error(), ParseError::kBadMagic);
+}
+
+TEST(ServerSession, ParseErrorProducesBadRequestAndCloses) {
+  int handled = 0;
+  Session s(1, [&](RequestFrame&&) { ++handled; });
+  const std::uint8_t garbage[] = {'N', 'O', 'P', 'E', 1, 2, 3, 4};
+  s.on_bytes(garbage);
+  EXPECT_EQ(handled, 0);
+  EXPECT_TRUE(s.closed());
+  EXPECT_EQ(s.parse_error(), ParseError::kBadMagic);
+
+  ResponseParser p;
+  p.feed(s.take_outgoing());
+  const auto resp = p.next();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, Status::kBadRequest);
+  // Once closed, further bytes are ignored.
+  s.on_bytes(garbage);
+  EXPECT_FALSE(s.has_outgoing());
+}
+
+TEST(ServerSession, ValidFramesReachTheHandlerInOrder) {
+  std::vector<std::uint64_t> ids;
+  Session s(1, [&](RequestFrame&& f) { ids.push_back(f.id); });
+  std::vector<std::uint8_t> wire;
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    RequestFrame f;
+    f.id = id;
+    f.opcode = Opcode::kPing;
+    const auto w = encode_request(f);
+    wire.insert(wire.end(), w.begin(), w.end());
+  }
+  // Deliberately awkward chunking.
+  std::size_t pos = 0;
+  const std::size_t chunks[] = {1, 7, 13, 2, 100000};
+  for (const std::size_t c : chunks) {
+    const std::size_t n = std::min(c, wire.size() - pos);
+    s.on_bytes(std::span(wire).subspan(pos, n));
+    pos += n;
+    if (pos == wire.size()) break;
+  }
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(s.requests_seen(), 5u);
+  EXPECT_FALSE(s.closed());
+}
+
+}  // namespace
+}  // namespace lzss::server

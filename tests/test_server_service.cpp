@@ -1,0 +1,302 @@
+// Service-layer behavior over the in-process loopback transport (the full
+// wire path minus sockets), plus one real-socket smoke test: round trips for
+// both containers, backpressure (BUSY) on a saturated queue, and counter
+// consistency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/checksum.hpp"
+#include "deflate/inflate.hpp"
+#include "lzss/raw_container.hpp"
+#include "server/service.hpp"
+#include "server/tcp.hpp"
+#include "workloads/corpus.hpp"
+
+namespace lzss::server {
+namespace {
+
+ServiceConfig small_config() {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_depth = 16;
+  return cfg;
+}
+
+RequestFrame compress_request(std::uint64_t id, std::vector<std::uint8_t> data,
+                              std::uint16_t flags = 0) {
+  RequestFrame req;
+  req.id = id;
+  req.opcode = Opcode::kCompress;
+  req.flags = flags;
+  req.payload = std::move(data);
+  return req;
+}
+
+TEST(ServerService, ZlibRoundTripOverLoopback) {
+  Service service(small_config());
+  LoopbackClient client(service);
+  const auto data = wl::make_corpus("wiki", 32 * 1024);
+
+  const auto resp = client.call(compress_request(42, data));
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.id, 42u);
+  EXPECT_EQ(resp.adler, checksum::adler32(data));
+  EXPECT_LT(resp.payload.size(), data.size());
+  EXPECT_EQ(deflate::zlib_decompress(resp.payload), data);
+}
+
+TEST(ServerService, RawContainerRoundTripOverLoopback) {
+  Service service(small_config());
+  LoopbackClient client(service);
+  const auto data = wl::make_corpus("x2e", 32 * 1024);
+
+  const auto resp = client.call(compress_request(7, data, kFlagRawContainer));
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.adler, checksum::adler32(data));
+  EXPECT_EQ(core::raw_container_unpack(resp.payload), data);
+}
+
+TEST(ServerService, DecompressOpcodeInvertsCompress) {
+  Service service(small_config());
+  LoopbackClient client(service);
+  const auto data = wl::make_corpus("mixed", 16 * 1024);
+
+  for (const std::uint16_t flags : {std::uint16_t{0}, kFlagRawContainer}) {
+    const auto compressed = client.call(compress_request(1, data, flags));
+    ASSERT_EQ(compressed.status, Status::kOk);
+
+    RequestFrame req;
+    req.id = 2;
+    req.opcode = Opcode::kDecompress;
+    req.flags = flags;
+    req.payload = compressed.payload;
+    const auto restored = client.call(req);
+    ASSERT_EQ(restored.status, Status::kOk);
+    EXPECT_EQ(restored.payload, data);
+    // DECOMPRESS reports the Adler of the reconstructed output.
+    EXPECT_EQ(restored.adler, checksum::adler32(data));
+  }
+}
+
+TEST(ServerService, LargePayloadTakesTheMultiEnginePath) {
+  ServiceConfig cfg = small_config();
+  cfg.large_threshold = 16 * 1024;  // force striping at a test-friendly size
+  cfg.large_engines = 4;
+  Service service(cfg);
+  LoopbackClient client(service);
+
+  const auto data = wl::make_corpus("wiki", 128 * 1024);
+  const auto resp = client.call(compress_request(9, data));
+  ASSERT_EQ(resp.status, Status::kOk);
+  // The striped stream is multi-block Deflate but still one valid zlib body.
+  EXPECT_EQ(deflate::zlib_decompress(resp.payload), data);
+}
+
+TEST(ServerService, PingEchoesIdAndFlags) {
+  Service service(small_config());
+  LoopbackClient client(service);
+  RequestFrame req;
+  req.id = 0xABCDEF;
+  req.opcode = Opcode::kPing;
+  req.flags = 0x0042;
+  const auto resp = client.call(req);
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.id, 0xABCDEFu);
+  EXPECT_EQ(resp.flags, 0x0042u);
+  EXPECT_TRUE(resp.payload.empty());
+}
+
+TEST(ServerService, UnknownPresetAnswersUnsupported) {
+  Service service(small_config());
+  LoopbackClient client(service);
+  const auto data = wl::make_corpus("wiki", 4 * 1024);
+  const auto resp =
+      client.call(compress_request(1, data, flags_with_preset(0, /*preset_id=*/200)));
+  EXPECT_EQ(resp.status, Status::kUnsupported);
+}
+
+TEST(ServerService, NamedPresetCompresses) {
+  Service service(small_config());
+  LoopbackClient client(service);
+  const auto data = wl::make_corpus("wiki", 16 * 1024);
+  // Preset 2 = "balanced" (standard_presets() order).
+  const auto resp = client.call(compress_request(1, data, flags_with_preset(0, 2)));
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(deflate::zlib_decompress(resp.payload), data);
+}
+
+TEST(ServerService, CorruptPayloadAnswersCorrupt) {
+  Service service(small_config());
+  LoopbackClient client(service);
+  RequestFrame req;
+  req.id = 3;
+  req.opcode = Opcode::kDecompress;
+  req.payload = {0x00, 0x11, 0x22, 0x33, 0x44};
+  const auto resp = client.call(req);
+  EXPECT_EQ(resp.status, Status::kCorrupt);
+  EXPECT_TRUE(resp.payload.empty());
+}
+
+TEST(ServerService, EmptyCompressRoundTrips) {
+  Service service(small_config());
+  LoopbackClient client(service);
+  const auto resp = client.call(compress_request(1, {}));
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.adler, 1u);  // Adler-32 of empty input
+  EXPECT_TRUE(deflate::zlib_decompress(resp.payload).empty());
+}
+
+TEST(ServerService, SaturatedQueueAnswersBusy) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_depth = 2;
+  Service service(cfg);
+
+  // Direct submit (bypassing loopback's one-outstanding-call-per-thread
+  // limit): fire many sizable jobs at once; one worker + depth 2 must shed.
+  const auto data = wl::make_corpus("wiki", 64 * 1024);
+  constexpr int kJobs = 12;
+  std::mutex mutex;
+  std::condition_variable cv;
+  int completed = 0, busy = 0, ok = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    service.submit(compress_request(static_cast<std::uint64_t>(i), data),
+                   [&](ResponseFrame&& resp) {
+                     const std::lock_guard<std::mutex> lock(mutex);
+                     ++completed;
+                     if (resp.status == Status::kBusy) ++busy;
+                     if (resp.status == Status::kOk) ++ok;
+                     cv.notify_one();
+                   });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return completed == kJobs; });
+  }
+  EXPECT_GT(busy, 0) << "bounded queue never shed load";
+  EXPECT_GT(ok, 0) << "no request made it through";
+  EXPECT_EQ(busy + ok, kJobs);
+
+  const auto stats = service.snapshot();
+  const auto& c = stats.of(Opcode::kCompress);
+  EXPECT_EQ(c.requests, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(c.busy, static_cast<std::uint64_t>(busy));
+  EXPECT_EQ(c.ok, static_cast<std::uint64_t>(ok));
+}
+
+TEST(ServerService, StatsCountersMatchIssuedRequests) {
+  Service service(small_config());
+  LoopbackClient client(service);
+  const auto data = wl::make_corpus("wiki", 8 * 1024);
+
+  constexpr int kRequests = 5;
+  std::size_t bytes_out = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto resp = client.call(compress_request(static_cast<std::uint64_t>(i), data));
+    ASSERT_EQ(resp.status, Status::kOk);
+    bytes_out += resp.payload.size();
+  }
+  (void)client.call([] {
+    RequestFrame r;
+    r.opcode = Opcode::kPing;
+    return r;
+  }());
+
+  const auto stats = service.snapshot();
+  const auto& c = stats.of(Opcode::kCompress);
+  EXPECT_EQ(c.requests, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(c.ok, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(c.busy, 0u);
+  EXPECT_EQ(c.errors, 0u);
+  EXPECT_EQ(c.bytes_in, static_cast<std::uint64_t>(kRequests) * data.size());
+  EXPECT_EQ(c.bytes_out, bytes_out);
+  EXPECT_EQ(stats.of(Opcode::kPing).requests, 1u);
+
+  // The STATS opcode renders the same numbers.
+  RequestFrame sreq;
+  sreq.opcode = Opcode::kStats;
+  const auto sresp = client.call(sreq);
+  ASSERT_EQ(sresp.status, Status::kOk);
+  const std::string text(sresp.payload.begin(), sresp.payload.end());
+  EXPECT_NE(text.find("compress"), std::string::npos);
+  EXPECT_NE(text.find("queue high water"), std::string::npos);
+}
+
+TEST(ServerService, LatencyPercentilesPopulateAfterTraffic) {
+  Service service(small_config());
+  LoopbackClient client(service);
+  const auto data = wl::make_corpus("wiki", 16 * 1024);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(client.call(compress_request(static_cast<std::uint64_t>(i), data)).status,
+              Status::kOk);
+  }
+  const auto stats = service.snapshot();
+  EXPECT_GT(stats.of(Opcode::kCompress).p99_us, 0u);
+  EXPECT_LE(stats.of(Opcode::kCompress).p50_us, stats.of(Opcode::kCompress).p99_us);
+}
+
+TEST(ServerService, ConcurrentLoopbackClientsAllRoundTrip) {
+  Service service(small_config());
+  const auto data = wl::make_corpus("mixed", 8 * 1024);
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      LoopbackClient client(service);
+      for (int i = 0; i < 4; ++i) {
+        const auto resp = client.call(
+            compress_request(static_cast<std::uint64_t>(t * 100 + i), data,
+                             (i % 2) != 0 ? kFlagRawContainer : std::uint16_t{0}));
+        if (resp.status == Status::kBusy) continue;  // legal under contention
+        if (resp.status != Status::kOk || resp.adler != checksum::adler32(data)) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const auto out = (i % 2) != 0 ? core::raw_container_unpack(resp.payload)
+                                      : deflate::zlib_decompress(resp.payload);
+        if (out != data) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ServerTcp, EndToEndOverRealSockets) {
+  Service service(small_config());
+  TcpServer server(service, /*port=*/0);
+  std::thread server_thread([&] { server.run(); });
+
+  const auto data = wl::make_corpus("wiki", 16 * 1024);
+  {
+    TcpClient client("127.0.0.1", server.port());
+
+    RequestFrame ping;
+    ping.id = 1;
+    ping.opcode = Opcode::kPing;
+    EXPECT_EQ(client.call(ping).status, Status::kOk);
+
+    const auto resp = client.call(compress_request(2, data));
+    ASSERT_EQ(resp.status, Status::kOk);
+    EXPECT_EQ(resp.adler, checksum::adler32(data));
+    EXPECT_EQ(deflate::zlib_decompress(resp.payload), data);
+
+    // Two sequential requests on one connection (framing keeps sync).
+    const auto resp2 = client.call(compress_request(3, data, kFlagRawContainer));
+    ASSERT_EQ(resp2.status, Status::kOk);
+    EXPECT_EQ(core::raw_container_unpack(resp2.payload), data);
+  }
+  EXPECT_GE(server.connections_accepted(), 1u);
+
+  server.stop();
+  server_thread.join();
+}
+
+}  // namespace
+}  // namespace lzss::server

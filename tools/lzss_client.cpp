@@ -1,0 +1,152 @@
+// lzss_client — talk to a running lzssd.
+//
+//   lzss_client [options] <op> [file]
+//     op: compress <file> | decompress <file> | ping | stats
+//     --host <h>     server host (default 127.0.0.1)
+//     --port <p>     server port (default 5555)
+//     --raw          raw-LZSS container instead of zlib
+//     --preset <id>  preset id 0..N (0 = server default)
+//     -o <path>      write the response payload to this file
+//     --no-verify    skip the local round-trip check after compress
+//
+// After a compress the client verifies end to end: it inflates the returned
+// container locally, byte-compares against the original file, and checks the
+// server-computed Adler-32 — the same guarantee the paper's zlib
+// compatibility claim rests on, but over the wire.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "deflate/inflate.hpp"
+#include "lzss/raw_container.hpp"
+#include "server/frame.hpp"
+#include "server/tcp.hpp"
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& data) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot create " + path);
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lzss_client [--host h] [--port p] [--raw] [--preset id] [-o out]\n"
+               "                   [--no-verify] compress|decompress|ping|stats [file]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lzss;
+
+  std::string host = "127.0.0.1", op, file, out_path;
+  unsigned port = 5555;
+  unsigned preset = 0;
+  bool raw = false, verify = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : nullptr; };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = next()) != nullptr) {
+      host = v;
+    } else if (arg == "--port" && (v = next()) != nullptr) {
+      port = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--preset" && (v = next()) != nullptr) {
+      preset = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "-o" && (v = next()) != nullptr) {
+      out_path = v;
+    } else if (arg == "--raw") {
+      raw = true;
+    } else if (arg == "--no-verify") {
+      verify = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (op.empty()) {
+      op = arg;
+    } else {
+      file = arg;
+    }
+  }
+  const bool needs_file = op == "compress" || op == "decompress";
+  if (op.empty() || (needs_file && file.empty()) || port > 65535 || preset > 255)
+    return usage();
+
+  try {
+    server::RequestFrame req;
+    req.id = 1;
+    req.flags = server::flags_with_preset(raw ? server::kFlagRawContainer : 0,
+                                          static_cast<std::uint8_t>(preset));
+    if (op == "compress") {
+      req.opcode = server::Opcode::kCompress;
+      req.payload = read_file(file);
+    } else if (op == "decompress") {
+      req.opcode = server::Opcode::kDecompress;
+      req.payload = read_file(file);
+    } else if (op == "ping") {
+      req.opcode = server::Opcode::kPing;
+    } else if (op == "stats") {
+      req.opcode = server::Opcode::kStats;
+    } else {
+      return usage();
+    }
+
+    server::TcpClient client(host, static_cast<std::uint16_t>(port));
+    const auto resp = client.call(req);
+
+    if (resp.status != server::Status::kOk) {
+      std::fprintf(stderr, "server answered %s\n", server::status_name(resp.status));
+      return 1;
+    }
+
+    if (op == "ping") {
+      std::printf("pong (id %llu)\n", static_cast<unsigned long long>(resp.id));
+      return 0;
+    }
+    if (op == "stats") {
+      std::fwrite(resp.payload.data(), 1, resp.payload.size(), stdout);
+      return 0;
+    }
+
+    if (op == "compress" && verify) {
+      // End-to-end proof: inflate locally and byte-compare.
+      const auto round = raw ? core::raw_container_unpack(resp.payload)
+                             : deflate::zlib_decompress(resp.payload);
+      if (round != req.payload) {
+        std::fprintf(stderr, "round-trip MISMATCH: inflated output differs from input\n");
+        return 1;
+      }
+      if (resp.adler != checksum::adler32(req.payload)) {
+        std::fprintf(stderr, "adler MISMATCH: server %08x\n", resp.adler);
+        return 1;
+      }
+    }
+    if (!out_path.empty()) write_file(out_path, resp.payload);
+
+    std::printf("%zu -> %zu bytes (ratio %.3f, %s container%s)\n", req.payload.size(),
+                resp.payload.size(),
+                resp.payload.empty()
+                    ? 0.0
+                    : static_cast<double>(req.payload.size()) /
+                          static_cast<double>(resp.payload.size()),
+                raw ? "raw" : "zlib",
+                op == "compress" && verify ? ", round-trip verified" : "");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lzss_client: %s\n", e.what());
+    return 1;
+  }
+}

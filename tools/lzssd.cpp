@@ -1,0 +1,92 @@
+// lzssd — the compression service daemon.
+//
+//   lzssd [options]
+//     --port <p>          TCP port (default 5555; 0 picks an ephemeral port)
+//     --engines <n>       data-plane worker threads, one hw model each (default 2)
+//     --queue-depth <d>   bounded request queue; full => BUSY (default 64)
+//     --preset <name>     service default config from the estimator ladder
+//                         (speed | balanced | ratio | min-bram | baseline-2007)
+//     --large-engines <n> MultiEngine stripe width for large payloads (default 4)
+//     --threshold-kb <k>  payloads >= k KiB take the striped path (default 256)
+//
+// Wire protocol: docs/SERVER.md. Stop with SIGINT/SIGTERM (clean drain).
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "estimator/presets.hpp"
+#include "server/service.hpp"
+#include "server/tcp.hpp"
+
+namespace {
+
+lzss::server::TcpServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lzssd [--port p] [--engines n] [--queue-depth d] [--preset name]\n"
+               "             [--large-engines n] [--threshold-kb k]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lzss;
+
+  server::ServiceConfig cfg;
+  unsigned port = 5555;
+  std::string preset = "speed";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : nullptr; };
+    const char* v = nullptr;
+    if (arg == "--port" && (v = next()) != nullptr) {
+      port = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--engines" && (v = next()) != nullptr) {
+      cfg.workers = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--queue-depth" && (v = next()) != nullptr) {
+      cfg.queue_depth = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--preset" && (v = next()) != nullptr) {
+      preset = v;
+    } else if (arg == "--large-engines" && (v = next()) != nullptr) {
+      cfg.large_engines = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--threshold-kb" && (v = next()) != nullptr) {
+      cfg.large_threshold = static_cast<std::size_t>(std::atoi(v)) * 1024;
+    } else {
+      return usage();
+    }
+  }
+  if (port > 65535) return usage();
+
+  try {
+    cfg.hw = est::preset_by_name(preset).config;
+    server::Service service(cfg);
+    server::TcpServer tcp(service, static_cast<std::uint16_t>(port));
+    g_server = &tcp;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    std::printf("lzssd listening on port %u (%u engines, queue depth %zu, preset %s)\n",
+                static_cast<unsigned>(tcp.port()), cfg.workers, cfg.queue_depth,
+                preset.c_str());
+    std::fflush(stdout);
+
+    tcp.run();
+
+    const auto stats = service.snapshot();
+    std::printf("lzssd shutting down\n%s", stats.render().c_str());
+    g_server = nullptr;
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lzssd: %s\n", e.what());
+    return 1;
+  }
+}
