@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "server/retry.hpp"
 #include "server/service.hpp"
 #include "server/tcp.hpp"
 
@@ -25,14 +26,18 @@ struct LoadResult {
   double reject_rate = 0;
   std::uint64_t ok = 0;
   std::uint64_t busy = 0;
+  std::uint64_t retries = 0;
 };
 
 /// Closed-loop load: each thread sends @p requests_per_thread compress
-/// requests of @p chunk bytes back to back; BUSY answers count as rejects
-/// (no retry, the loadgen moves on — an open-loop client would back off).
+/// requests of @p chunk bytes back to back. With a null @p retry policy a
+/// BUSY answer counts as a reject and the loadgen moves on; with a policy
+/// each request backs off and re-submits, so "busy" counts only requests
+/// that stayed rejected after the final attempt.
 LoadResult run_load(server::Service& service, const std::vector<std::uint8_t>& corpus,
-                    unsigned threads, std::size_t chunk, int requests_per_thread) {
-  std::atomic<std::uint64_t> ok{0}, busy{0}, ok_bytes{0};
+                    unsigned threads, std::size_t chunk, int requests_per_thread,
+                    const server::RetryPolicy* retry = nullptr) {
+  std::atomic<std::uint64_t> ok{0}, busy{0}, ok_bytes{0}, retried{0};
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> pool;
   pool.reserve(threads);
@@ -50,7 +55,20 @@ LoadResult run_load(server::Service& service, const std::vector<std::uint8_t>& c
         req.opcode = server::Opcode::kCompress;
         req.payload.assign(corpus.begin() + static_cast<std::ptrdiff_t>(off),
                            corpus.begin() + static_cast<std::ptrdiff_t>(off + chunk));
-        const auto resp = client.call(req);
+        server::ResponseFrame resp;
+        if (retry != nullptr) {
+          // Per-thread deterministic jitter: seed by thread id so backoff
+          // sleeps decorrelate instead of re-arriving in lockstep.
+          server::RetryPolicy policy = *retry;
+          policy.seed += t;
+          server::RetryStats rs;
+          resp = server::call_with_retry(
+              [&client](const server::RequestFrame& r) { return client.call(r); }, req, policy,
+              &rs);
+          retried.fetch_add(rs.retries);
+        } else {
+          resp = client.call(req);
+        }
         if (resp.status == server::Status::kOk) {
           ok.fetch_add(1);
           ok_bytes.fetch_add(chunk);
@@ -67,6 +85,7 @@ LoadResult run_load(server::Service& service, const std::vector<std::uint8_t>& c
   LoadResult r;
   r.ok = ok.load();
   r.busy = busy.load();
+  r.retries = retried.load();
   r.mb_per_s = secs > 0 ? static_cast<double>(ok_bytes.load()) / 1e6 / secs : 0;
   const double total = static_cast<double>(r.ok + r.busy);
   r.reject_rate = total > 0 ? static_cast<double>(r.busy) / total : 0;
@@ -116,6 +135,32 @@ void print_tables() {
                 static_cast<unsigned long long>(r.ok),
                 static_cast<unsigned long long>(r.busy), 100 * r.reject_rate,
                 static_cast<unsigned long long>(stats.queue_high_water));
+  }
+
+  // Same saturated setup (1 engine, shallow queue, 12 threads) with and
+  // without client-side retry: backoff converts rejects into completed work
+  // at the cost of added client latency.
+  std::printf("\n-- retry with backoff vs give-up (1 engine, queue depth 2, 12 threads) --\n");
+  std::printf("%-22s %9s %9s %9s %12s\n", "client policy", "ok", "busy", "retries",
+              "goodput rate");
+  for (const bool with_retry : {false, true}) {
+    server::ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.queue_depth = 2;
+    server::Service service(cfg);
+    server::RetryPolicy policy;
+    policy.max_attempts = 6;
+    policy.base_delay_ms = 1;
+    policy.max_delay_ms = 64;
+    const auto r = run_load(service, corpus, /*threads=*/12, chunk,
+                            /*requests_per_thread=*/4, with_retry ? &policy : nullptr);
+    const double total = static_cast<double>(r.ok + r.busy);
+    std::printf("%-22s %9llu %9llu %9llu %11.1f%%\n",
+                with_retry ? "retry x5, jitter" : "give up on BUSY",
+                static_cast<unsigned long long>(r.ok),
+                static_cast<unsigned long long>(r.busy),
+                static_cast<unsigned long long>(r.retries),
+                total > 0 ? 100 * static_cast<double>(r.ok) / total : 0);
   }
 }
 

@@ -1,12 +1,15 @@
 #include "deflate/inflate.hpp"
 
+#include <algorithm>
 #include <array>
 #include <string>
+#include <vector>
 
 #include "common/bitio.hpp"
 #include "common/checksum.hpp"
 #include "deflate/fixed_tables.hpp"
 #include "deflate/huffman.hpp"
+#include "fault/fault.hpp"
 
 namespace lzss::deflate {
 namespace {
@@ -14,12 +17,19 @@ namespace {
 constexpr std::array<std::uint8_t, 19> kClcOrder{16, 17, 18, 0, 8,  7, 9,  6, 10, 5,
                                                  11, 4,  12, 3, 13, 2, 14, 1, 15};
 
+/// The compression-bomb guard: refuses to commit output past @p cap.
+void check_output_cap(std::size_t next_size, std::size_t cap) {
+  if (next_size > cap) throw InflateBombError("inflate: output exceeds expansion cap");
+}
+
 void inflate_block_payload(bits::BitReader& r, const HuffmanDecoder& lit,
-                           const HuffmanDecoder& dist, std::vector<std::uint8_t>& out) {
+                           const HuffmanDecoder& dist, std::vector<std::uint8_t>& out,
+                           std::size_t cap) {
   auto next_bit = [&r] { return r.get_bit(); };
   for (;;) {
     const unsigned sym = lit.decode(next_bit);
     if (sym < 256) {
+      check_output_cap(out.size() + 1, cap);
       out.push_back(static_cast<std::uint8_t>(sym));
       continue;
     }
@@ -31,21 +41,23 @@ void inflate_block_payload(bits::BitReader& r, const HuffmanDecoder& lit,
     if (dsym > 29) throw InflateError("inflate: invalid distance symbol");
     const std::uint32_t distance = distance_base(dsym) + r.get_bits(distance_extra_bits(dsym));
     if (distance > out.size()) throw InflateError("inflate: distance too far back");
+    check_output_cap(out.size() + length, cap);
     std::size_t src = out.size() - distance;
     for (std::uint32_t i = 0; i < length; ++i) out.push_back(out[src + i]);
   }
 }
 
-void inflate_stored(bits::BitReader& r, std::vector<std::uint8_t>& out) {
+void inflate_stored(bits::BitReader& r, std::vector<std::uint8_t>& out, std::size_t cap) {
   r.align_to_byte();
   const std::uint32_t len = r.get_bits(16);
   const std::uint32_t nlen = r.get_bits(16);
   if ((len ^ nlen) != 0xFFFF) throw InflateError("inflate: stored block LEN/NLEN mismatch");
+  check_output_cap(out.size() + len, cap);
   for (std::uint32_t i = 0; i < len; ++i)
     out.push_back(static_cast<std::uint8_t>(r.get_bits(8)));
 }
 
-void inflate_fixed(bits::BitReader& r, std::vector<std::uint8_t>& out) {
+void inflate_fixed(bits::BitReader& r, std::vector<std::uint8_t>& out, std::size_t cap) {
   static const HuffmanDecoder lit = [] {
     std::array<std::uint8_t, 288> lengths{};
     for (unsigned s = 0; s <= 143; ++s) lengths[s] = 8;
@@ -59,10 +71,10 @@ void inflate_fixed(bits::BitReader& r, std::vector<std::uint8_t>& out) {
     lengths.fill(5);
     return HuffmanDecoder(lengths);
   }();
-  inflate_block_payload(r, lit, dist, out);
+  inflate_block_payload(r, lit, dist, out, cap);
 }
 
-void inflate_dynamic(bits::BitReader& r, std::vector<std::uint8_t>& out) {
+void inflate_dynamic(bits::BitReader& r, std::vector<std::uint8_t>& out, std::size_t cap) {
   const std::uint32_t hlit = r.get_bits(5) + 257;
   const std::uint32_t hdist = r.get_bits(5) + 1;
   const std::uint32_t hclen = r.get_bits(4) + 4;
@@ -95,27 +107,31 @@ void inflate_dynamic(bits::BitReader& r, std::vector<std::uint8_t>& out) {
   const std::span<const std::uint8_t> all(lengths);
   const HuffmanDecoder lit(all.subspan(0, hlit));
   const HuffmanDecoder dist(all.subspan(hlit, hdist));
-  inflate_block_payload(r, lit, dist, out);
+  inflate_block_payload(r, lit, dist, out, cap);
 }
 
 }  // namespace
 
-std::vector<std::uint8_t> inflate_raw(std::span<const std::uint8_t> stream) {
+std::vector<std::uint8_t> inflate_raw(std::span<const std::uint8_t> stream,
+                                      std::size_t max_output) {
   bits::BitReader r(stream);
   std::vector<std::uint8_t> out;
+  // Even without a caller cap, output is bounded by the structural expansion
+  // limit — a corrupt or hostile stream cannot force unbounded allocation.
+  const std::size_t cap = std::min(max_output, max_inflate_expansion(stream.size()));
   try {
     for (;;) {
       const std::uint32_t bfinal = r.get_bit();
       const std::uint32_t btype = r.get_bits(2);
       switch (btype) {
         case 0:
-          inflate_stored(r, out);
+          inflate_stored(r, out, cap);
           break;
         case 1:
-          inflate_fixed(r, out);
+          inflate_fixed(r, out, cap);
           break;
         case 2:
-          inflate_dynamic(r, out);
+          inflate_dynamic(r, out, cap);
           break;
         default:
           throw InflateError("inflate: reserved block type");
@@ -129,7 +145,13 @@ std::vector<std::uint8_t> inflate_raw(std::span<const std::uint8_t> stream) {
   }
 }
 
-std::vector<std::uint8_t> zlib_decompress(std::span<const std::uint8_t> stream) {
+std::vector<std::uint8_t> zlib_decompress(std::span<const std::uint8_t> stream,
+                                          std::size_t max_output) {
+  // Bit-corruption fault point: when armed, this call sees a damaged copy of
+  // the container, exactly like flipped bits on a storage or transport path.
+  std::vector<std::uint8_t> damaged;
+  if (fault::corrupt_into("deflate.inflate.corrupt", stream, damaged)) stream = damaged;
+
   if (stream.size() < 6) throw InflateError("zlib: stream too short");
   const std::uint8_t cmf = stream[0];
   const std::uint8_t flg = stream[1];
@@ -138,7 +160,7 @@ std::vector<std::uint8_t> zlib_decompress(std::span<const std::uint8_t> stream) 
     throw InflateError("zlib: FCHECK failed");
   if ((flg & 0x20) != 0) throw InflateError("zlib: preset dictionaries unsupported");
 
-  auto out = inflate_raw(stream.subspan(2, stream.size() - 6));
+  auto out = inflate_raw(stream.subspan(2, stream.size() - 6), max_output);
   const std::size_t t = stream.size() - 4;
   const std::uint32_t expected = (std::uint32_t{stream[t]} << 24) |
                                  (std::uint32_t{stream[t + 1]} << 16) |
@@ -147,7 +169,8 @@ std::vector<std::uint8_t> zlib_decompress(std::span<const std::uint8_t> stream) 
   return out;
 }
 
-std::vector<std::uint8_t> gzip_decompress(std::span<const std::uint8_t> stream) {
+std::vector<std::uint8_t> gzip_decompress(std::span<const std::uint8_t> stream,
+                                          std::size_t max_output) {
   if (stream.size() < 18) throw InflateError("gzip: stream too short");
   if (stream[0] != 0x1F || stream[1] != 0x8B) throw InflateError("gzip: bad magic");
   if (stream[2] != 8) throw InflateError("gzip: compression method is not deflate");
@@ -167,7 +190,7 @@ std::vector<std::uint8_t> gzip_decompress(std::span<const std::uint8_t> stream) 
   if ((flags & 0x02) != 0) pos += 2;  // FHCRC
   if (pos + 8 >= stream.size()) throw InflateError("gzip: truncated header");
 
-  auto out = inflate_raw(stream.subspan(pos, stream.size() - pos - 8));
+  auto out = inflate_raw(stream.subspan(pos, stream.size() - pos - 8), max_output);
   const std::size_t t = stream.size() - 8;
   auto le32 = [&](std::size_t i) {
     return std::uint32_t{stream[i]} | (std::uint32_t{stream[i + 1]} << 8) |

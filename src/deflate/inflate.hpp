@@ -19,13 +19,39 @@ class InflateError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when the decompressed output would exceed the caller's cap or the
+/// structural expansion bound — the compression-bomb guard. Subclass of
+/// InflateError so existing catch sites keep working; callers that want to
+/// distinguish "too big" from "corrupt" catch this first.
+class InflateBombError : public InflateError {
+ public:
+  using InflateError::InflateError;
+};
+
+/// Upper bound on legitimate Deflate expansion: a match costs at least ~10
+/// bits and produces at most 258 bytes, so anything past ~1040x per input
+/// byte (plus slack for tiny inputs) is structurally impossible and treated
+/// as a bomb. This bound is enforced even when no explicit cap is given, so
+/// a hostile stream can never force allocation past input_size * ~1KB.
+[[nodiscard]] constexpr std::size_t max_inflate_expansion(std::size_t input_bytes) noexcept {
+  return 64 * 1024 + input_bytes * 1040;
+}
+
+inline constexpr std::size_t kNoOutputCap = static_cast<std::size_t>(-1);
+
 /// Decompresses a raw Deflate stream (stored, fixed and dynamic blocks).
-[[nodiscard]] std::vector<std::uint8_t> inflate_raw(std::span<const std::uint8_t> stream);
+/// @param max_output hard cap on the output size; output growing past
+///        min(max_output, max_inflate_expansion(stream.size())) throws
+///        InflateBombError before the memory is committed.
+[[nodiscard]] std::vector<std::uint8_t> inflate_raw(std::span<const std::uint8_t> stream,
+                                                    std::size_t max_output = kNoOutputCap);
 
 /// Parses a zlib container, inflates, verifies the Adler-32 checksum.
-[[nodiscard]] std::vector<std::uint8_t> zlib_decompress(std::span<const std::uint8_t> stream);
+[[nodiscard]] std::vector<std::uint8_t> zlib_decompress(std::span<const std::uint8_t> stream,
+                                                        std::size_t max_output = kNoOutputCap);
 
 /// Parses a gzip container, inflates, verifies CRC-32 and ISIZE.
-[[nodiscard]] std::vector<std::uint8_t> gzip_decompress(std::span<const std::uint8_t> stream);
+[[nodiscard]] std::vector<std::uint8_t> gzip_decompress(std::span<const std::uint8_t> stream,
+                                                        std::size_t max_output = kNoOutputCap);
 
 }  // namespace lzss::deflate

@@ -1,0 +1,152 @@
+// Deterministic fault injection for robustness testing.
+//
+// The hardware design's robustness story is structural: valid/ready stalls
+// and bounded BRAMs mean a misbehaving neighbour can slow the pipeline but
+// never wedge it. The software service needs the same property, and the only
+// way to *prove* it is to make the failures happen on demand. This header is
+// a process-wide registry of named fault points — `fault::point("...")` calls
+// compiled into the request path — that tests can arm to throw, delay,
+// corrupt bytes, or kill a worker thread, with seeded PRNG streams so every
+// chaos run is exactly reproducible.
+//
+// Cost model: when nothing is armed, every fault call is one relaxed atomic
+// load and a predicted-not-taken branch — cheap enough to leave in the cycle
+// loop of the hardware model. The slow path (registry lookup under a mutex)
+// only runs while at least one point is armed, i.e. in tests.
+//
+// Typical test usage:
+//
+//   fault::Spec spec;
+//   spec.action = fault::Action::kThrow;
+//   spec.probability = 0.25;
+//   spec.seed = 42;
+//   fault::ScopedFault guard("server.worker.compress", spec);
+//   ... drive traffic; a quarter of requests hit an injected throw ...
+//
+// The catalog of compiled-in points is `fault::all_points()`; docs/FAULTS.md
+// documents where each one sits and which actions make sense there.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lzss::fault {
+
+enum class Action : std::uint8_t {
+  kThrow,       ///< point() throws InjectedFault (a std::exception)
+  kDelay,       ///< point() blocks for delay_ms
+  kKillWorker,  ///< point() throws WorkerKill (NOT a std::exception — deliberately
+                ///< immune to catch(std::exception&), so it unwinds a worker
+                ///< thread the way a crash would)
+  kFire,        ///< behavioural: fires() returns true, the call site decides
+  kCorrupt,     ///< corrupt()/corrupt_into() flip random bits in the buffer
+};
+
+/// What an armed point does and when. All decisions are driven by a per-point
+/// xoshiro stream seeded from `seed`, so a given (spec, visit sequence) fires
+/// identically on every run.
+struct Spec {
+  Action action = Action::kThrow;
+  double probability = 1.0;       ///< chance each visit fires (after gates below)
+  std::uint32_t delay_ms = 0;     ///< kDelay block duration
+  std::uint32_t max_triggers = 0; ///< stop firing after this many (0 = unlimited)
+  std::uint32_t skip_first = 0;   ///< let this many visits pass before firing
+  std::uint64_t seed = 1;         ///< per-point PRNG stream
+};
+
+/// Thrown by kThrow points; derives std::exception so the normal error
+/// handling of the code under test deals with it.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& point)
+      : std::runtime_error("injected fault at " + point) {}
+};
+
+/// Thrown by kKillWorker points. Intentionally NOT derived from
+/// std::exception: generic catch blocks between the fault point and the
+/// worker loop cannot swallow it, so it reliably "crashes" the worker.
+struct WorkerKill {
+  const char* point;
+};
+
+/// Arms @p name with @p spec (re-arming resets visit/trigger counts and the
+/// PRNG stream). Points do not need to exist in all_points() — any name can
+/// be armed; only compiled-in call sites will ever visit it.
+void arm(std::string_view name, const Spec& spec);
+void disarm(std::string_view name);
+void disarm_all();
+
+/// Observability for tests: visits/triggers since the point was last armed.
+/// (Visits are only counted while the point is armed — the disarmed fast
+/// path does no bookkeeping at all.)
+[[nodiscard]] std::uint64_t visits(std::string_view name);
+[[nodiscard]] std::uint64_t triggers(std::string_view name);
+
+/// RAII arm/disarm for tests.
+class ScopedFault {
+ public:
+  ScopedFault(std::string name, const Spec& spec) : name_(std::move(name)) { arm(name_, spec); }
+  ~ScopedFault() { disarm(name_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string name_;
+};
+
+/// The compiled-in fault-point catalog (see docs/FAULTS.md).
+[[nodiscard]] std::span<const char* const> all_points() noexcept;
+
+namespace detail {
+
+/// Number of currently armed points; the fast-path gate.
+extern std::atomic<std::uint32_t> g_armed;
+
+/// Slow path: returns true when the point fires this visit. Executes kThrow/
+/// kDelay/kKillWorker actions when @p execute_action is set (point());
+/// fires() passes false and just reports the decision.
+bool visit(const char* name, bool execute_action);
+
+void corrupt_in_place(const char* name, std::span<std::uint8_t> bytes);
+bool corrupt_copy(const char* name, std::span<const std::uint8_t> src,
+                  std::vector<std::uint8_t>& dst);
+
+}  // namespace detail
+
+/// Action-style fault site: may throw InjectedFault / WorkerKill or sleep,
+/// according to the armed spec. No-op (one atomic load) when disarmed.
+inline void point(const char* name) {
+  if (detail::g_armed.load(std::memory_order_relaxed) == 0) return;
+  (void)detail::visit(name, /*execute_action=*/true);
+}
+
+/// Behavioural fault site: true when the armed point fires; the caller
+/// implements the degraded behaviour (report "not ready", shorten a write,
+/// abort a connection). Never throws or sleeps.
+inline bool fires(const char* name) noexcept {
+  if (detail::g_armed.load(std::memory_order_relaxed) == 0) return false;
+  return detail::visit(name, /*execute_action=*/false);
+}
+
+/// Corruption site over a mutable buffer: flips 1..4 random bits in place
+/// when the point fires.
+inline void corrupt(const char* name, std::span<std::uint8_t> bytes) {
+  if (detail::g_armed.load(std::memory_order_relaxed) == 0) return;
+  detail::corrupt_in_place(name, bytes);
+}
+
+/// Corruption site over read-only input: when the point fires, copies @p src
+/// into @p dst, flips bits there, and returns true. The copy only happens on
+/// a firing visit, so the disarmed/quiet cost stays zero.
+inline bool corrupt_into(const char* name, std::span<const std::uint8_t> src,
+                         std::vector<std::uint8_t>& dst) {
+  if (detail::g_armed.load(std::memory_order_relaxed) == 0) return false;
+  return detail::corrupt_copy(name, src, dst);
+}
+
+}  // namespace lzss::fault

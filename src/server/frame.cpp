@@ -87,6 +87,7 @@ const char* status_name(Status s) noexcept {
     case Status::kCorrupt: return "CORRUPT";
     case Status::kTooLarge: return "TOO_LARGE";
     case Status::kInternal: return "INTERNAL";
+    case Status::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "?";
 }
@@ -189,7 +190,8 @@ ResponseParser::ResponseParser(std::size_t max_payload) noexcept
     : FrameAccumulator(kResponseMagic, kResponseHeaderSize, max_payload) {}
 
 ParseError ResponseParser::validate_header(std::span<const std::uint8_t> header) const {
-  if (header[5] > static_cast<std::uint8_t>(Status::kInternal)) return ParseError::kBadStatus;
+  if (header[5] > static_cast<std::uint8_t>(Status::kDeadlineExceeded))
+    return ParseError::kBadStatus;
   return ParseError::kNone;
 }
 

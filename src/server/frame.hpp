@@ -58,6 +58,7 @@ enum class Status : std::uint8_t {
   kCorrupt = 4,      ///< DECOMPRESS payload failed to parse or checksum
   kTooLarge = 5,     ///< payload exceeds the service's limit
   kInternal = 6,     ///< unexpected server-side failure
+  kDeadlineExceeded = 7,  ///< request timed out in queue or on a hung worker
 };
 
 enum class ParseError : std::uint8_t {

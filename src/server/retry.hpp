@@ -1,0 +1,88 @@
+// Client-side retry with exponential backoff + jitter.
+//
+// BUSY and DEADLINE_EXCEEDED are the service telling the client "try again
+// later" — the software twin of a de-asserted `ready`. A well-behaved client
+// backs off exponentially with jitter so a fleet of rejected clients does
+// not re-arrive in lockstep. The policy is deterministic given its seed, so
+// tests and benchmarks are reproducible.
+//
+// Header-only; used by tools/lzss_client and bench/ext_server_throughput.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/prng.hpp"
+#include "server/frame.hpp"
+
+namespace lzss::server {
+
+struct RetryPolicy {
+  unsigned max_attempts = 5;     ///< total tries, including the first
+  unsigned base_delay_ms = 10;   ///< first backoff step
+  unsigned max_delay_ms = 2000;  ///< backoff ceiling
+  std::uint64_t seed = 0x5EEDBACCull;
+};
+
+/// Statuses worth retrying: the service explicitly said "later".
+[[nodiscard]] inline bool retryable_status(Status s) noexcept {
+  return s == Status::kBusy || s == Status::kDeadlineExceeded;
+}
+
+/// Full-jitter exponential backoff: attempt k (0-based, i.e. before try k+2)
+/// sleeps uniformly in [delay/2, delay) where delay = base * 2^k, capped.
+class Backoff {
+ public:
+  explicit Backoff(const RetryPolicy& policy) : policy_(policy), rng_(policy.seed) {}
+
+  [[nodiscard]] unsigned delay_ms(unsigned attempt) noexcept {
+    std::uint64_t delay = policy_.base_delay_ms;
+    for (unsigned i = 0; i < attempt && delay < policy_.max_delay_ms; ++i) delay *= 2;
+    delay = std::min<std::uint64_t>(delay, policy_.max_delay_ms);
+    if (delay <= 1) return static_cast<unsigned>(delay);
+    const std::uint64_t half = delay / 2;
+    return static_cast<unsigned>(half + rng_.next_below(delay - half));
+  }
+
+  void sleep(unsigned attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms(attempt)));
+  }
+
+ private:
+  RetryPolicy policy_;
+  rng::Xoshiro256 rng_;
+};
+
+struct RetryStats {
+  unsigned attempts = 0;     ///< calls actually issued
+  unsigned retries = 0;      ///< attempts beyond the first
+  std::uint64_t slept_ms = 0;
+};
+
+/// Calls @p call (signature ResponseFrame(const RequestFrame&)) until it
+/// returns a non-retryable status or the policy's attempts run out; the last
+/// response is returned either way. Transport exceptions propagate — the
+/// caller decides whether a broken connection is retryable (see
+/// lzss_client's reconnect loop).
+template <typename CallFn>
+[[nodiscard]] ResponseFrame call_with_retry(CallFn&& call, const RequestFrame& request,
+                                            const RetryPolicy& policy,
+                                            RetryStats* stats = nullptr) {
+  Backoff backoff(policy);
+  ResponseFrame resp;
+  for (unsigned attempt = 0;; ++attempt) {
+    resp = call(request);
+    if (stats != nullptr) ++stats->attempts;
+    if (!retryable_status(resp.status) || attempt + 1 >= policy.max_attempts) return resp;
+    const unsigned ms = backoff.delay_ms(attempt);
+    if (stats != nullptr) {
+      ++stats->retries;
+      stats->slept_ms += ms;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
+}  // namespace lzss::server

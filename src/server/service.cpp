@@ -7,11 +7,15 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "common/bitio.hpp"
 #include "common/checksum.hpp"
 #include "deflate/container.hpp"
+#include "deflate/encoder.hpp"
 #include "deflate/inflate.hpp"
 #include "estimator/presets.hpp"
+#include "fault/fault.hpp"
 #include "lzss/raw_container.hpp"
 #include "parallel/multi_engine.hpp"
 
@@ -25,6 +29,30 @@ unsigned container_window_bits(const hw::HwConfig& cfg) noexcept {
   return std::clamp(cfg.dict_bits, 8u, 15u);
 }
 
+/// The graceful-degradation payload: a container that carries @p input
+/// without compression but still round-trips through the normal DECOMPRESS
+/// path. zlib flavour = stored (BTYPE=00) blocks; raw flavour = an
+/// all-literal token stream.
+std::vector<std::uint8_t> fallback_container(std::span<const std::uint8_t> input,
+                                             std::uint32_t adler, bool raw,
+                                             const hw::HwConfig& cfg) {
+  if (raw) {
+    std::vector<core::Token> literals;
+    literals.reserve(input.size());
+    for (const std::uint8_t b : input) literals.push_back(core::Token::literal(b));
+    return core::raw_container_pack(literals, cfg.dict_bits, input.size());
+  }
+  bits::BitWriter w;
+  constexpr std::size_t kStoredMax = 65535;  // LEN is 16 bits
+  std::size_t off = 0;
+  do {
+    const std::size_t n = std::min(kStoredMax, input.size() - off);
+    deflate::write_stored_block(w, input.subspan(off, n), off + n == input.size());
+    off += n;
+  } while (off < input.size());
+  return deflate::zlib_wrap(w.take(), adler, container_window_bits(cfg));
+}
+
 }  // namespace
 
 void ServiceConfig::validate() const {
@@ -33,6 +61,8 @@ void ServiceConfig::validate() const {
   if (large_engines == 0) throw std::invalid_argument("ServiceConfig: zero large_engines");
   if (max_payload > kMaxPayload)
     throw std::invalid_argument("ServiceConfig: max_payload exceeds the protocol cap");
+  if (!(stored_fallback_ratio > 0.0))
+    throw std::invalid_argument("ServiceConfig: stored_fallback_ratio must be positive");
   hw.validate();
 }
 
@@ -60,18 +90,41 @@ std::string ServiceStats::render() const {
   std::snprintf(line, sizeof(line), "queue high water: %llu\n",
                 static_cast<unsigned long long>(queue_high_water));
   out += line;
+  std::snprintf(line, sizeof(line), "deadline exceeded: %llu\n",
+                static_cast<unsigned long long>(deadline_exceeded));
+  out += line;
+  std::snprintf(line, sizeof(line), "fallbacks: %llu\n",
+                static_cast<unsigned long long>(fallbacks));
+  out += line;
+  std::snprintf(line, sizeof(line), "workers respawned: %llu\n",
+                static_cast<unsigned long long>(workers_respawned));
+  out += line;
+  std::snprintf(line, sizeof(line), "latency samples overwritten: %llu\n",
+                static_cast<unsigned long long>(latency_overflow));
+  out += line;
   return out;
 }
 
 Service::Service(ServiceConfig config) : cfg_(std::move(config)) {
   cfg_.validate();
-  workers_.reserve(cfg_.workers);
-  for (unsigned i = 0; i < cfg_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  {
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.reserve(cfg_.workers);
+    for (unsigned i = 0; i < cfg_.workers; ++i) spawn_worker_locked();
+  }
+  if (cfg_.request_timeout_ms != 0 || cfg_.hung_worker_ms != 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
   }
 }
 
 Service::~Service() { stop(); }
+
+void Service::spawn_worker_locked() {
+  auto worker = std::make_unique<Worker>();
+  Worker* raw = worker.get();
+  workers_.push_back(std::move(worker));
+  raw->thread = std::thread([this, raw] { worker_loop(raw); });
+}
 
 void Service::stop() {
   {
@@ -80,8 +133,38 @@ void Service::stop() {
     stopping_ = true;
   }
   queue_cv_.notify_all();
-  for (auto& t : workers_) t.join();
-  workers_.clear();
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) threads.push_back(std::move(w->thread));
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  // Rescue pass: jobs can only survive the drain when every worker died with
+  // the watchdog disabled (kill faults). They still get a typed answer.
+  std::vector<JobPtr> leftovers;
+  {
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    for (auto& w : workers_) {
+      if (w->current) leftovers.push_back(std::move(w->current));
+    }
+    workers_.clear();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (auto& j : queue_) leftovers.push_back(std::move(j));
+    queue_.clear();
+  }
+  for (auto& j : leftovers) {
+    ResponseFrame resp;
+    resp.status = Status::kInternal;
+    deliver(j, std::move(resp));
+  }
 }
 
 void Service::submit(RequestFrame&& request, Completion done) {
@@ -102,10 +185,25 @@ void Service::submit(RequestFrame&& request, Completion done) {
     return;
   }
 
+  try {
+    fault::point("server.queue.ingress");
+  } catch (const std::exception&) {
+    ResponseFrame resp;
+    resp.id = request.id;
+    resp.flags = request.flags;
+    resp.status = Status::kInternal;
+    finish(op, request, resp, t0, done);
+    return;
+  }
+
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     if (!stopping_ && queue_.size() < cfg_.queue_depth) {
-      queue_.push_back(Job{std::move(request), std::move(done), t0});
+      auto job = std::make_shared<Job>();
+      job->request = std::move(request);
+      job->done = std::move(done);
+      job->enqueued_at = t0;
+      queue_.push_back(std::move(job));
       queue_high_water_ = std::max<std::uint64_t>(queue_high_water_, queue_.size());
       lock.unlock();
       queue_cv_.notify_one();
@@ -128,29 +226,161 @@ void Service::submit(RequestFrame&& request, Completion done) {
   done(std::move(busy));
 }
 
-void Service::worker_loop() {
+bool Service::expired(const Job& job, std::chrono::steady_clock::time_point now) const noexcept {
+  return cfg_.request_timeout_ms != 0 &&
+         now - job.enqueued_at > std::chrono::milliseconds(cfg_.request_timeout_ms);
+}
+
+void Service::worker_loop(Worker* self) {
   // Each worker owns one long-lived model instance for the default config;
   // compress() resets all architectural state per request.
   hw::Compressor compressor(cfg_.hw);
   for (;;) {
-    Job job;
+    JobPtr job;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
+      queue_cv_.wait(lock, [&] {
+        return stopping_ || self->poisoned.load(std::memory_order_relaxed) || !queue_.empty();
+      });
+      if (self->poisoned.load(std::memory_order_relaxed)) break;
+      if (queue_.empty()) break;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+
+    const auto now = std::chrono::steady_clock::now();
+    if (expired(*job, now)) {
+      // Expired while queued and the reaper has not got to it yet: refuse to
+      // burn worker time on a request the client has already given up on.
+      ResponseFrame resp;
+      resp.status = Status::kDeadlineExceeded;
+      deliver(job, std::move(resp));
+      continue;
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(workers_mutex_);
+      self->current = job;
+      self->busy_since = now;
+    }
+
     ResponseFrame resp;
+    bool killed = false;
     try {
-      resp = process(job.request, compressor);
+      fault::point("server.worker.pre_compress");
+      resp = process(job->request, compressor);
+    } catch (const fault::WorkerKill&) {
+      killed = true;
     } catch (const std::exception&) {
       resp.status = Status::kInternal;
     }
-    resp.id = job.request.id;
-    resp.flags = job.request.flags;
-    finish(job.request.opcode, job.request, resp, job.enqueued_at, job.done);
+
+    if (killed) {
+      // Simulated crash: exit without answering and leave `current` set so
+      // the watchdog can find the orphan, answer it, and respawn us.
+      self->exited.store(true);
+      return;
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(workers_mutex_);
+      self->current.reset();
+    }
+    deliver(job, std::move(resp));
+    if (self->poisoned.load(std::memory_order_relaxed)) break;
   }
+  self->exited.store(true);
+}
+
+void Service::watchdog_loop() {
+  using std::chrono::milliseconds;
+  const std::uint32_t timeout = cfg_.request_timeout_ms;
+  const std::uint32_t hung = cfg_.hung_worker_ms;
+  std::uint32_t tick = std::numeric_limits<std::uint32_t>::max();
+  if (timeout != 0) tick = std::min(tick, std::max(1u, timeout / 4));
+  if (hung != 0) tick = std::min(tick, std::max(1u, hung / 4));
+
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      watchdog_cv_.wait_for(lock, milliseconds(tick), [&] { return stopping_; });
+      if (stopping_) return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+
+    // 1) Reap queue entries that blew their deadline before dispatch.
+    std::vector<JobPtr> reaped;
+    if (timeout != 0) {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (expired(**it, now)) {
+          reaped.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& job : reaped) {
+      ResponseFrame resp;
+      resp.status = Status::kDeadlineExceeded;
+      deliver(job, std::move(resp));
+    }
+
+    // 2) Sweep the pool: rescue orphans of dead workers, poison hung ones,
+    //    respawn replacements, and join finished zombies. Deliveries happen
+    //    after the lock is released.
+    std::vector<std::pair<JobPtr, Status>> orphans;
+    std::vector<std::thread> to_join;
+    {
+      const std::lock_guard<std::mutex> lock(workers_mutex_);
+      // Iterate by index over the pre-sweep size: spawn_worker_locked()
+      // push_backs into workers_ and would invalidate range-for iterators.
+      std::size_t respawns = 0;
+      const std::size_t count = workers_.size();
+      for (std::size_t i = 0; i < count; ++i) {
+        Worker* w = workers_[i].get();
+        if (w->exited.load() && w->current) {
+          // The worker thread died mid-request (simulated crash).
+          orphans.emplace_back(std::move(w->current), Status::kInternal);
+          w->current.reset();
+          workers_respawned_.fetch_add(1, std::memory_order_relaxed);
+          ++respawns;
+        } else if (hung != 0 && !w->exited.load() && !w->poisoned.load() && w->current &&
+                   now - w->busy_since > milliseconds(hung)) {
+          // Stuck past the threshold: answer its request now, poison it so it
+          // exits when (if) it ever finishes, and backfill the pool slot.
+          orphans.emplace_back(w->current, Status::kDeadlineExceeded);
+          w->poisoned.store(true);
+          workers_respawned_.fetch_add(1, std::memory_order_relaxed);
+          ++respawns;
+        }
+        if (w->exited.load() && !w->current && w->thread.joinable()) {
+          to_join.push_back(std::move(w->thread));
+        }
+      }
+      std::erase_if(workers_, [](const std::unique_ptr<Worker>& w) {
+        return w->exited.load() && !w->current && !w->thread.joinable();
+      });
+      for (std::size_t i = 0; i < respawns; ++i) spawn_worker_locked();
+    }
+    for (auto& t : to_join) t.join();
+    for (auto& [job, status] : orphans) {
+      ResponseFrame resp;
+      resp.status = status;
+      deliver(job, std::move(resp));
+    }
+  }
+}
+
+void Service::deliver(const JobPtr& job, ResponseFrame&& response) {
+  bool expected = false;
+  if (!job->answered.compare_exchange_strong(expected, true)) return;  // lost the race
+  response.id = job->request.id;
+  response.flags = job->request.flags;
+  if (response.status == Status::kDeadlineExceeded)
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  finish(job->request.opcode, job->request, response, job->enqueued_at, job->done);
 }
 
 ResponseFrame Service::process(RequestFrame& request, hw::Compressor& compressor) {
@@ -188,30 +418,50 @@ ResponseFrame Service::do_compress(const RequestFrame& request, const hw::HwConf
   const bool raw = (request.flags & kFlagRawContainer) != 0;
   const bool large = input.size() >= cfg_.large_threshold;
 
-  if (!raw && large && !input.empty()) {
-    // Large zlib requests stripe across a bank of engines; the stitched
-    // multi-block Deflate stream wraps into one valid zlib container.
-    const auto report = par::compress_multi_engine(cfg, input, cfg_.large_engines);
-    resp.payload = deflate::zlib_wrap(report.deflate_stream, resp.adler,
-                                      container_window_bits(cfg));
+  try {
+    fault::point("server.worker.compress");
+    if (!raw && large && !input.empty()) {
+      // Large zlib requests stripe across a bank of engines; the stitched
+      // multi-block Deflate stream wraps into one valid zlib container.
+      const auto report = par::compress_multi_engine(cfg, input, cfg_.large_engines);
+      resp.payload = deflate::zlib_wrap(report.deflate_stream, resp.adler,
+                                        container_window_bits(cfg));
+    } else {
+      // Small requests (and every raw-container request: that container
+      // carries a single token stream) run on one model instance — the
+      // worker's own when the request uses the service default config.
+      std::vector<core::Token> tokens;
+      if (default_compressor != nullptr) {
+        tokens = default_compressor->compress(input).tokens;
+      } else {
+        hw::Compressor ad_hoc(cfg);
+        tokens = ad_hoc.compress(input).tokens;
+      }
+      if (raw) {
+        resp.payload = core::raw_container_pack(tokens, cfg.dict_bits, input.size());
+      } else {
+        resp.payload = deflate::zlib_wrap_tokens(tokens, input, container_window_bits(cfg),
+                                                 deflate::BlockKind::kFixed);
+      }
+    }
+  } catch (const std::exception&) {
+    // Graceful degradation: the model path failed, but a stored container
+    // always round-trips — COMPRESS degrades instead of erroring.
+    resp.payload = fallback_container(input, resp.adler, raw, cfg);
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
     return resp;
   }
 
-  // Small requests (and every raw-container request: that container carries a
-  // single token stream) run on one model instance — the worker's own when
-  // the request uses the service default config.
-  std::vector<core::Token> tokens;
-  if (default_compressor != nullptr) {
-    tokens = default_compressor->compress(input).tokens;
-  } else {
-    hw::Compressor ad_hoc(cfg);
-    tokens = ad_hoc.compress(input).tokens;
-  }
-  if (raw) {
-    resp.payload = core::raw_container_pack(tokens, cfg.dict_bits, input.size());
-  } else {
-    resp.payload = deflate::zlib_wrap_tokens(tokens, input, container_window_bits(cfg),
-                                             deflate::BlockKind::kFixed);
+  // Ratio guard: a payload incompressible past the configured ratio degrades
+  // to the stored form when that is actually smaller (GPULZ-style fallback).
+  if (!input.empty() &&
+      static_cast<double>(resp.payload.size()) >
+          static_cast<double>(input.size()) * cfg_.stored_fallback_ratio) {
+    auto stored = fallback_container(input, resp.adler, raw, cfg);
+    if (stored.size() < resp.payload.size()) {
+      resp.payload = std::move(stored);
+      fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return resp;
 }
@@ -221,9 +471,18 @@ ResponseFrame Service::do_decompress(const RequestFrame& request) {
   const bool raw = (request.flags & kFlagRawContainer) != 0;
   try {
     resp.payload = raw ? core::raw_container_unpack(request.payload)
-                       : deflate::zlib_decompress(request.payload);
+                       : deflate::zlib_decompress(request.payload, cfg_.max_payload);
+  } catch (const deflate::InflateBombError&) {
+    resp.status = Status::kTooLarge;
+    resp.payload.clear();
+    return resp;
   } catch (const std::exception&) {
     resp.status = Status::kCorrupt;
+    resp.payload.clear();
+    return resp;
+  }
+  if (resp.payload.size() > cfg_.max_payload) {
+    resp.status = Status::kTooLarge;
     resp.payload.clear();
     return resp;
   }
@@ -233,6 +492,13 @@ ResponseFrame Service::do_decompress(const RequestFrame& request) {
 
 void Service::finish(Opcode op, const RequestFrame& request, ResponseFrame& response,
                      std::chrono::steady_clock::time_point t0, const Completion& done) {
+  try {
+    fault::point("server.response.egress");
+  } catch (...) {
+    // Even a failing egress path must answer: degrade to a typed error.
+    response.payload.clear();
+    response.status = Status::kInternal;
+  }
   const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
@@ -253,6 +519,7 @@ void Service::finish(Opcode op, const RequestFrame& request, ResponseFrame& resp
       s.latency_ring.push_back(sample);
     } else {
       s.latency_ring[s.ring_next] = sample;
+      latency_overflow_.fetch_add(1, std::memory_order_relaxed);
     }
     s.ring_next = (s.ring_next + 1) % kLatencyRingSize;
   }
@@ -282,6 +549,10 @@ ServiceStats Service::snapshot() const {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     out.queue_high_water = queue_high_water_;
   }
+  out.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  out.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  out.workers_respawned = workers_respawned_.load(std::memory_order_relaxed);
+  out.latency_overflow = latency_overflow_.load(std::memory_order_relaxed);
   return out;
 }
 

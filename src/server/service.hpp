@@ -1,4 +1,5 @@
-// The compression service: a fixed worker pool behind a bounded MPMC queue.
+// The compression service: a fixed worker pool behind a bounded MPMC queue,
+// hardened so no request is ever left unanswered.
 //
 // This is the software analogue of the valid/ready backpressure the hardware
 // model exposes in stream/channel.hpp: the queue has a fixed depth, and when
@@ -12,17 +13,36 @@
 // large_threshold take the par::MultiEngine striped path instead, so one big
 // request does not serialize behind a single model instance.
 //
+// Robustness contract (see docs/SERVER.md "Failure semantics"):
+//  * Deadlines — with request_timeout_ms set, a watchdog thread fails
+//    requests that sit in the queue past their deadline with
+//    DEADLINE_EXCEEDED, and workers refuse to start on already-expired jobs.
+//  * Watchdog recovery — with hung_worker_ms set, a worker that dies
+//    mid-request (simulated by the kKillWorker fault) or stays busy past the
+//    threshold is poisoned: its orphaned request is answered with a typed
+//    error (INTERNAL for a dead worker, DEADLINE_EXCEEDED for a hung one)
+//    and a replacement worker is spawned, so one wedged request never takes
+//    a pool slot down with it.
+//  * Graceful degradation — when the model path throws, or the output would
+//    expand past the stored-fallback ratio guard, COMPRESS falls back to a
+//    stored (uncompressed-block) container instead of erroring; the
+//    `fallbacks` counter in STATS counts these.
+// Every in-flight request carries an answered flag, so the worker and the
+// watchdog can race to complete it and exactly one response wins.
+//
 // Counters are per-opcode (requests, ok, busy, errors, bytes in/out) plus a
 // bounded ring of service-time samples from which the STATS opcode reports
-// p50/p99 microseconds.
+// p50/p99 microseconds; ring overwrites are counted, not silently dropped.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -40,6 +60,11 @@ struct ServiceConfig {
   unsigned large_engines = 4;            ///< MultiEngine width for large payloads
   std::size_t large_threshold = 1 << 18; ///< bytes; >= this stripes across engines
   std::size_t max_payload = kMaxPayload; ///< per-request payload cap
+  std::uint32_t request_timeout_ms = 0;  ///< 0 = no per-request deadline
+  std::uint32_t hung_worker_ms = 0;      ///< 0 = no hung/dead worker recovery
+  /// COMPRESS falls back to a stored container when the compressed payload
+  /// exceeds input_size * this ratio and the stored form is smaller.
+  double stored_fallback_ratio = 1.0;
   hw::HwConfig hw = hw::HwConfig::speed_optimized();
 
   void validate() const;  ///< throws std::invalid_argument when inconsistent
@@ -59,6 +84,10 @@ struct OpcodeCounters {
 struct ServiceStats {
   std::array<OpcodeCounters, 4> per_opcode;  ///< indexed by Opcode
   std::uint64_t queue_high_water = 0;
+  std::uint64_t deadline_exceeded = 0;   ///< requests failed by the deadline/watchdog
+  std::uint64_t fallbacks = 0;           ///< COMPRESS stored-container degradations
+  std::uint64_t workers_respawned = 0;   ///< dead/hung workers replaced
+  std::uint64_t latency_overflow = 0;    ///< latency samples overwritten in the ring
 
   [[nodiscard]] const OpcodeCounters& of(Opcode op) const noexcept {
     return per_opcode[static_cast<std::size_t>(op)];
@@ -78,41 +107,70 @@ class Service {
   Service& operator=(const Service&) = delete;
 
   /// Never blocks. PING/STATS complete inline; COMPRESS/DECOMPRESS either
-  /// enqueue (completion fires later on a worker thread) or complete inline
-  /// with BUSY when the queue is full.
+  /// enqueue (completion fires later on a worker or watchdog thread) or
+  /// complete inline with BUSY when the queue is full.
   void submit(RequestFrame&& request, Completion done);
 
   [[nodiscard]] ServiceStats snapshot() const;
   [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
 
-  /// Drains the queue (pending jobs still run) and joins the workers.
-  /// Called by the destructor; idempotent.
+  /// Drains the queue (pending jobs still run) and joins the workers and the
+  /// watchdog. Any request still unanswered after the drain (possible only
+  /// when a kill fault felled the last worker with the watchdog disabled) is
+  /// answered INTERNAL. Called by the destructor; idempotent.
   void stop();
 
  private:
+  /// One in-flight request. Shared between the owning worker and the
+  /// watchdog; whoever wins the answered flag delivers the response.
   struct Job {
     RequestFrame request;
     Completion done;
     std::chrono::steady_clock::time_point enqueued_at;
+    std::atomic<bool> answered{false};
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  /// A worker slot. `current`/`busy_since` are guarded by workers_mutex_;
+  /// `exited` flips once when the thread leaves its loop.
+  struct Worker {
+    std::thread thread;
+    JobPtr current;
+    std::chrono::steady_clock::time_point busy_since{};
+    std::atomic<bool> exited{false};
+    std::atomic<bool> poisoned{false};
   };
 
-  void worker_loop();
+  void worker_loop(Worker* self);
+  void watchdog_loop();
   [[nodiscard]] ResponseFrame process(RequestFrame& request, hw::Compressor& compressor);
   [[nodiscard]] ResponseFrame do_compress(const RequestFrame& request,
                                           const hw::HwConfig& cfg,
                                           hw::Compressor* default_compressor);
   [[nodiscard]] ResponseFrame do_decompress(const RequestFrame& request);
+  /// Records counters/latency and invokes the completion (inline path).
   void finish(Opcode op, const RequestFrame& request, ResponseFrame& response,
               std::chrono::steady_clock::time_point t0, const Completion& done);
+  /// Claims @p job (answered CAS) and finishes it; drops silently when the
+  /// job was already answered by the other contender.
+  void deliver(const JobPtr& job, ResponseFrame&& response);
+  [[nodiscard]] bool expired(const Job& job,
+                             std::chrono::steady_clock::time_point now) const noexcept;
+  void spawn_worker_locked();
 
   ServiceConfig cfg_;
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<Job> queue_;
+  std::deque<JobPtr> queue_;
   bool stopping_ = false;
   std::uint64_t queue_high_water_ = 0;
-  std::vector<std::thread> workers_;
+
+  mutable std::mutex workers_mutex_;
+  std::vector<std::unique_ptr<Worker>> workers_;  ///< live slots + unjoined zombies
+
+  std::thread watchdog_;
+  std::condition_variable watchdog_cv_;  ///< waits on queue_mutex_ (stop signal)
 
   // Counters: one slab per opcode, all guarded by stats_mutex_ (the service
   // times are microseconds-to-milliseconds, so one mutex is not contended).
@@ -124,6 +182,11 @@ class Service {
   static constexpr std::size_t kLatencyRingSize = 4096;
   mutable std::mutex stats_mutex_;
   std::array<OpState, 4> ops_;
+
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> fallbacks_{0};
+  std::atomic<std::uint64_t> workers_respawned_{0};
+  std::atomic<std::uint64_t> latency_overflow_{0};
 };
 
 }  // namespace lzss::server

@@ -1,5 +1,7 @@
 #include "server/session.hpp"
 
+#include "fault/fault.hpp"
+
 namespace lzss::server {
 
 void Session::on_bytes(std::span<const std::uint8_t> bytes) {
@@ -21,7 +23,10 @@ void Session::on_bytes(std::span<const std::uint8_t> bytes) {
 }
 
 void Session::enqueue_response(const ResponseFrame& response) {
-  const auto bytes = encode_response(response);
+  auto bytes = encode_response(response);
+  // Wire-level corruption point: flips bits in the serialized frame, which
+  // is what a faulty link (or a buggy peer) hands the client-side parser.
+  fault::corrupt("server.session.egress", bytes);
   const std::lock_guard<std::mutex> lock(out_mutex_);
   outbox_.insert(outbox_.end(), bytes.begin(), bytes.end());
 }

@@ -13,6 +13,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+
 namespace lzss::server {
 
 namespace {
@@ -90,6 +92,12 @@ void TcpServer::wake() noexcept {
 }
 
 void TcpServer::handle_readable(int fd, Conn& conn) {
+  if (fault::fires("server.tcp.abort")) {
+    // Injected connection abort: the peer sees an unannounced close, which
+    // is exactly what a crashed server or a dropped link looks like.
+    conn.peer_closed = true;
+    return;
+  }
   std::uint8_t buf[64 * 1024];
   for (;;) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
@@ -111,8 +119,12 @@ void TcpServer::handle_readable(int fd, Conn& conn) {
 
 bool TcpServer::flush_writable(int fd, Conn& conn) {
   while (!conn.write_buf.empty()) {
-    const ssize_t n =
-        ::send(fd, conn.write_buf.data(), conn.write_buf.size(), MSG_NOSIGNAL);
+    if (fault::fires("server.tcp.abort")) return false;
+    // Partial-write point: squeezing the frame out one byte at a time
+    // exercises every client-side reassembly path.
+    const std::size_t chunk =
+        fault::fires("server.tcp.short_write") ? 1 : conn.write_buf.size();
+    const ssize_t n = ::send(fd, conn.write_buf.data(), chunk, MSG_NOSIGNAL);
     if (n > 0) {
       conn.write_buf.erase(conn.write_buf.begin(), conn.write_buf.begin() + n);
       continue;

@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <deque>
 
+#include "fault/fault.hpp"
+
 namespace lzss::stream {
 
 template <typename T>
@@ -19,24 +21,32 @@ class Channel {
   /// @param capacity number of beats the link can buffer (>= 1).
   explicit Channel(std::size_t capacity = 2) : capacity_(capacity) { assert(capacity >= 1); }
 
-  /// True when the producer may push this cycle.
+  /// True when the producer may push this cycle. The "stream.channel.stall"
+  /// fault point can force extra stall cycles here (and in can_pop) to model
+  /// a slow or glitching link partner; push/pop assert only the structural
+  /// invariants so a probabilistic stall cannot trip them between the
+  /// caller's check and the handshake.
   [[nodiscard]] bool can_push() const noexcept {
-    return !pushed_this_cycle_ && fifo_.size() < capacity_;
+    if (pushed_this_cycle_ || fifo_.size() >= capacity_) return false;
+    return !fault::fires("stream.channel.stall");
   }
 
   /// Pushes one beat; caller must have checked can_push().
   void push(T value) {
-    assert(can_push());
+    assert(!pushed_this_cycle_ && fifo_.size() < capacity_);
     fifo_.push_back(std::move(value));
     pushed_this_cycle_ = true;
   }
 
   /// True when the consumer may pop this cycle.
-  [[nodiscard]] bool can_pop() const noexcept { return !popped_this_cycle_ && !fifo_.empty(); }
+  [[nodiscard]] bool can_pop() const noexcept {
+    if (popped_this_cycle_ || fifo_.empty()) return false;
+    return !fault::fires("stream.channel.stall");
+  }
 
   /// Pops one beat; caller must have checked can_pop().
   [[nodiscard]] T pop() {
-    assert(can_pop());
+    assert(!popped_this_cycle_ && !fifo_.empty());
     T v = std::move(fifo_.front());
     fifo_.pop_front();
     popped_this_cycle_ = true;

@@ -1,0 +1,584 @@
+// Chaos suite: seeded fault-injection episodes against the hardened service.
+//
+// Every registered fault point gets armed in turn while randomized
+// multi-client traffic runs; the robustness contract under test is
+//   * every request is answered (typed status or a clean transport error),
+//   * nothing crashes, wedges, or leaks a wait,
+//   * after the episode the same service instance answers a clean
+//     PING and a verified COMPRESS round trip.
+// Dedicated tests then pin each recovery mechanism in isolation: deadline
+// reaping, hung-worker poisoning, killed-worker respawn, stored-container
+// fallback, and channel stall tolerance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "common/prng.hpp"
+#include "deflate/inflate.hpp"
+#include "fault/fault.hpp"
+#include "hw/pipeline.hpp"
+#include "lzss/raw_container.hpp"
+#include "server/frame.hpp"
+#include "server/service.hpp"
+#include "server/tcp.hpp"
+#include "stream/channel.hpp"
+#include "workloads/corpus.hpp"
+
+namespace lzss {
+namespace {
+
+using namespace std::chrono_literals;
+using server::Opcode;
+using server::RequestFrame;
+using server::ResponseFrame;
+using server::Service;
+using server::ServiceConfig;
+using server::Status;
+
+constexpr auto kEpisodeTimeout = 60s;  // far beyond any healthy episode
+
+ServiceConfig chaos_config() {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_depth = 8;
+  cfg.request_timeout_ms = 1000;
+  cfg.hung_worker_ms = 200;
+  return cfg;
+}
+
+RequestFrame compress_request(std::uint64_t id, std::vector<std::uint8_t> data,
+                              std::uint16_t flags = 0) {
+  RequestFrame req;
+  req.id = id;
+  req.opcode = Opcode::kCompress;
+  req.flags = flags;
+  req.payload = std::move(data);
+  return req;
+}
+
+/// Outcome of one traffic episode. `transport_errors` only grows on the
+/// socket/loopback paths where a corrupted or aborted byte stream surfaces
+/// as an exception in the client — still a *clean, typed* failure.
+struct TrafficResult {
+  int submitted = 0;
+  int answered = 0;
+  int transport_errors = 0;
+  std::map<Status, int> by_status;
+};
+
+/// Randomized traffic straight into Service::submit (no transport): mixed
+/// COMPRESS / DECOMPRESS / PING across several client threads. Every submit
+/// is accounted for; the wait at the end fails the test if any completion
+/// never fires.
+TrafficResult drive_submit_traffic(Service& service, const std::vector<std::uint8_t>& corpus,
+                                   const std::vector<std::uint8_t>& zlib_body,
+                                   std::uint64_t seed, unsigned threads = 3,
+                                   int per_thread = 4) {
+  TrafficResult result;
+  std::mutex mutex;
+  std::condition_variable cv;
+  int completed = 0;
+  const int total = static_cast<int>(threads) * per_thread;
+
+  auto on_done = [&](ResponseFrame&& resp) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    ++completed;
+    ++result.by_status[resp.status];
+    cv.notify_one();
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      rng::Xoshiro256 rng(seed * 977 + t);
+      for (int i = 0; i < per_thread; ++i) {
+        const std::uint64_t id = (static_cast<std::uint64_t>(t) << 32) | std::uint64_t(i);
+        const std::uint64_t kind = rng.next_below(10);
+        RequestFrame req;
+        req.id = id;
+        if (kind < 6) {
+          const std::size_t chunk = 512 + rng.next_below(1536);
+          const std::size_t off = rng.next_below(corpus.size() - chunk);
+          req = compress_request(
+              id,
+              {corpus.begin() + static_cast<std::ptrdiff_t>(off),
+               corpus.begin() + static_cast<std::ptrdiff_t>(off + chunk)},
+              rng.next_below(2) == 0 ? server::kFlagRawContainer : std::uint16_t{0});
+        } else if (kind < 8) {
+          req.opcode = Opcode::kDecompress;
+          req.payload = zlib_body;
+        } else {
+          req.opcode = Opcode::kPing;
+        }
+        service.submit(std::move(req), on_done);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  std::unique_lock<std::mutex> lock(mutex);
+  const bool all = cv.wait_for(lock, kEpisodeTimeout, [&] { return completed == total; });
+  EXPECT_TRUE(all) << "unanswered requests: " << (total - completed) << " of " << total;
+  result.submitted = total;
+  result.answered = completed;
+  return result;
+}
+
+/// Traffic over the loopback transport (full encode → Session → parse
+/// path). Exceptions from the client-side parser — possible when the
+/// session-egress corruption point mangles a response — count as clean
+/// transport errors, not failures.
+TrafficResult drive_loopback_traffic(Service& service,
+                                     const std::vector<std::uint8_t>& corpus,
+                                     std::uint64_t seed, unsigned threads = 3,
+                                     int per_thread = 4) {
+  TrafficResult result;
+  std::mutex mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      server::LoopbackClient client(service);
+      rng::Xoshiro256 rng(seed * 1231 + t);
+      for (int i = 0; i < per_thread; ++i) {
+        const std::size_t chunk = 512 + rng.next_below(1024);
+        const std::size_t off = rng.next_below(corpus.size() - chunk);
+        auto req = compress_request(
+            static_cast<std::uint64_t>(t) * 100 + static_cast<std::uint64_t>(i),
+            {corpus.begin() + static_cast<std::ptrdiff_t>(off),
+             corpus.begin() + static_cast<std::ptrdiff_t>(off + chunk)});
+        const std::lock_guard<std::mutex> lock(mutex);
+        try {
+          const auto resp = client.call(req);
+          ++result.answered;
+          ++result.by_status[resp.status];
+        } catch (const std::exception&) {
+          ++result.transport_errors;
+        }
+        ++result.submitted;
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  return result;
+}
+
+/// A full episode over real sockets, tolerant of injected aborts/short
+/// writes: a dropped connection is reopened, a failed call is a transport
+/// error. A TcpServer stops its Service on teardown (completions capture
+/// the server for wake()), so the post-episode health check runs over TCP
+/// against the still-live server — same service instance, faults disarmed.
+void run_tcp_episode(const std::string& point, const fault::Spec& spec,
+                     const std::vector<std::uint8_t>& corpus, std::uint64_t seed,
+                     unsigned threads = 2, int per_thread = 4) {
+  Service service(chaos_config());
+  server::TcpServer tcp(service, /*port=*/0);
+  std::thread server_thread([&] { tcp.run(); });
+  const std::uint16_t port = tcp.port();
+
+  TrafficResult result;
+  {
+    const fault::ScopedFault guard(point, spec);
+    std::mutex mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        rng::Xoshiro256 rng(seed * 733 + t);
+        std::unique_ptr<server::TcpClient> client;
+        for (int i = 0; i < per_thread; ++i) {
+          const std::size_t chunk = 256 + rng.next_below(768);
+          const std::size_t off = rng.next_below(corpus.size() - chunk);
+          auto req = compress_request(
+              static_cast<std::uint64_t>(t) * 100 + static_cast<std::uint64_t>(i),
+              {corpus.begin() + static_cast<std::ptrdiff_t>(off),
+               corpus.begin() + static_cast<std::ptrdiff_t>(off + chunk)});
+          bool ok = false;
+          Status status = Status::kOk;
+          try {
+            if (!client) client = std::make_unique<server::TcpClient>("127.0.0.1", port);
+            status = client->call(req).status;
+            ok = true;
+          } catch (const std::exception&) {
+            client.reset();  // injected abort: reconnect on the next request
+          }
+          const std::lock_guard<std::mutex> lock(mutex);
+          ++result.submitted;
+          if (ok) {
+            ++result.answered;
+            ++result.by_status[status];
+          } else {
+            ++result.transport_errors;
+          }
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  EXPECT_EQ(result.answered + result.transport_errors, result.submitted);
+
+  // Health check over the wire: clean PING and a verified COMPRESS round
+  // trip on a fresh connection, every fault disarmed.
+  {
+    server::TcpClient client("127.0.0.1", port);
+    RequestFrame ping;
+    ping.id = 0xFEED;
+    ping.opcode = Opcode::kPing;
+    const auto pong = client.call(ping);
+    ASSERT_EQ(pong.status, Status::kOk);
+    const std::vector<std::uint8_t> data(corpus.begin(), corpus.begin() + 4096);
+    const auto resp = client.call(compress_request(0xC0FFEE, data));
+    ASSERT_EQ(resp.status, Status::kOk);
+    ASSERT_EQ(deflate::zlib_decompress(resp.payload), data);
+  }
+
+  tcp.stop();
+  server_thread.join();
+}
+
+/// Post-episode health check: with everything disarmed, the same service
+/// must answer PING and a verified COMPRESS round trip. A service that died
+/// during the episode (all workers killed) must have been healed by the
+/// watchdog for this to pass.
+void expect_service_healthy(Service& service, const std::vector<std::uint8_t>& corpus) {
+  server::LoopbackClient client(service);
+
+  RequestFrame ping;
+  ping.id = 0xFEED;
+  ping.opcode = Opcode::kPing;
+  const auto pong = client.call(ping);
+  ASSERT_EQ(pong.status, Status::kOk);
+  ASSERT_EQ(pong.id, 0xFEEDu);
+
+  const std::vector<std::uint8_t> data(corpus.begin(), corpus.begin() + 4096);
+  const auto resp = client.call(compress_request(0xC0FFEE, data));
+  ASSERT_EQ(resp.status, Status::kOk);
+  ASSERT_EQ(resp.adler, checksum::adler32(data));
+  ASSERT_EQ(deflate::zlib_decompress(resp.payload), data);
+}
+
+/// Per-point fault spec for the sweep. Actions match what the call site can
+/// express: point() sites throw/delay/kill, fires() sites stall or abort,
+/// corrupt sites flip bits.
+fault::Spec sweep_spec(const std::string& point, int iter) {
+  fault::Spec spec;
+  spec.seed = static_cast<std::uint64_t>(iter) + 1;
+  if (point == "server.worker.pre_compress") {
+    switch (iter % 3) {
+      case 0: spec.action = fault::Action::kThrow; spec.probability = 0.4; break;
+      case 1:
+        spec.action = fault::Action::kDelay;
+        spec.delay_ms = 20;
+        spec.probability = 0.4;
+        break;
+      default:
+        spec.action = fault::Action::kKillWorker;
+        spec.probability = 1.0;
+        spec.max_triggers = 1;  // one crash per episode; the watchdog heals it
+        break;
+    }
+  } else if (point == "stream.channel.stall") {
+    spec.action = fault::Action::kFire;
+    spec.probability = 0.05;
+  } else if (point == "server.tcp.short_write" || point == "server.tcp.abort") {
+    spec.action = fault::Action::kFire;
+    spec.probability = point == "server.tcp.abort" ? 0.15 : 0.5;
+  } else if (point == "server.session.egress" || point == "deflate.inflate.corrupt") {
+    spec.action = fault::Action::kCorrupt;
+    spec.probability = 0.5;
+  } else {
+    spec.action = fault::Action::kThrow;
+    spec.probability = 0.3;
+  }
+  return spec;
+}
+
+// The tentpole acceptance test: 54 seeded iterations (every registered point
+// armed six times) of randomized multi-client traffic, each followed by a
+// clean-service health check on the same instance.
+TEST(Chaos, SweepEveryRegisteredPoint) {
+  const auto points = fault::all_points();
+  ASSERT_GE(points.size(), 9u);
+  const auto corpus = wl::make_corpus("mixed", 64 * 1024);
+  const auto zlib_body = [&] {
+    // A small valid container for DECOMPRESS traffic, built before any
+    // fault is armed.
+    Service service(chaos_config());
+    server::LoopbackClient client(service);
+    const std::vector<std::uint8_t> data(corpus.begin(), corpus.begin() + 2048);
+    const auto resp = client.call(compress_request(1, data));
+    EXPECT_EQ(resp.status, Status::kOk);
+    return resp.payload;
+  }();
+
+  const int iterations = static_cast<int>(points.size()) * 6;  // 54 >= 50
+  for (int iter = 0; iter < iterations; ++iter) {
+    const std::string point = points[static_cast<std::size_t>(iter) % points.size()];
+    SCOPED_TRACE("iteration " + std::to_string(iter) + " point " + point);
+
+    if (point == "server.tcp.short_write" || point == "server.tcp.abort") {
+      // Runs its own server+service and health-checks over the wire.
+      run_tcp_episode(point, sweep_spec(point, iter), corpus,
+                      static_cast<std::uint64_t>(iter));
+      continue;
+    }
+
+    Service service(chaos_config());
+    {
+      const fault::ScopedFault guard(point, sweep_spec(point, iter));
+      TrafficResult r;
+      if (point == "server.session.egress") {
+        r = drive_loopback_traffic(service, corpus, static_cast<std::uint64_t>(iter));
+      } else if (point == "stream.channel.stall") {
+        // The stall point lives in the cycle-level pipeline; run a block
+        // through run_system under stall pressure, then normal traffic.
+        const std::vector<std::uint8_t> block(corpus.begin(), corpus.begin() + 2048);
+        const auto report = hw::run_system(hw::HwConfig::speed_optimized(), block);
+        EXPECT_EQ(deflate::inflate_raw(report.deflate_stream), block);
+        r = drive_submit_traffic(service, corpus, zlib_body,
+                                 static_cast<std::uint64_t>(iter));
+      } else {
+        r = drive_submit_traffic(service, corpus, zlib_body,
+                                 static_cast<std::uint64_t>(iter));
+      }
+      EXPECT_EQ(r.answered + r.transport_errors, r.submitted);
+    }
+    expect_service_healthy(service, corpus);
+  }
+}
+
+TEST(Chaos, KilledWorkerAnsweredWithTypedErrorAndRespawned) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.hung_worker_ms = 50;  // enables the watchdog
+  Service service(cfg);
+  const auto data = wl::make_corpus("wiki", 4096);
+
+  fault::Spec kill;
+  kill.action = fault::Action::kKillWorker;
+  kill.max_triggers = 1;
+  {
+    const fault::ScopedFault guard("server.worker.pre_compress", kill);
+    server::LoopbackClient client(service);
+    // The sole worker dies mid-request; the watchdog must answer the orphan
+    // with a typed error and backfill the pool.
+    const auto resp = client.call(compress_request(1, data));
+    EXPECT_EQ(resp.status, Status::kInternal);
+  }
+
+  // The respawned worker serves the next request.
+  server::LoopbackClient client(service);
+  const auto resp = client.call(compress_request(2, data));
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(deflate::zlib_decompress(resp.payload), data);
+  EXPECT_GE(service.snapshot().workers_respawned, 1u);
+}
+
+TEST(Chaos, QueuedRequestsPastDeadlineAreReaped) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_depth = 8;
+  cfg.request_timeout_ms = 80;
+  Service service(cfg);
+  const auto data = wl::make_corpus("wiki", 4096);
+
+  // First dispatched request holds the only worker for 600 ms; the ones
+  // queued behind it blow their 80 ms deadline and must be reaped without
+  // ever reaching a worker.
+  fault::Spec slow;
+  slow.action = fault::Action::kDelay;
+  slow.delay_ms = 600;
+  slow.max_triggers = 1;
+  const fault::ScopedFault guard("server.worker.pre_compress", slow);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::map<std::uint64_t, Status> answers;
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    service.submit(compress_request(id, data), [&, id](ResponseFrame&& resp) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      answers[id] = resp.status;
+      cv.notify_one();
+    });
+    if (id == 0) std::this_thread::sleep_for(20ms);  // let it reach the worker
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, kEpisodeTimeout, [&] { return answers.size() == 3; }));
+  }
+  EXPECT_EQ(answers[0], Status::kOk);  // slow but within no-deadline dispatch
+  EXPECT_EQ(answers[1], Status::kDeadlineExceeded);
+  EXPECT_EQ(answers[2], Status::kDeadlineExceeded);
+
+  const auto stats = service.snapshot();
+  EXPECT_GE(stats.deadline_exceeded, 2u);
+  EXPECT_NE(stats.render().find("deadline exceeded"), std::string::npos);
+}
+
+TEST(Chaos, HungWorkerIsPoisonedAndReplaced) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.hung_worker_ms = 80;
+  Service service(cfg);
+  const auto data = wl::make_corpus("wiki", 4096);
+
+  fault::Spec stuck;
+  stuck.action = fault::Action::kDelay;
+  stuck.delay_ms = 600;
+  stuck.max_triggers = 1;
+  const fault::ScopedFault guard("server.worker.pre_compress", stuck);
+
+  server::LoopbackClient client(service);
+  // The hung request is failed by the watchdog well before the 600 ms sleep
+  // finishes...
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto resp = client.call(compress_request(1, data));
+  EXPECT_EQ(resp.status, Status::kDeadlineExceeded);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 500ms);
+
+  // ...and a replacement worker serves the next one while the poisoned
+  // original is still sleeping.
+  const auto resp2 = client.call(compress_request(2, data));
+  ASSERT_EQ(resp2.status, Status::kOk);
+  EXPECT_EQ(deflate::zlib_decompress(resp2.payload), data);
+  EXPECT_GE(service.snapshot().workers_respawned, 1u);
+}
+
+TEST(Chaos, ModelFailureDegradesToStoredContainer) {
+  Service service(chaos_config());
+  server::LoopbackClient client(service);
+  const auto data = wl::make_corpus("wiki", 8 * 1024);
+
+  fault::Spec broken;
+  broken.action = fault::Action::kThrow;
+  const fault::ScopedFault guard("server.worker.compress", broken);
+
+  // zlib flavour: stored blocks still round-trip through the standard path.
+  const auto z = client.call(compress_request(1, data));
+  ASSERT_EQ(z.status, Status::kOk);
+  EXPECT_EQ(deflate::zlib_decompress(z.payload), data);
+  EXPECT_GE(z.payload.size(), data.size());  // stored, not compressed
+
+  // raw flavour: an all-literal token container.
+  const auto r = client.call(compress_request(2, data, server::kFlagRawContainer));
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(core::raw_container_unpack(r.payload), data);
+
+  const auto stats = service.snapshot();
+  EXPECT_GE(stats.fallbacks, 2u);
+  EXPECT_NE(stats.render().find("fallbacks"), std::string::npos);
+}
+
+TEST(Chaos, IncompressibleInputTripsTheRatioGuard) {
+  ServiceConfig cfg = chaos_config();
+  cfg.stored_fallback_ratio = 1.0;  // never ship output larger than input
+  Service service(cfg);
+  server::LoopbackClient client(service);
+
+  // Pure random bytes expand under fixed-Huffman coding; the guard must
+  // swap in the smaller stored container and still round-trip.
+  const auto data = wl::make_corpus("random", 8 * 1024);
+  const auto resp = client.call(compress_request(1, data));
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(deflate::zlib_decompress(resp.payload), data);
+  EXPECT_LE(resp.payload.size(), data.size() + 64);  // stored overhead only
+  EXPECT_GE(service.snapshot().fallbacks, 1u);
+}
+
+TEST(Chaos, IngressAndEgressFaultsStillAnswerTyped) {
+  Service service(chaos_config());
+  server::LoopbackClient client(service);
+  const auto data = wl::make_corpus("wiki", 2048);
+
+  fault::Spec always;
+  always.action = fault::Action::kThrow;
+  {
+    const fault::ScopedFault guard("server.queue.ingress", always);
+    EXPECT_EQ(client.call(compress_request(1, data)).status, Status::kInternal);
+  }
+  {
+    const fault::ScopedFault guard("server.response.egress", always);
+    const auto resp = client.call(compress_request(2, data));
+    EXPECT_EQ(resp.status, Status::kInternal);
+    EXPECT_TRUE(resp.payload.empty());
+  }
+  expect_service_healthy(service, wl::make_corpus("mixed", 8 * 1024));
+}
+
+TEST(Chaos, ChannelStallNeverWedgesTheHandshake) {
+  // Direct handshake check: a forced stall streak defers, never breaks, the
+  // transfer; the channel's per-cycle invariants hold throughout.
+  stream::Channel<int> ch(2);
+  fault::Spec stall;
+  stall.action = fault::Action::kFire;
+  stall.max_triggers = 3;
+  const fault::ScopedFault guard("stream.channel.stall", stall);
+
+  int pushed = 0, popped = 0;
+  for (int cycle = 0; cycle < 64 && popped < 8; ++cycle) {
+    if (pushed < 8 && ch.can_push()) ch.push(pushed++);
+    if (ch.can_pop()) {
+      EXPECT_EQ(ch.pop(), popped);
+      ++popped;
+    }
+    ch.tick();
+  }
+  EXPECT_EQ(popped, 8);
+
+  // And the full pipeline under sustained probabilistic stall pressure.
+  fault::Spec pressure;
+  pressure.action = fault::Action::kFire;
+  pressure.probability = 0.1;
+  pressure.seed = 99;
+  fault::arm("stream.channel.stall", pressure);
+  const auto data = wl::make_corpus("wiki", 4096);
+  const auto report = hw::run_system(hw::HwConfig::speed_optimized(), data);
+  fault::disarm("stream.channel.stall");
+  EXPECT_EQ(deflate::inflate_raw(report.deflate_stream), data);
+}
+
+TEST(Chaos, SeededEpisodesAreReproducible) {
+  fault::Spec spec;
+  spec.action = fault::Action::kFire;
+  spec.probability = 0.5;
+  spec.seed = 4242;
+
+  auto pattern = [&] {
+    fault::arm("stream.channel.stall", spec);
+    std::vector<bool> fired;
+    fired.reserve(64);
+    for (int i = 0; i < 64; ++i) fired.push_back(fault::fires("stream.channel.stall"));
+    fault::disarm("stream.channel.stall");
+    return fired;
+  };
+  const auto first = pattern();
+  const auto second = pattern();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST(Chaos, DisarmedPointsAreInert) {
+  fault::disarm_all();
+  for (const char* point : fault::all_points()) {
+    EXPECT_FALSE(fault::fires(point));
+    EXPECT_NO_THROW(fault::point(point));
+    std::vector<std::uint8_t> buf{1, 2, 3};
+    const auto before = buf;
+    fault::corrupt(point, buf);
+    EXPECT_EQ(buf, before);
+  }
+}
+
+}  // namespace
+}  // namespace lzss

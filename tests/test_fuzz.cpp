@@ -5,7 +5,9 @@
 
 #include "common/prng.hpp"
 #include "deflate/container.hpp"
+#include "deflate/encoder.hpp"
 #include "deflate/inflate.hpp"
+#include "fault/fault.hpp"
 #include "hw/compressor.hpp"
 #include "lzss/decoder.hpp"
 #include "lzss/raw_container.hpp"
@@ -38,6 +40,68 @@ TEST(FuzzInflate, BitFlipsNeverCrash) {
     }
   }
   EXPECT_LT(intact, 10);
+}
+
+TEST(FuzzInflate, InjectedBitCorruptionFailsTyped) {
+  // Same property as BitFlipsNeverCrash, but the flips come from the
+  // compiled-in fault point inside zlib_decompress itself — the path the
+  // chaos suite drives through the whole service stack.
+  const auto data = wl::make_corpus("mixed", 8 * 1024);
+  const auto z = deflate::zlib_compress(data, core::MatchParams::speed_optimized());
+
+  int intact = 0, corrupted = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    fault::Spec spec;
+    spec.action = fault::Action::kCorrupt;
+    spec.seed = static_cast<std::uint64_t>(trial) + 1;
+    const fault::ScopedFault guard("deflate.inflate.corrupt", spec);
+    try {
+      const auto out = deflate::zlib_decompress(z);
+      // A flip can land in don't-care padding; then the checksums held and
+      // the output must be byte-identical.
+      EXPECT_EQ(out, data);
+      ++intact;
+    } catch (const deflate::InflateError&) {
+      ++corrupted;
+    } catch (const std::out_of_range&) {
+      ++corrupted;  // BitReader EOF: also a clean, typed failure
+    }
+    EXPECT_EQ(fault::triggers("deflate.inflate.corrupt"), 1u);
+  }
+  EXPECT_EQ(intact + corrupted, 200);
+  EXPECT_GT(corrupted, 150);  // flips overwhelmingly get caught
+}
+
+TEST(FuzzInflate, ExpansionCapBoundsOutput) {
+  // Compression-bomb guard: a caller cap far below the decompressed size
+  // must fail with the typed bomb error before the memory is committed.
+  const std::vector<std::uint8_t> zeros(256 * 1024, 0);
+  const auto z = deflate::zlib_compress(zeros, core::MatchParams::speed_optimized());
+  ASSERT_LT(z.size(), 8 * 1024u);  // genuinely high-ratio input
+
+  EXPECT_THROW((void)deflate::zlib_decompress(z, /*max_output=*/1024),
+               deflate::InflateBombError);
+  // InflateBombError is still an InflateError, so existing handlers work.
+  EXPECT_THROW((void)deflate::zlib_decompress(z, 1024), deflate::InflateError);
+  // With an adequate cap (or none) the same stream inflates fine.
+  EXPECT_EQ(deflate::zlib_decompress(z, zeros.size()).size(), zeros.size());
+  EXPECT_EQ(deflate::zlib_decompress(z).size(), zeros.size());
+}
+
+TEST(FuzzInflate, StructuralExpansionBoundHoldsWithoutCallerCap) {
+  // Even with no caller cap, output is bounded by max_inflate_expansion of
+  // the *input* size, so a hostile stream can never force unbounded
+  // allocation — and the bound is loose enough that every legal stream
+  // (even the densest all-matches one) stays inside it.
+  const std::size_t bound = deflate::max_inflate_expansion(64);
+  EXPECT_LT(bound, std::size_t{1} << 30);  // sane: ~64KB + 64*1040
+
+  // A fixed-Huffman stream of back-to-back maximal matches is the densest
+  // legal Deflate; inflating one block of it must stay under the bound.
+  const std::vector<std::uint8_t> zeros(128 * 1024, 0);
+  const auto z = deflate::zlib_compress(zeros, core::MatchParams::speed_optimized());
+  const auto body = std::span(z).subspan(2, z.size() - 6);
+  EXPECT_LE(deflate::inflate_raw(body).size(), deflate::max_inflate_expansion(body.size()));
 }
 
 TEST(FuzzInflate, TruncationsNeverCrash) {

@@ -4,6 +4,11 @@
 // consistency.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
@@ -266,6 +271,86 @@ TEST(ServerService, ConcurrentLoopbackClientsAllRoundTrip) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ServerSession, PoisonedSessionEmitsExactlyOneErrorAndIgnoresFurtherBytes) {
+  int handled = 0;
+  Session session(1, [&](RequestFrame&&) { ++handled; });
+
+  // Garbage that cannot be a frame: bad magic poisons the parser.
+  const std::vector<std::uint8_t> junk{'X', 'X', 'X', 'X', 0, 0, 0, 0};
+  session.on_bytes(junk);
+  EXPECT_TRUE(session.closed());
+  EXPECT_EQ(handled, 0);
+
+  // Exactly one typed error response sits in the outbox.
+  ResponseParser parser;
+  parser.feed(session.take_outgoing());
+  const auto err = parser.next();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->status, Status::kBadRequest);
+  EXPECT_FALSE(parser.next().has_value());
+
+  // Further frames — even perfectly valid ones — are dropped, not parsed,
+  // and produce no second response.
+  RequestFrame valid;
+  valid.opcode = Opcode::kPing;
+  session.on_bytes(encode_request(valid));
+  session.on_bytes(junk);
+  EXPECT_EQ(handled, 0);
+  EXPECT_FALSE(session.has_outgoing());
+  EXPECT_EQ(session.requests_seen(), 0u);
+}
+
+TEST(ServerTcp, PoisonedConnectionGetsOneErrorThenClose) {
+  Service service(small_config());
+  TcpServer server(service, /*port=*/0);
+  std::thread server_thread([&] { server.run(); });
+
+  {
+    // A protocol-violating client: valid request first (proves the session
+    // works), then garbage. The front end must flush exactly one
+    // BAD_REQUEST response and close the connection.
+    TcpClient client("127.0.0.1", server.port());
+    RequestFrame ping;
+    ping.id = 9;
+    ping.opcode = Opcode::kPing;
+    EXPECT_EQ(client.call(ping).status, Status::kOk);
+  }
+
+  // Raw-socket phase: TcpClient only speaks the protocol, so drive the
+  // poisoning bytes by hand.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+
+  const std::uint8_t junk[8] = {'n', 'o', 'p', 'e', 1, 2, 3, 4};
+  ASSERT_EQ(::send(fd, junk, sizeof(junk), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(junk)));
+
+  // Read until EOF: everything the server sends before closing the fd.
+  std::vector<std::uint8_t> received;
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // 0 = server closed the connection, as required
+    received.insert(received.end(), buf, buf + n);
+  }
+  ::close(fd);
+
+  ResponseParser parser;
+  parser.feed(received);
+  const auto err = parser.next();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->status, Status::kBadRequest);
+  EXPECT_FALSE(parser.next().has_value());  // exactly one frame, then close
+
+  server.stop();
+  server_thread.join();
 }
 
 TEST(ServerTcp, EndToEndOverRealSockets) {

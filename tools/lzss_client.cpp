@@ -8,6 +8,9 @@
 //     --preset <id>  preset id 0..N (0 = server default)
 //     -o <path>      write the response payload to this file
 //     --no-verify    skip the local round-trip check after compress
+//     --retries <n>       extra attempts after BUSY/DEADLINE_EXCEEDED or a
+//                         transport error (default 4; 0 disables retry)
+//     --retry-base-ms <m> first backoff step, doubled per retry w/ jitter
 //
 // After a compress the client verifies end to end: it inflates the returned
 // container locally, byte-compares against the original file, and checks the
@@ -16,6 +19,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +27,7 @@
 #include "deflate/inflate.hpp"
 #include "lzss/raw_container.hpp"
 #include "server/frame.hpp"
+#include "server/retry.hpp"
 #include "server/tcp.hpp"
 
 namespace {
@@ -43,7 +48,8 @@ void write_file(const std::string& path, const std::vector<std::uint8_t>& data) 
 int usage() {
   std::fprintf(stderr,
                "usage: lzss_client [--host h] [--port p] [--raw] [--preset id] [-o out]\n"
-               "                   [--no-verify] compress|decompress|ping|stats [file]\n");
+               "                   [--no-verify] [--retries n] [--retry-base-ms m]\n"
+               "                   compress|decompress|ping|stats [file]\n");
   return 2;
 }
 
@@ -55,6 +61,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1", op, file, out_path;
   unsigned port = 5555;
   unsigned preset = 0;
+  unsigned retries = 4, retry_base_ms = 50;
   bool raw = false, verify = true;
 
   for (int i = 1; i < argc; ++i) {
@@ -69,6 +76,10 @@ int main(int argc, char** argv) {
       preset = static_cast<unsigned>(std::atoi(v));
     } else if (arg == "-o" && (v = next()) != nullptr) {
       out_path = v;
+    } else if (arg == "--retries" && (v = next()) != nullptr) {
+      retries = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--retry-base-ms" && (v = next()) != nullptr) {
+      retry_base_ms = static_cast<unsigned>(std::atoi(v));
     } else if (arg == "--raw") {
       raw = true;
     } else if (arg == "--no-verify") {
@@ -104,8 +115,32 @@ int main(int argc, char** argv) {
       return usage();
     }
 
-    server::TcpClient client(host, static_cast<std::uint16_t>(port));
-    const auto resp = client.call(req);
+    // Retry loop: BUSY/DEADLINE_EXCEEDED answers back off and try again;
+    // transport errors (connect refused, peer reset mid-call) drop the
+    // connection and reconnect on the next attempt.
+    server::RetryPolicy policy;
+    policy.max_attempts = retries + 1;
+    policy.base_delay_ms = retry_base_ms;
+    server::Backoff backoff(policy);
+    std::unique_ptr<server::TcpClient> client;
+    server::ResponseFrame resp;
+    for (unsigned attempt = 0;; ++attempt) {
+      const bool last = attempt + 1 >= policy.max_attempts;
+      try {
+        if (!client)
+          client = std::make_unique<server::TcpClient>(host, static_cast<std::uint16_t>(port));
+        resp = client->call(req);
+        if (!server::retryable_status(resp.status) || last) break;
+        std::fprintf(stderr, "server answered %s, retry %u/%u\n",
+                     server::status_name(resp.status), attempt + 1, retries);
+      } catch (const std::exception& e) {
+        client.reset();
+        if (last) throw;
+        std::fprintf(stderr, "transport error (%s), retry %u/%u\n", e.what(), attempt + 1,
+                     retries);
+      }
+      backoff.sleep(attempt);
+    }
 
     if (resp.status != server::Status::kOk) {
       std::fprintf(stderr, "server answered %s\n", server::status_name(resp.status));

@@ -8,6 +8,11 @@
 //                         (speed | balanced | ratio | min-bram | baseline-2007)
 //     --large-engines <n> MultiEngine stripe width for large payloads (default 4)
 //     --threshold-kb <k>  payloads >= k KiB take the striped path (default 256)
+//     --request-timeout-ms <t>  per-request deadline; expired requests answer
+//                               DEADLINE_EXCEEDED (0 = no deadline, default)
+//     --hung-worker-ms <t>      watchdog threshold: a worker stuck on one
+//                               request longer than this is poisoned and
+//                               replaced (0 = watchdog off, default)
 //
 // Wire protocol: docs/SERVER.md. Stop with SIGINT/SIGTERM (clean drain).
 #include <atomic>
@@ -31,7 +36,8 @@ void handle_signal(int) {
 int usage() {
   std::fprintf(stderr,
                "usage: lzssd [--port p] [--engines n] [--queue-depth d] [--preset name]\n"
-               "             [--large-engines n] [--threshold-kb k]\n");
+               "             [--large-engines n] [--threshold-kb k]\n"
+               "             [--request-timeout-ms t] [--hung-worker-ms t]\n");
   return 2;
 }
 
@@ -60,6 +66,10 @@ int main(int argc, char** argv) {
       cfg.large_engines = static_cast<unsigned>(std::atoi(v));
     } else if (arg == "--threshold-kb" && (v = next()) != nullptr) {
       cfg.large_threshold = static_cast<std::size_t>(std::atoi(v)) * 1024;
+    } else if (arg == "--request-timeout-ms" && (v = next()) != nullptr) {
+      cfg.request_timeout_ms = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--hung-worker-ms" && (v = next()) != nullptr) {
+      cfg.hung_worker_ms = static_cast<std::uint32_t>(std::atoi(v));
     } else {
       return usage();
     }
