@@ -6,16 +6,23 @@
 //   * aggregate host throughput vs. the number of service engines (workers),
 //   * reject (BUSY) rate vs. the bounded queue depth under saturation —
 //     the software twin of the valid/ready backpressure in stream/channel.
+// A third axis behind `--durable`: goodput of the LOG_APPEND opcode per
+// fsync policy, i.e. what each durability guarantee costs at the wire.
 #include "bench_util.hpp"
+
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
 #include "server/retry.hpp"
 #include "server/service.hpp"
 #include "server/tcp.hpp"
+#include "store/log_store.hpp"
 
 namespace {
 
@@ -164,6 +171,82 @@ void print_tables() {
   }
 }
 
+/// `--durable`: goodput of the LOG_APPEND opcode per fsync policy. The
+/// interesting number is not the absolute MB/s (that is the disk's) but the
+/// ratio between policies: what an "acked means on disk" guarantee costs
+/// relative to letting the OS cache absorb the stream.
+void print_durable_tables() {
+  bench::print_title("EXTENSION — DURABLE LOG APPENDS PER FSYNC POLICY (loopback transport)",
+                     "4 loadgen threads x 4 KiB LOG_APPEND records through the service");
+
+  const auto& corpus = bench::cached_corpus("wiki", 1 << 20);
+  const std::size_t chunk = 4 * 1024;
+  const unsigned threads = 4;
+  const int per_thread = 200;
+
+  std::printf("\n%-14s %12s %10s %9s %9s %14s\n", "fsync policy", "goodput MB/s", "records",
+              "fsyncs", "segments", "stored bytes");
+  for (const store::FsyncPolicy policy :
+       {store::FsyncPolicy::kNever, store::FsyncPolicy::kInterval,
+        store::FsyncPolicy::kEveryRecord}) {
+    char tmpl[] = "/tmp/lzss_bench_store_XXXXXX";
+    const char* dir = ::mkdtemp(tmpl);
+    if (dir == nullptr) {
+      std::printf("(skipping: cannot create a temp store directory)\n");
+      return;
+    }
+
+    store::StoreOptions opt;
+    opt.fsync_policy = policy;
+    opt.segment_bytes = 4 * 1024 * 1024;
+    std::uint64_t ok = 0;
+    std::uint64_t ok_bytes = 0;
+    double secs = 0;
+    store::StoreStats ss;
+    {
+      store::LogStore log(dir, opt);
+      server::ServiceConfig cfg;
+      cfg.workers = 2;
+      server::Service service(cfg);
+      service.attach_store(&log);
+
+      std::atomic<std::uint64_t> acked{0};
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> pool;
+      for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+          server::LoopbackClient client(service);
+          for (int i = 0; i < per_thread; ++i) {
+            const std::size_t off = ((static_cast<std::size_t>(t) * 7919 +
+                                      static_cast<std::size_t>(i) * 104729) *
+                                     chunk) %
+                                    (corpus.size() - chunk);
+            server::RequestFrame req;
+            req.id = static_cast<std::uint64_t>(t) << 32 | static_cast<std::uint32_t>(i);
+            req.opcode = server::Opcode::kLogAppend;
+            req.payload.assign(corpus.begin() + static_cast<std::ptrdiff_t>(off),
+                               corpus.begin() + static_cast<std::ptrdiff_t>(off + chunk));
+            if (client.call(req).status == server::Status::kOk) acked.fetch_add(1);
+          }
+        });
+      }
+      for (auto& th : pool) th.join();
+      secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      ok = acked.load();
+      ok_bytes = ok * chunk;
+      ss = log.stats();
+    }
+    std::filesystem::remove_all(dir);
+
+    std::printf("%-14s %12.2f %10llu %9llu %9llu %14llu\n", store::fsync_policy_name(policy),
+                secs > 0 ? static_cast<double>(ok_bytes) / 1e6 / secs : 0,
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(ss.fsyncs),
+                static_cast<unsigned long long>(ss.segments),
+                static_cast<unsigned long long>(ss.bytes_stored));
+  }
+}
+
 void BM_LoopbackCompress64K(benchmark::State& state) {
   static server::Service service([] {
     server::ServiceConfig cfg;
@@ -202,5 +285,17 @@ BENCHMARK(BM_PingRoundTrip);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return lzss::bench::run_bench_main(argc, argv, print_tables);
+  // `--durable` swaps in the fsync-policy goodput tables; the flag is ours,
+  // not google-benchmark's, so strip it before handing argv over.
+  bool durable = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--durable") == 0) {
+      durable = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return lzss::bench::run_bench_main(argc, argv, durable ? print_durable_tables : print_tables);
 }

@@ -149,6 +149,10 @@ std::span<const char* const> all_points() noexcept {
       "server.tcp.abort",           // TcpServer read/write (connection drop)
       "deflate.inflate.corrupt",    // zlib_decompress input (bit corruption)
       "stream.channel.stall",       // stream::Channel valid/ready (stall cycles)
+      "store.file.short_write",     // store::File::pwrite (half lands, then EIO)
+      "store.file.enospc",          // store::File::pwrite (fails before any byte)
+      "store.file.fsync",           // store::File::fsync (EIO without syncing)
+      "store.index.rename",         // sidecar publish rename (crash before commit)
   };
   return std::span<const char* const>(kPoints);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "common/checksum.hpp"
 #include "deflate/container.hpp"
@@ -81,13 +82,15 @@ std::vector<std::uint8_t> ArchiveWriter::finish() {
 }
 
 ArchiveReader::ArchiveReader(std::span<const std::uint8_t> archive) : archive_(archive) {
-  if (archive.size() < 20) throw std::runtime_error("archive: too short");
+  if (archive.size() < 20)
+    throw ArchiveError(ArchiveError::Kind::kTruncated, "archive: too short");
   if (std::memcmp(archive.data() + archive.size() - 4, kMagic, 4) != 0)
-    throw std::runtime_error("archive: bad magic");
+    throw ArchiveError(ArchiveError::Kind::kBadMagic, "archive: bad magic");
   total_ = get_le64(archive, archive.size() - 12);
   const std::uint64_t entries = get_le64(archive, archive.size() - 20);
   const std::uint64_t index_bytes = entries * 24;
-  if (archive.size() < 20 + index_bytes) throw std::runtime_error("archive: truncated index");
+  if (archive.size() < 20 + index_bytes)
+    throw ArchiveError(ArchiveError::Kind::kTruncated, "archive: truncated index");
 
   std::uint64_t uoff = 0;
   std::size_t at = archive.size() - 20 - index_bytes;
@@ -99,10 +102,40 @@ ArchiveReader::ArchiveReader(std::span<const std::uint8_t> archive) : archive_(a
     e.uncompressed_size = get_le64(archive, at + 16);
     uoff += e.uncompressed_size;
     if (e.compressed_offset + e.compressed_size > archive.size())
-      throw std::runtime_error("archive: index entry out of range");
+      throw ArchiveError(ArchiveError::Kind::kBadIndex, "archive: index entry out of range",
+                         static_cast<std::size_t>(i));
     index_.push_back(e);
   }
-  if (uoff != total_) throw std::runtime_error("archive: index does not cover the payload");
+  if (uoff != total_)
+    throw ArchiveError(ArchiveError::Kind::kBadIndex,
+                       "archive: index does not cover the payload");
+}
+
+std::vector<std::uint8_t> ArchiveReader::inflate_block(std::size_t block_index) const {
+  const IndexEntry& e = index_[block_index];
+  std::vector<std::uint8_t> block;
+  try {
+    // zlib_decompress verifies the container's Adler-32; the cap keeps a
+    // corrupted length field from committing runaway memory.
+    block = deflate::zlib_decompress(
+        archive_.subspan(e.compressed_offset, e.compressed_size), e.uncompressed_size);
+  } catch (const deflate::InflateError& err) {
+    throw ArchiveError(ArchiveError::Kind::kBlockCorrupt,
+                       "archive: block " + std::to_string(block_index) +
+                           " failed to inflate: " + err.what(),
+                       block_index);
+  }
+  if (block.size() != e.uncompressed_size)
+    throw ArchiveError(ArchiveError::Kind::kBlockCorrupt,
+                       "archive: block " + std::to_string(block_index) +
+                           " inflated to the wrong size",
+                       block_index);
+  return block;
+}
+
+std::size_t ArchiveReader::verify() const {
+  for (std::size_t i = 0; i < index_.size(); ++i) (void)inflate_block(i);
+  return index_.size();
 }
 
 std::vector<std::uint8_t> ArchiveReader::read(std::uint64_t offset, std::size_t length) const {
@@ -119,8 +152,7 @@ std::vector<std::uint8_t> ArchiveReader::read(std::uint64_t offset, std::size_t 
                              });
   for (; it != index_.end() && out.size() < length; ++it) {
     const IndexEntry& e = *it;
-    const auto block = deflate::zlib_decompress(
-        archive_.subspan(e.compressed_offset, e.compressed_size));
+    const auto block = inflate_block(static_cast<std::size_t>(it - index_.begin()));
     ++touched_;
     const std::uint64_t skip = offset + out.size() - e.uncompressed_offset;
     const std::size_t take =
@@ -128,7 +160,8 @@ std::vector<std::uint8_t> ArchiveReader::read(std::uint64_t offset, std::size_t 
     out.insert(out.end(), block.begin() + static_cast<std::ptrdiff_t>(skip),
                block.begin() + static_cast<std::ptrdiff_t>(skip + take));
   }
-  if (out.size() != length) throw std::runtime_error("archive: short read");
+  if (out.size() != length)
+    throw ArchiveError(ArchiveError::Kind::kBadIndex, "archive: short read");
   return out;
 }
 

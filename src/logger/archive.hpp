@@ -18,11 +18,38 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "lzss/params.hpp"
 
 namespace lzss::logger {
+
+/// Typed archive failure. Derives std::runtime_error so pre-existing catch
+/// sites keep working; `kind()` distinguishes a malformed trailer from a
+/// block whose compressed bytes rotted (Adler-32 / structural mismatch on
+/// inflate). `block()` names the offending block for kBlockCorrupt.
+class ArchiveError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    kTruncated,     ///< archive shorter than its own trailer claims
+    kBadMagic,      ///< trailer magic missing
+    kBadIndex,      ///< index entries inconsistent with the payload
+    kBlockCorrupt,  ///< a block failed its checksum or inflated wrong
+  };
+
+  static constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
+
+  ArchiveError(Kind kind, const std::string& what, std::size_t block = kNoBlock)
+      : std::runtime_error(what), kind_(kind), block_(block) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t block() const noexcept { return block_; }
+
+ private:
+  Kind kind_;
+  std::size_t block_;
+};
 
 struct ArchiveOptions {
   core::MatchParams params = core::MatchParams::speed_optimized();
@@ -61,15 +88,23 @@ class ArchiveWriter {
 /// Random access over a finished archive.
 class ArchiveReader {
  public:
-  /// Parses the trailer; throws std::runtime_error on malformed archives.
+  /// Parses the trailer; throws ArchiveError on malformed archives.
   explicit ArchiveReader(std::span<const std::uint8_t> archive);
 
   [[nodiscard]] std::uint64_t uncompressed_size() const noexcept { return total_; }
   [[nodiscard]] std::size_t block_count() const noexcept { return index_.size(); }
 
   /// Reads @p length bytes starting at uncompressed @p offset, inflating
-  /// only the blocks that overlap the range.
+  /// only the blocks that overlap the range. A block whose compressed bytes
+  /// fail to inflate or mismatch their Adler-32 / indexed size throws a
+  /// typed ArchiveError (kBlockCorrupt) — never silently returns garbage.
   [[nodiscard]] std::vector<std::uint8_t> read(std::uint64_t offset, std::size_t length) const;
+
+  /// Full-scan integrity check: inflates every block and validates its
+  /// checksum and indexed size. Returns the number of blocks verified;
+  /// throws ArchiveError (kBlockCorrupt, with the block index) on the first
+  /// damaged block.
+  std::size_t verify() const;
 
   /// Number of blocks the last read() had to inflate (exposed so tests can
   /// prove reads are local, i.e. the format actually delivers seekability).
@@ -82,6 +117,10 @@ class ArchiveReader {
     std::uint64_t uncompressed_offset;
     std::uint64_t uncompressed_size;
   };
+
+  /// Inflates block @p block_index with checksum + size validation; throws
+  /// ArchiveError(kBlockCorrupt) on damage.
+  [[nodiscard]] std::vector<std::uint8_t> inflate_block(std::size_t block_index) const;
 
   std::span<const std::uint8_t> archive_;
   std::vector<IndexEntry> index_;

@@ -48,7 +48,12 @@ enum class Opcode : std::uint8_t {
   kCompress = 1,
   kDecompress = 2,
   kStats = 3,
+  kLogAppend = 4,  ///< durable log store: payload = record; replies 8-byte LE sequence
+  kLogRead = 5,    ///< durable log store: payload = 8-byte LE sequence; replies record
 };
+
+/// Number of opcodes (per-opcode counter array size).
+inline constexpr std::size_t kOpcodeCount = 6;
 
 enum class Status : std::uint8_t {
   kOk = 0,

@@ -18,6 +18,7 @@
 #include "fault/fault.hpp"
 #include "lzss/raw_container.hpp"
 #include "parallel/multi_engine.hpp"
+#include "store/log_store.hpp"
 
 namespace lzss::server {
 
@@ -405,8 +406,55 @@ ResponseFrame Service::process(RequestFrame& request, hw::Compressor& compressor
     cfg = &preset_cfg;
   }
 
+  if (request.opcode == Opcode::kLogAppend) return do_log_append(request);
+  if (request.opcode == Opcode::kLogRead) return do_log_read(request);
   if (request.opcode == Opcode::kDecompress) return do_decompress(request);
   return do_compress(request, *cfg, preset_id == 0 ? &compressor : nullptr);
+}
+
+ResponseFrame Service::do_log_append(const RequestFrame& request) {
+  ResponseFrame resp;
+  if (store_ == nullptr) {
+    resp.status = Status::kUnsupported;
+    return resp;
+  }
+  try {
+    const std::uint64_t seq = store_->append(request.payload);
+    resp.adler = checksum::adler32(request.payload);
+    for (int i = 0; i < 8; ++i)
+      resp.payload.push_back(static_cast<std::uint8_t>(seq >> (8 * i)));
+  } catch (const store::IoError&) {
+    // Disk failure: the record was NOT appended (LogStore's contract) — the
+    // client may retry without creating a duplicate.
+    resp.status = Status::kInternal;
+  } catch (const store::StoreError&) {
+    resp.status = Status::kBadRequest;
+  }
+  return resp;
+}
+
+ResponseFrame Service::do_log_read(const RequestFrame& request) {
+  ResponseFrame resp;
+  if (store_ == nullptr) {
+    resp.status = Status::kUnsupported;
+    return resp;
+  }
+  if (request.payload.size() != 8) {
+    resp.status = Status::kBadRequest;
+    return resp;
+  }
+  std::uint64_t seq = 0;
+  for (int i = 7; i >= 0; --i) seq = (seq << 8) | request.payload[static_cast<std::size_t>(i)];
+  try {
+    resp.payload = store_->read(seq);
+    resp.adler = checksum::adler32(resp.payload);
+  } catch (const store::StoreError& e) {
+    resp.status = e.kind() == store::StoreError::Kind::kNotFound ? Status::kBadRequest
+                                                                 : Status::kCorrupt;
+  } catch (const store::IoError&) {
+    resp.status = Status::kInternal;
+  }
+  return resp;
 }
 
 ResponseFrame Service::do_compress(const RequestFrame& request, const hw::HwConfig& cfg,

@@ -52,6 +52,10 @@
 #include "hw/config.hpp"
 #include "server/frame.hpp"
 
+namespace lzss::store {
+class LogStore;
+}
+
 namespace lzss::server {
 
 struct ServiceConfig {
@@ -82,7 +86,7 @@ struct OpcodeCounters {
 };
 
 struct ServiceStats {
-  std::array<OpcodeCounters, 4> per_opcode;  ///< indexed by Opcode
+  std::array<OpcodeCounters, kOpcodeCount> per_opcode;  ///< indexed by Opcode
   std::uint64_t queue_high_water = 0;
   std::uint64_t deadline_exceeded = 0;   ///< requests failed by the deadline/watchdog
   std::uint64_t fallbacks = 0;           ///< COMPRESS stored-container degradations
@@ -113,6 +117,12 @@ class Service {
 
   [[nodiscard]] ServiceStats snapshot() const;
   [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+  /// Attaches a durable log store (not owned; must outlive the service).
+  /// LOG_APPEND/LOG_READ answer UNSUPPORTED until a store is attached.
+  /// Call before traffic starts — the pointer is read by worker threads.
+  void attach_store(store::LogStore* log_store) noexcept { store_ = log_store; }
+  [[nodiscard]] store::LogStore* attached_store() const noexcept { return store_; }
 
   /// Drains the queue (pending jobs still run) and joins the workers and the
   /// watchdog. Any request still unanswered after the drain (possible only
@@ -148,6 +158,8 @@ class Service {
                                           const hw::HwConfig& cfg,
                                           hw::Compressor* default_compressor);
   [[nodiscard]] ResponseFrame do_decompress(const RequestFrame& request);
+  [[nodiscard]] ResponseFrame do_log_append(const RequestFrame& request);
+  [[nodiscard]] ResponseFrame do_log_read(const RequestFrame& request);
   /// Records counters/latency and invokes the completion (inline path).
   void finish(Opcode op, const RequestFrame& request, ResponseFrame& response,
               std::chrono::steady_clock::time_point t0, const Completion& done);
@@ -181,7 +193,9 @@ class Service {
   };
   static constexpr std::size_t kLatencyRingSize = 4096;
   mutable std::mutex stats_mutex_;
-  std::array<OpState, 4> ops_;
+  std::array<OpState, kOpcodeCount> ops_;
+
+  store::LogStore* store_ = nullptr;  ///< durable sink for LOG_APPEND/LOG_READ
 
   std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> fallbacks_{0};

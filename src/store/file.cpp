@@ -1,0 +1,141 @@
+#include "store/file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "fault/fault.hpp"
+
+namespace lzss::store {
+
+namespace {
+
+int open_or_throw(const std::string& path, int flags, mode_t mode, const char* op) {
+  const int fd = ::open(path.c_str(), flags, mode);
+  if (fd < 0) throw IoError(op, path, errno);
+  return fd;
+}
+
+}  // namespace
+
+IoError::IoError(std::string op, std::string path, int err)
+    : std::runtime_error(op + " " + path + ": " + std::strerror(err)),
+      op_(std::move(op)),
+      err_(err) {}
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+File::File(File&& other) noexcept : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+File File::create(const std::string& path) {
+  return File(open_or_throw(path, O_RDWR | O_CREAT | O_TRUNC, 0644, "create"), path);
+}
+
+File File::open_rw(const std::string& path) {
+  return File(open_or_throw(path, O_RDWR, 0, "open"), path);
+}
+
+File File::open_ro(const std::string& path) {
+  return File(open_or_throw(path, O_RDONLY, 0, "open"), path);
+}
+
+std::uint64_t File::size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) throw IoError("stat", path_, errno);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void File::pwrite(std::uint64_t offset, std::span<const std::uint8_t> bytes) {
+  // Injected disk-full: fail before any byte reaches the file.
+  if (fault::fires("store.file.enospc")) throw IoError("write", path_, ENOSPC);
+
+  std::size_t limit = bytes.size();
+  bool torn = false;
+  if (fault::fires("store.file.short_write")) {
+    // Injected torn write: half the buffer really lands, then the "crash".
+    limit = bytes.size() / 2;
+    torn = true;
+  }
+
+  std::size_t done = 0;
+  while (done < limit) {
+    const ssize_t n = ::pwrite(fd_, bytes.data() + done, limit - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("write", path_, errno);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (torn) throw IoError("write", path_, EIO);
+}
+
+void File::pread(std::uint64_t offset, std::span<std::uint8_t> out) const {
+  if (pread_some(offset, out) != out.size()) throw IoError("read", path_, EIO);
+}
+
+std::size_t File::pread_some(std::uint64_t offset, std::span<std::uint8_t> out) const {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("read", path_, errno);
+    }
+    if (n == 0) break;  // EOF
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+void File::fsync() {
+  if (fault::fires("store.file.fsync")) throw IoError("fsync", path_, EIO);
+  if (::fsync(fd_) != 0) throw IoError("fsync", path_, errno);
+}
+
+void File::truncate(std::uint64_t length) {
+  if (::ftruncate(fd_, static_cast<off_t>(length)) != 0) throw IoError("truncate", path_, errno);
+}
+
+void File::close() {
+  if (fd_ < 0) return;
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) throw IoError("close", path_, errno);
+}
+
+void File::rename_file(const std::string& from, const std::string& to) {
+  if (fault::fires("store.index.rename")) throw IoError("rename", to, EIO);
+  if (::rename(from.c_str(), to.c_str()) != 0) throw IoError("rename", to, errno);
+}
+
+void File::sync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw IoError("open", dir, errno);
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) throw IoError("fsync", dir, err);
+}
+
+}  // namespace lzss::store

@@ -1,0 +1,744 @@
+#include "store/log_store.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/checksum.hpp"
+#include "deflate/container.hpp"
+#include "deflate/inflate.hpp"
+
+namespace lzss::store {
+
+namespace {
+
+constexpr char kSegmentMagic[4] = {'L', 'Z', 'S', 'G'};
+constexpr char kRecordMagic[4] = {'L', 'Z', 'R', 'C'};
+constexpr char kIndexMagic[4] = {'L', 'Z', 'S', 'X'};
+constexpr std::uint32_t kFlagZlib = 0x1;
+constexpr const char* kIndexName = "index.lzsx";
+constexpr const char* kIndexTmpName = "index.lzsx.tmp";
+
+void put_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_le64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_le32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::vector<std::uint8_t> encode_segment_header(std::uint64_t id, std::uint64_t base_sequence) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kSegmentHeaderSize);
+  out.insert(out.end(), std::begin(kSegmentMagic), std::end(kSegmentMagic));
+  put_le32(out, kFormatVersion);
+  put_le64(out, id);
+  put_le64(out, base_sequence);
+  put_le32(out, checksum::crc32(std::span(out.data(), out.size())));
+  put_le32(out, 0);  // reserved
+  return out;
+}
+
+struct RecordHeader {
+  std::uint64_t sequence;
+  std::uint32_t raw_length;
+  std::uint32_t stored_length;
+  std::uint32_t flags;
+  std::uint32_t crc;
+};
+
+/// Parses the fixed fields; returns false on bad magic or impossible sizes.
+/// CRC still needs the payload (validate_record_at below).
+bool parse_record_header(std::span<const std::uint8_t> buf, std::uint64_t off,
+                         RecordHeader& out) noexcept {
+  if (off + kRecordHeaderSize > buf.size()) return false;
+  const std::uint8_t* p = buf.data() + off;
+  if (std::memcmp(p, kRecordMagic, 4) != 0) return false;
+  out.sequence = get_le64(p + 4);
+  out.raw_length = get_le32(p + 12);
+  out.stored_length = get_le32(p + 16);
+  out.flags = get_le32(p + 20);
+  out.crc = get_le32(p + 24);
+  if (out.stored_length > kMaxRecordBytes || out.raw_length > kMaxRecordBytes) return false;
+  if ((out.flags & ~kFlagZlib) != 0) return false;
+  if ((out.flags & kFlagZlib) == 0 && out.stored_length != out.raw_length) return false;
+  if (out.sequence == 0) return false;
+  if (off + kRecordHeaderSize + out.stored_length > buf.size()) return false;
+  return true;
+}
+
+/// Full validation: header fields plus the CRC-32 over header-minus-crc and
+/// the stored payload.
+bool validate_record_at(std::span<const std::uint8_t> buf, std::uint64_t off,
+                        RecordHeader& out) noexcept {
+  if (!parse_record_header(buf, off, out)) return false;
+  checksum::Crc32 crc;
+  crc.update(buf.subspan(off, kRecordHeaderSize - 4));
+  crc.update(buf.subspan(off + kRecordHeaderSize, out.stored_length));
+  return crc.value() == out.crc;
+}
+
+/// Everything one pass over a segment file can know.
+struct SegScan {
+  bool header_ok = false;
+  std::uint64_t id = 0;
+  std::uint64_t base_sequence = 0;
+  std::uint64_t file_size = 0;
+  std::uint64_t data_end = kSegmentHeaderSize;  ///< offset past last valid record
+  std::uint64_t trailing_bad_bytes = 0;         ///< damage running to EOF
+  std::uint64_t next_expected = 0;              ///< sequence after the last record
+  std::uint64_t payload_bytes = 0;
+  std::vector<Gap> gaps;
+  // RecordRef mirrors LogStore's private struct; scan results are converted.
+  struct Rec {
+    std::uint64_t sequence;
+    std::uint64_t offset;
+    std::uint32_t raw_length;
+    std::uint32_t stored_length;
+    std::uint32_t flags;
+  };
+  std::vector<Rec> records;
+};
+
+SegScan scan_segment(const std::string& path) {
+  SegScan out;
+  File f = File::open_ro(path);
+  out.file_size = f.size();
+  std::vector<std::uint8_t> buf(out.file_size);
+  if (!buf.empty()) f.pread(0, buf);
+
+  // Segment header: magic, version, and its own CRC. A file that fails here
+  // carries nothing recoverable — the caller decides whether that is a torn
+  // tail (last segment) or a whole-segment gap.
+  if (buf.size() >= kSegmentHeaderSize && std::memcmp(buf.data(), kSegmentMagic, 4) == 0 &&
+      get_le32(buf.data() + 4) == kFormatVersion &&
+      get_le32(buf.data() + 24) == checksum::crc32(std::span(buf.data(), 24))) {
+    out.header_ok = true;
+    out.id = get_le64(buf.data() + 8);
+    out.base_sequence = get_le64(buf.data() + 16);
+  } else {
+    out.data_end = 0;
+    out.trailing_bad_bytes = out.file_size;
+    return out;
+  }
+
+  std::uint64_t off = kSegmentHeaderSize;
+  std::uint64_t expected = out.base_sequence;
+  while (off < buf.size()) {
+    RecordHeader h{};
+    if (validate_record_at(buf, off, h) && h.sequence == expected) {
+      out.records.push_back({h.sequence, off, h.raw_length, h.stored_length, h.flags});
+      out.payload_bytes += h.raw_length;
+      off += kRecordHeaderSize + h.stored_length;
+      out.data_end = off;
+      expected = h.sequence + 1;
+      continue;
+    }
+    // Damage starting at `off`: resync by scanning for the next frame that
+    // fully validates (magic + bounds + CRC + a later sequence).
+    std::uint64_t cand = off + 1;
+    bool resynced = false;
+    for (; cand + kRecordHeaderSize <= buf.size(); ++cand) {
+      if (std::memcmp(buf.data() + cand, kRecordMagic, 4) != 0) continue;
+      RecordHeader h2{};
+      if (validate_record_at(buf, cand, h2) && h2.sequence >= expected) {
+        Gap gap;
+        gap.segment_id = out.id;
+        gap.offset = off;
+        gap.bytes = cand - off;
+        gap.first_sequence = expected;
+        gap.sequence_count = h2.sequence - expected;
+        out.gaps.push_back(gap);
+        expected = h2.sequence;
+        off = cand;
+        resynced = true;
+        break;
+      }
+    }
+    if (!resynced) {
+      out.trailing_bad_bytes = buf.size() - off;
+      break;
+    }
+  }
+  out.next_expected = expected;
+  return out;
+}
+
+std::string two_part_path(const std::string& dir, const char* name) {
+  return dir + "/" + name;
+}
+
+/// The sidecar index image: per-segment aggregates plus a trailing CRC.
+struct IndexEntry {
+  std::uint64_t id;
+  std::uint64_t base_sequence;
+  std::uint64_t record_count;
+  std::uint64_t data_end;
+};
+
+std::vector<std::uint8_t> encode_index(std::span<const IndexEntry> entries,
+                                       std::uint64_t next_sequence) {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), std::begin(kIndexMagic), std::end(kIndexMagic));
+  put_le32(out, kFormatVersion);
+  put_le32(out, static_cast<std::uint32_t>(entries.size()));
+  put_le64(out, next_sequence);
+  for (const IndexEntry& e : entries) {
+    put_le64(out, e.id);
+    put_le64(out, e.base_sequence);
+    put_le64(out, e.record_count);
+    put_le64(out, e.data_end);
+  }
+  put_le32(out, checksum::crc32(std::span(out.data(), out.size())));
+  return out;
+}
+
+bool decode_index(std::span<const std::uint8_t> buf, std::vector<IndexEntry>& entries,
+                  std::uint64_t& next_sequence) {
+  if (buf.size() < 24 || std::memcmp(buf.data(), kIndexMagic, 4) != 0) return false;
+  if (get_le32(buf.data() + 4) != kFormatVersion) return false;
+  const std::uint32_t count = get_le32(buf.data() + 8);
+  const std::size_t body = 20 + static_cast<std::size_t>(count) * 32;
+  if (buf.size() != body + 4) return false;
+  if (get_le32(buf.data() + body) != checksum::crc32(buf.first(body))) return false;
+  next_sequence = get_le64(buf.data() + 12);
+  entries.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t* p = buf.data() + 20 + static_cast<std::size_t>(i) * 32;
+    entries.push_back({get_le64(p), get_le64(p + 8), get_le64(p + 16), get_le64(p + 24)});
+  }
+  return true;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> list_segments(const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long id = 0;
+    if (std::sscanf(name.c_str(), "seg-%08llu.lzseg", &id) == 1) {
+      out.emplace_back(id, entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void render_gaps(std::string& out, const std::vector<Gap>& gaps) {
+  char line[160];
+  for (const Gap& g : gaps) {
+    std::snprintf(line, sizeof(line),
+                  "  gap: segment %" PRIu64 " offset %" PRIu64 " (%" PRIu64
+                  " bytes, %" PRIu64 " records from seq %" PRIu64 ")\n",
+                  g.segment_id, g.offset, g.bytes, g.sequence_count, g.first_sequence);
+    out += line;
+  }
+}
+
+}  // namespace
+
+const char* fsync_policy_name(FsyncPolicy p) noexcept {
+  switch (p) {
+    case FsyncPolicy::kNever: return "never";
+    case FsyncPolicy::kInterval: return "interval";
+    case FsyncPolicy::kEveryRecord: return "every-record";
+  }
+  return "?";
+}
+
+FsyncPolicy fsync_policy_from_name(const std::string& name) {
+  if (name == "never") return FsyncPolicy::kNever;
+  if (name == "interval") return FsyncPolicy::kInterval;
+  if (name == "every-record") return FsyncPolicy::kEveryRecord;
+  throw std::invalid_argument("unknown fsync policy: " + name);
+}
+
+void StoreOptions::validate() const {
+  if (segment_bytes < kSegmentHeaderSize + kRecordHeaderSize)
+    throw std::invalid_argument("StoreOptions: segment_bytes too small");
+  if (fsync_policy == FsyncPolicy::kInterval && fsync_interval_records == 0)
+    throw std::invalid_argument("StoreOptions: zero fsync interval");
+}
+
+std::string RecoveryReport::render() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "recovered %" PRIu64 " records (next seq %" PRIu64 "), %" PRIu64
+                " torn tail bytes discarded, index %s\n",
+                records, next_sequence, torn_bytes_discarded,
+                index_rebuilt ? "rebuilt" : "loaded");
+  out += line;
+  render_gaps(out, gaps);
+  return out;
+}
+
+std::string VerifyReport::render() const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "%" PRIu64 " segments, %" PRIu64 " records, %" PRIu64 " -> %" PRIu64
+                " bytes, %" PRIu64 " torn tail bytes, %zu gaps: %s\n",
+                segments, records, payload_bytes, stored_bytes, torn_tail_bytes, gaps.size(),
+                ok() ? "OK" : "DAMAGED");
+  out += line;
+  render_gaps(out, gaps);
+  return out;
+}
+
+LogStore::LogStore(std::string dir, StoreOptions options, RecoveryReport* report)
+    : dir_(std::move(dir)), opt_(options) {
+  opt_.validate();
+  std::filesystem::create_directories(dir_);
+
+  RecoveryReport local;
+  RecoveryReport& rep = report != nullptr ? *report : local;
+  rep = RecoveryReport{};
+
+  const auto found = list_segments(dir_);
+  if (found.empty()) {
+    create_segment_locked(1, 1);
+    write_index_locked();
+    rep.next_sequence = next_sequence_;
+    return;
+  }
+
+  // Try the sidecar. It is advisory: any inconsistency with the directory —
+  // wrong segment set, a file shorter than its indexed extent — means it is
+  // stale and everything is rebuilt from the segments themselves.
+  std::vector<IndexEntry> idx;
+  std::uint64_t idx_next = 0;
+  bool index_usable = false;
+  try {
+    File f = File::open_ro(two_part_path(dir_, kIndexName));
+    std::vector<std::uint8_t> buf(f.size());
+    if (!buf.empty()) f.pread(0, buf);
+    index_usable = decode_index(buf, idx, idx_next);
+  } catch (const IoError&) {
+    index_usable = false;
+  }
+  if (index_usable && idx.size() == found.size()) {
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      if (idx[i].id != found[i].first ||
+          File::open_ro(found[i].second).size() < idx[i].data_end) {
+        index_usable = false;
+        break;
+      }
+    }
+  } else {
+    index_usable = false;
+  }
+  rep.index_rebuilt = !index_usable;
+
+  std::uint64_t expected = 1;  // sequence the next segment should start at
+  for (std::size_t i = 0; i < found.size(); ++i) {
+    const bool last = i + 1 == found.size();
+    Segment seg;
+    seg.id = found[i].first;
+
+    if (index_usable && !last) {
+      // Sealed segment vouched for by the index: trust the aggregates, defer
+      // the per-record scan until a read needs it.
+      seg.base_sequence = idx[i].base_sequence;
+      seg.record_count = idx[i].record_count;
+      seg.data_end = idx[i].data_end;
+      expected = idx[i].base_sequence + idx[i].record_count;
+      segments_.push_back(std::move(seg));
+      continue;
+    }
+
+    const SegScan scan = scan_segment(found[i].second);
+    if (!scan.header_ok) {
+      if (last) {
+        // The tail segment's own header never made it to disk: everything in
+        // the file is torn. Reset it in place and resume appending into it.
+        rep.torn_bytes_discarded += scan.file_size;
+        create_segment_locked(seg.id, expected);
+        segments_.back().base_sequence = expected;
+        continue;
+      }
+      Gap gap;
+      gap.segment_id = seg.id;
+      gap.offset = 0;
+      gap.bytes = scan.file_size;
+      gap.first_sequence = expected;
+      gap.sequence_count = 0;  // unknowable without the header
+      rep.gaps.push_back(gap);
+      seg.base_sequence = expected;
+      seg.record_count = 0;
+      seg.data_end = kSegmentHeaderSize;
+      seg.loaded = true;  // nothing readable; an empty table is correct
+      segments_.push_back(std::move(seg));
+      continue;
+    }
+
+    seg.base_sequence = scan.base_sequence;
+    seg.record_count = scan.records.size();
+    seg.data_end = scan.data_end;
+    seg.loaded = true;
+    seg.records.reserve(scan.records.size());
+    for (const auto& r : scan.records)
+      seg.records.push_back({r.sequence, r.offset, r.raw_length, r.stored_length, r.flags});
+    seg.gaps = scan.gaps;
+    for (const Gap& g : scan.gaps) rep.gaps.push_back(g);
+    expected = scan.next_expected;
+
+    if (scan.trailing_bad_bytes != 0) {
+      if (last) {
+        // Torn tail: truncate the garbage so appends resume at a clean edge.
+        // Syncing the repair is best-effort: the truncate is effective
+        // regardless, and if it is lost to a crash, recovery simply runs
+        // again — so a flaky disk must not make the store unopenable.
+        rep.torn_bytes_discarded += scan.trailing_bad_bytes;
+        File f = File::open_rw(found[i].second);
+        f.truncate(seg.data_end);
+        try {
+          f.fsync();
+        } catch (const IoError&) {
+        }
+      } else {
+        // Damage running to the end of a sealed segment; the lost sequence
+        // count is pinned by where the next segment starts.
+        Gap gap;
+        gap.segment_id = seg.id;
+        gap.offset = seg.data_end;
+        gap.bytes = scan.trailing_bad_bytes;
+        gap.first_sequence = expected;
+        gap.sequence_count = 0;  // fixed up below once the next base is known
+        seg.gaps.push_back(gap);
+        rep.gaps.push_back(gap);
+      }
+    }
+    segments_.push_back(std::move(seg));
+  }
+
+  // Fix up sequence expectations across segment boundaries: a gap that ran
+  // to the end of a sealed segment swallowed every sequence up to the next
+  // segment's base.
+  for (std::size_t i = 0; i + 1 < segments_.size(); ++i) {
+    const std::uint64_t next_base = segments_[i + 1].base_sequence;
+    for (Gap& g : rep.gaps) {
+      if (g.segment_id == segments_[i].id && g.sequence_count == 0 && next_base > g.first_sequence)
+        g.sequence_count = next_base - g.first_sequence;
+    }
+  }
+
+  first_sequence_ = segments_.front().base_sequence;
+  next_sequence_ = std::max(expected, std::uint64_t{1});
+
+  // Reopen the tail for appending (create_segment_locked already did when the
+  // tail was reset above).
+  if (!tail_file_.is_open()) {
+    tail_file_ = File::open_rw(found.back().second);
+    tail_offset_ = segments_.back().data_end;
+    if (tail_file_.size() > tail_offset_) {
+      // Writable-but-unvalidated bytes past the logical end (e.g. a crashed
+      // write that never became a record): clear them now.
+      rep.torn_bytes_discarded += tail_file_.size() - tail_offset_;
+      tail_file_.truncate(tail_offset_);
+    }
+  }
+
+  rep.next_sequence = next_sequence_;
+  for (const Segment& s : segments_) rep.records += s.record_count;
+
+  if (rep.index_rebuilt || rep.torn_bytes_discarded != 0) {
+    // Refresh the sidecar; failure is tolerable (it stays advisory).
+    try {
+      write_index_locked();
+    } catch (const IoError&) {
+      index_dirty_ = true;
+    }
+  }
+}
+
+LogStore::~LogStore() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor: durability best-effort; the segments on disk stay valid.
+  }
+}
+
+std::string LogStore::segment_path(std::uint64_t id) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%08llu.lzseg", static_cast<unsigned long long>(id));
+  return two_part_path(dir_, name);
+}
+
+void LogStore::create_segment_locked(std::uint64_t id, std::uint64_t base_sequence) {
+  File f = File::create(segment_path(id));
+  const auto header = encode_segment_header(id, base_sequence);
+  f.pwrite(0, header);
+  f.fsync();
+  File::sync_dir(dir_);
+
+  Segment seg;
+  seg.id = id;
+  seg.base_sequence = base_sequence;
+  seg.loaded = true;
+  segments_.push_back(std::move(seg));
+  tail_file_ = std::move(f);
+  tail_offset_ = kSegmentHeaderSize;
+  stat_bytes_stored_ += header.size();
+}
+
+void LogStore::rotate_locked() {
+  // Seal the old tail durably before the new segment exists, so recovery
+  // never finds a newer segment whose predecessor is still volatile.
+  tail_file_.fsync();
+  ++stat_fsyncs_;
+  unsynced_records_ = 0;
+  const std::uint64_t next_id = segments_.back().id + 1;
+  create_segment_locked(next_id, next_sequence_);
+  try {
+    write_index_locked();
+  } catch (const IoError&) {
+    index_dirty_ = true;  // advisory; the next flush/rotation retries
+  }
+}
+
+void LogStore::write_index_locked() {
+  std::vector<IndexEntry> entries;
+  entries.reserve(segments_.size());
+  for (const Segment& s : segments_)
+    entries.push_back({s.id, s.base_sequence, s.record_count, s.data_end});
+  const auto image = encode_index(entries, next_sequence_);
+
+  const std::string tmp = two_part_path(dir_, kIndexTmpName);
+  File f = File::create(tmp);
+  f.pwrite(0, image);
+  f.fsync();
+  f.close();
+  File::rename_file(tmp, two_part_path(dir_, kIndexName));
+  File::sync_dir(dir_);
+  index_dirty_ = false;
+}
+
+void LogStore::maybe_fsync_locked() {
+  switch (opt_.fsync_policy) {
+    case FsyncPolicy::kNever:
+      return;
+    case FsyncPolicy::kEveryRecord:
+      tail_file_.fsync();
+      ++stat_fsyncs_;
+      unsynced_records_ = 0;
+      return;
+    case FsyncPolicy::kInterval:
+      // Counts the record just written; on a sync the counter resets so the
+      // synced record is not carried into the next window.
+      if (++unsynced_records_ >= opt_.fsync_interval_records) {
+        tail_file_.fsync();
+        ++stat_fsyncs_;
+        unsynced_records_ = 0;
+      }
+      return;
+  }
+}
+
+std::uint64_t LogStore::append(std::span<const std::uint8_t> bytes) {
+  // Encode outside the lock: compression dominates append cost.
+  std::uint32_t flags = 0;
+  std::vector<std::uint8_t> stored;
+  if (opt_.compress && !bytes.empty()) {
+    auto z = deflate::zlib_compress(bytes, opt_.params, deflate::BlockKind::kDynamic);
+    if (z.size() < bytes.size()) {
+      stored = std::move(z);
+      flags = kFlagZlib;
+    }
+  }
+  const std::span<const std::uint8_t> payload =
+      flags != 0 ? std::span<const std::uint8_t>(stored) : bytes;
+  if (payload.size() > kMaxRecordBytes)
+    throw StoreError(StoreError::Kind::kBadFormat, "record exceeds kMaxRecordBytes");
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint8_t> rec;
+  rec.reserve(kRecordHeaderSize + payload.size());
+  rec.insert(rec.end(), std::begin(kRecordMagic), std::end(kRecordMagic));
+  put_le64(rec, next_sequence_);
+  put_le32(rec, static_cast<std::uint32_t>(bytes.size()));
+  put_le32(rec, static_cast<std::uint32_t>(payload.size()));
+  put_le32(rec, flags);
+  checksum::Crc32 crc;
+  crc.update(std::span(rec.data(), rec.size()));
+  crc.update(payload);
+  put_le32(rec, crc.value());
+  rec.insert(rec.end(), payload.begin(), payload.end());
+
+  if (tail_offset_ + rec.size() > opt_.segment_bytes &&
+      segments_.back().record_count != 0) {
+    rotate_locked();
+  }
+
+  // Write, then satisfy the fsync policy, then — only then — advance logical
+  // state. Any throw on this path means the record was NOT appended: the
+  // tail offset is unchanged and the next append overwrites the torn bytes.
+  tail_file_.pwrite(tail_offset_, rec);
+  maybe_fsync_locked();
+
+  Segment& tail = segments_.back();
+  const std::uint64_t seq = next_sequence_;
+  tail.records.push_back({seq, tail_offset_, static_cast<std::uint32_t>(bytes.size()),
+                          static_cast<std::uint32_t>(payload.size()), flags});
+  ++tail.record_count;
+  tail_offset_ += rec.size();
+  tail.data_end = tail_offset_;
+  ++next_sequence_;
+  ++stat_appends_;
+  stat_bytes_in_ += bytes.size();
+  stat_bytes_stored_ += rec.size();
+  return seq;
+}
+
+LogStore::Segment* LogStore::find_segment_locked(std::uint64_t sequence) {
+  // Last segment whose base is <= sequence.
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), sequence,
+                             [](std::uint64_t seq, const Segment& s) {
+                               return seq < s.base_sequence;
+                             });
+  if (it == segments_.begin()) return nullptr;
+  return &*std::prev(it);
+}
+
+void LogStore::load_segment_locked(Segment& seg) {
+  const SegScan scan = scan_segment(segment_path(seg.id));
+  seg.records.clear();
+  seg.records.reserve(scan.records.size());
+  for (const auto& r : scan.records)
+    seg.records.push_back({r.sequence, r.offset, r.raw_length, r.stored_length, r.flags});
+  seg.gaps = scan.gaps;
+  if (scan.trailing_bad_bytes != 0) {
+    Gap gap;
+    gap.segment_id = seg.id;
+    gap.offset = scan.data_end;
+    gap.bytes = scan.trailing_bad_bytes;
+    gap.first_sequence = scan.next_expected;
+    gap.sequence_count = 0;
+    seg.gaps.push_back(gap);
+  }
+  seg.record_count = seg.records.size();
+  seg.loaded = true;
+}
+
+std::vector<std::uint8_t> LogStore::read(std::uint64_t sequence) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (sequence < first_sequence_ || sequence >= next_sequence_)
+    throw StoreError(StoreError::Kind::kNotFound,
+                     "sequence " + std::to_string(sequence) + " not in store");
+  Segment* seg = find_segment_locked(sequence);
+  if (seg == nullptr)
+    throw StoreError(StoreError::Kind::kNotFound,
+                     "sequence " + std::to_string(sequence) + " precedes the store");
+  if (!seg->loaded) load_segment_locked(*seg);
+
+  const auto it = std::lower_bound(seg->records.begin(), seg->records.end(), sequence,
+                                   [](const RecordRef& r, std::uint64_t s) {
+                                     return r.sequence < s;
+                                   });
+  if (it == seg->records.end() || it->sequence != sequence)
+    throw StoreError(StoreError::Kind::kGap,
+                     "sequence " + std::to_string(sequence) + " lost to storage damage");
+
+  std::vector<std::uint8_t> payload(it->stored_length);
+  const bool is_tail = seg == &segments_.back();
+  if (is_tail) {
+    if (!payload.empty()) tail_file_.pread(it->offset + kRecordHeaderSize, payload);
+  } else {
+    File f = File::open_ro(segment_path(seg->id));
+    if (!payload.empty()) f.pread(it->offset + kRecordHeaderSize, payload);
+  }
+
+  if ((it->flags & kFlagZlib) == 0) return payload;
+  try {
+    auto raw = deflate::zlib_decompress(payload, it->raw_length);
+    if (raw.size() != it->raw_length)
+      throw StoreError(StoreError::Kind::kCorrupt, "record inflated to the wrong size");
+    return raw;
+  } catch (const deflate::InflateError& e) {
+    throw StoreError(StoreError::Kind::kCorrupt,
+                     "record " + std::to_string(sequence) + " failed to inflate: " + e.what());
+  }
+}
+
+void LogStore::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!tail_file_.is_open()) return;
+  tail_file_.fsync();
+  ++stat_fsyncs_;
+  unsynced_records_ = 0;
+  write_index_locked();
+}
+
+StoreStats LogStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  StoreStats out;
+  out.appends = stat_appends_;
+  out.fsyncs = stat_fsyncs_;
+  out.bytes_in = stat_bytes_in_;
+  out.bytes_stored = stat_bytes_stored_;
+  out.segments = segments_.size();
+  for (const Segment& s : segments_) out.records += s.record_count;
+  return out;
+}
+
+VerifyReport LogStore::verify(const std::string& dir) {
+  VerifyReport out;
+  const auto found = list_segments(dir);
+  if (found.empty())
+    throw StoreError(StoreError::Kind::kBadFormat, "no segments in " + dir);
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < found.size(); ++i) {
+    const bool last = i + 1 == found.size();
+    const SegScan scan = scan_segment(found[i].second);
+    ++out.segments;
+    if (!scan.header_ok) {
+      if (last) {
+        out.torn_tail_bytes += scan.file_size;
+      } else {
+        Gap gap;
+        gap.segment_id = found[i].first;
+        gap.offset = 0;
+        gap.bytes = scan.file_size;
+        gap.first_sequence = expected;
+        gap.sequence_count = 0;
+        out.gaps.push_back(gap);
+      }
+      continue;
+    }
+    out.records += scan.records.size();
+    out.payload_bytes += scan.payload_bytes;
+    out.stored_bytes += scan.data_end - kSegmentHeaderSize;
+    for (const Gap& g : scan.gaps) out.gaps.push_back(g);
+    if (scan.trailing_bad_bytes != 0) {
+      if (last) {
+        out.torn_tail_bytes += scan.trailing_bad_bytes;
+      } else {
+        Gap gap;
+        gap.segment_id = found[i].first;
+        gap.offset = scan.data_end;
+        gap.bytes = scan.trailing_bad_bytes;
+        gap.first_sequence = scan.next_expected;
+        gap.sequence_count = 0;
+        out.gaps.push_back(gap);
+      }
+    }
+    expected = scan.next_expected;
+  }
+  return out;
+}
+
+}  // namespace lzss::store

@@ -1,0 +1,219 @@
+// Crash-safe, append-only compressed log store.
+//
+// The paper's target workload is real-time compression of embedded logging
+// streams; src/logger/ gave that stream a seekable *in-memory* shape
+// (independently compressed blocks + an index, after Kreft & Navarro). This
+// subsystem is the durable half: the same per-record zlib containers, but
+// persisted to segment files with a checksummed framing so that a crash —
+// of the process or of the disk under it — loses at most the records that
+// were never fsynced, and never the ability to read what came before.
+//
+// On-disk layout (docs/STORE.md has the full treatment):
+//
+//   <dir>/seg-XXXXXXXX.lzseg     segment files, append-only, rotated by size
+//   <dir>/index.lzsx             sidecar index, atomically replaced
+//                                (write-to-temp + rename); advisory only —
+//                                everything can be rebuilt from the segments
+//
+//   segment header (32 bytes)          record (28-byte header + payload)
+//   -------------------------          ---------------------------------
+//   0   magic    "LZSG"                0   magic    "LZRC"
+//   4   version  u32                   4   sequence u64
+//   8   segment  u64                   12  raw_len  u32  (uncompressed)
+//   16  base_seq u64                   16  len      u32  (stored payload)
+//   24  crc32    u32 (bytes 0..24)     20  flags    u32  (bit0: zlib)
+//   28  reserved u32                   24  crc32    u32  (header + payload)
+//                                      28  payload
+//
+// Durability: appends go through store::File positional writes at a tracked
+// tail offset, so a failed write never advances logical state — retrying the
+// append overwrites the torn bytes. fsync policy is configurable: kNever
+// (crash loses the OS cache), kInterval (bounded loss window), kEveryRecord
+// (an acked append survives power loss).
+//
+// Recovery (constructor): the tail segment is always scanned. A record that
+// fails magic/bounds/CRC starts damage handling — scan forward for the next
+// frame that fully validates; if one exists the bad range is quarantined as
+// a Gap (reads of those sequences throw StoreError::Kind::kGap), otherwise
+// the damage reaches EOF and is a torn tail: the file is truncated back to
+// the last good record and appends resume there. A missing, corrupt, or
+// stale sidecar triggers a full rebuild scan of every segment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lzss/params.hpp"
+#include "store/file.hpp"
+
+namespace lzss::store {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kSegmentHeaderSize = 32;
+inline constexpr std::size_t kRecordHeaderSize = 28;
+/// Hard cap on one record's stored payload; larger lengths in a header are
+/// treated as corruption (they cannot have been written by this store).
+inline constexpr std::uint32_t kMaxRecordBytes = 64u * 1024 * 1024;
+
+enum class FsyncPolicy : std::uint8_t {
+  kNever,        ///< leave durability to the OS cache
+  kInterval,     ///< fsync every fsync_interval_records appends
+  kEveryRecord,  ///< fsync before append() returns
+};
+
+[[nodiscard]] const char* fsync_policy_name(FsyncPolicy p) noexcept;
+/// Parses "never" / "interval" / "every-record"; throws std::invalid_argument.
+[[nodiscard]] FsyncPolicy fsync_policy_from_name(const std::string& name);
+
+struct StoreOptions {
+  std::size_t segment_bytes = 4 * 1024 * 1024;  ///< rotation threshold
+  FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
+  std::uint32_t fsync_interval_records = 64;
+  bool compress = true;  ///< zlib per record when it shrinks; raw otherwise
+  core::MatchParams params = core::MatchParams::speed_optimized();
+
+  void validate() const;  ///< throws std::invalid_argument when inconsistent
+};
+
+class StoreError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    kBadFormat,  ///< directory contents are not a store / unsupported version
+    kNotFound,   ///< sequence outside [first, next)
+    kGap,        ///< sequence fell inside a quarantined (corrupt) range
+    kCorrupt,    ///< record failed its checksum or failed to inflate
+  };
+
+  StoreError(Kind kind, const std::string& what) : std::runtime_error(what), kind_(kind) {}
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// A quarantined byte range: a mid-segment record (or run of records) that
+/// failed validation but was followed by a frame that parsed cleanly.
+struct Gap {
+  std::uint64_t segment_id = 0;
+  std::uint64_t offset = 0;          ///< first bad byte (file offset)
+  std::uint64_t bytes = 0;           ///< quarantined byte count
+  std::uint64_t first_sequence = 0;  ///< first sequence lost to the gap
+  std::uint64_t sequence_count = 0;  ///< sequences lost (0 when unknowable)
+};
+
+/// What the constructor's recovery pass found and did.
+struct RecoveryReport {
+  std::uint64_t records = 0;            ///< readable records after recovery
+  std::uint64_t next_sequence = 1;      ///< the next append's sequence
+  std::uint64_t torn_bytes_discarded = 0;  ///< tail bytes truncated away
+  bool index_rebuilt = false;           ///< sidecar was missing/corrupt/stale
+  std::vector<Gap> gaps;                ///< quarantined mid-segment damage
+
+  [[nodiscard]] std::string render() const;
+};
+
+/// Full offline scan result (ignores the sidecar entirely).
+struct VerifyReport {
+  std::uint64_t segments = 0;
+  std::uint64_t records = 0;
+  std::uint64_t payload_bytes = 0;      ///< uncompressed record bytes
+  std::uint64_t stored_bytes = 0;       ///< on-disk record bytes (framing incl.)
+  std::uint64_t torn_tail_bytes = 0;    ///< trailing garbage (recoverable)
+  std::vector<Gap> gaps;                ///< unrecoverable mid-segment damage
+
+  /// A store is healthy when every surviving record checksums; a torn tail
+  /// is recoverable damage and does not fail verification.
+  [[nodiscard]] bool ok() const noexcept { return gaps.empty(); }
+  [[nodiscard]] std::string render() const;
+};
+
+struct StoreStats {
+  std::uint64_t appends = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t bytes_in = 0;      ///< raw payload bytes appended
+  std::uint64_t bytes_stored = 0;  ///< bytes written to segment files
+  std::uint64_t segments = 0;      ///< live segment files
+  std::uint64_t records = 0;       ///< readable records
+};
+
+class LogStore {
+ public:
+  /// Opens (creating if needed) the store at @p dir, running recovery; the
+  /// report of what recovery found lands in @p report when non-null.
+  explicit LogStore(std::string dir, StoreOptions options = {},
+                    RecoveryReport* report = nullptr);
+  ~LogStore();
+
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+
+  /// Appends one record; returns its sequence (starting at 1). Thread-safe.
+  /// Throws IoError when the disk fails — logical state is unchanged and the
+  /// append may simply be retried.
+  std::uint64_t append(std::span<const std::uint8_t> bytes);
+
+  /// Reads one record's payload by sequence. Thread-safe.
+  [[nodiscard]] std::vector<std::uint8_t> read(std::uint64_t sequence);
+
+  /// fsyncs the tail segment and rewrites the sidecar index.
+  void flush();
+
+  [[nodiscard]] std::uint64_t first_sequence() const noexcept { return first_sequence_; }
+  [[nodiscard]] std::uint64_t next_sequence() const noexcept { return next_sequence_; }
+  [[nodiscard]] StoreStats stats() const;
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Offline full scan of the store at @p dir; read-only, never repairs.
+  [[nodiscard]] static VerifyReport verify(const std::string& dir);
+
+ private:
+  struct RecordRef {
+    std::uint64_t sequence;
+    std::uint64_t offset;  ///< of the record header, within the segment file
+    std::uint32_t raw_length;
+    std::uint32_t stored_length;
+    std::uint32_t flags;
+  };
+
+  struct Segment {
+    std::uint64_t id = 0;
+    std::uint64_t base_sequence = 0;
+    std::uint64_t record_count = 0;
+    std::uint64_t data_end = kSegmentHeaderSize;  ///< offset past last record
+    bool loaded = false;                ///< per-record table scanned in
+    std::vector<RecordRef> records;     ///< valid when loaded
+    std::vector<Gap> gaps;              ///< damage found while scanning
+  };
+
+  [[nodiscard]] std::string segment_path(std::uint64_t id) const;
+  void create_segment_locked(std::uint64_t id, std::uint64_t base_sequence);
+  void rotate_locked();
+  void write_index_locked();
+  void maybe_fsync_locked();
+  void load_segment_locked(Segment& seg);
+  Segment* find_segment_locked(std::uint64_t sequence);
+
+  std::string dir_;
+  StoreOptions opt_;
+
+  mutable std::mutex mutex_;
+  std::vector<Segment> segments_;  ///< ordered by id / base_sequence
+  File tail_file_;                 ///< the open tail segment
+  std::uint64_t tail_offset_ = 0;  ///< logical end of the tail segment
+  std::uint64_t first_sequence_ = 1;
+  std::uint64_t next_sequence_ = 1;
+  std::uint32_t unsynced_records_ = 0;
+  bool index_dirty_ = false;
+
+  std::uint64_t stat_appends_ = 0;
+  std::uint64_t stat_fsyncs_ = 0;
+  std::uint64_t stat_bytes_in_ = 0;
+  std::uint64_t stat_bytes_stored_ = 0;
+};
+
+}  // namespace lzss::store

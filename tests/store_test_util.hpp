@@ -1,0 +1,104 @@
+// Shared helpers for the durable-log-store test suites: scratch directories
+// under the system temp root, deterministic record payloads, and a raw
+// segment-file parser so crash tests can compute record boundaries without
+// trusting the code under test.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/log_store.hpp"
+
+namespace lzss::store::testutil {
+
+/// A scratch directory removed on scope exit.
+struct TempDir {
+  TempDir() {
+    static std::atomic<int> counter{0};
+    const auto base =
+        std::filesystem::temp_directory_path() /
+        ("lzss_store_" + std::to_string(::getpid()) + "_" + std::to_string(counter++));
+    std::filesystem::create_directories(base);
+    path = base.string();
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  std::string path;
+};
+
+/// Deterministic payload for sequence @p seq: size and bytes are pure
+/// functions of the sequence, so any recovered record can be checked.
+inline std::vector<std::uint8_t> record_payload(std::uint64_t seq) {
+  const std::size_t n = 20 + static_cast<std::size_t>((seq * 37) % 180);
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<std::uint8_t>((seq * 131 + i * 17) & 0xFF);
+  return out;
+}
+
+inline std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+inline void spit(const std::string& path, const std::vector<std::uint8_t>& bytes,
+                 std::size_t limit) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(std::min(limit, bytes.size())));
+}
+
+/// One record's extent inside a segment file, parsed independently of
+/// LogStore (header layout per docs/STORE.md).
+struct ParsedRecord {
+  std::uint64_t offset;  ///< of the 28-byte record header
+  std::uint64_t end;     ///< offset past the payload
+  std::uint64_t sequence;
+};
+
+inline std::vector<ParsedRecord> parse_segment_records(const std::string& path) {
+  const auto buf = slurp(path);
+  auto le32 = [&](std::uint64_t at) {
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | buf[at + static_cast<std::uint64_t>(i)];
+    return v;
+  };
+  auto le64 = [&](std::uint64_t at) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | buf[at + static_cast<std::uint64_t>(i)];
+    return v;
+  };
+  std::vector<ParsedRecord> out;
+  std::uint64_t off = kSegmentHeaderSize;
+  while (off + kRecordHeaderSize <= buf.size()) {
+    const std::uint64_t stored = le32(off + 16);
+    const std::uint64_t end = off + kRecordHeaderSize + stored;
+    if (end > buf.size()) break;
+    out.push_back({off, end, le64(off + 4)});
+    off = end;
+  }
+  return out;
+}
+
+/// Lists the store's segment files in id order.
+inline std::vector<std::string> segment_files(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".lzseg") out.push_back(e.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lzss::store::testutil

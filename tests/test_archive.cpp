@@ -105,6 +105,75 @@ TEST(Archive, MalformedArchivesRejected) {
   EXPECT_THROW(ArchiveReader{std::span<const std::uint8_t>(tiny)}, std::runtime_error);
 }
 
+TEST(Archive, VerifyScansEveryBlockOfCleanArchive) {
+  const auto data = wl::make_corpus("wiki", 300 * 1024);
+  ArchiveOptions opt;
+  opt.block_bytes = 64 * 1024;
+  const auto a = build(data, opt);
+  ArchiveReader r(a);
+  EXPECT_EQ(r.verify(), r.block_count());
+}
+
+TEST(Archive, CorruptBlockYieldsTypedErrorWithBlockIndex) {
+  const auto data = wl::make_corpus("wiki", 300 * 1024);
+  ArchiveOptions opt;
+  opt.block_bytes = 64 * 1024;
+  auto a = build(data, opt);
+  // Flip a bit mid-archive: lands in some block's compressed bytes, where
+  // the per-block Adler-32 (or the deflate structure itself) must catch it.
+  a[a.size() / 2] ^= 0x10;
+  ArchiveReader r(a);  // trailer + index are intact; construction succeeds
+
+  std::size_t bad_block = ArchiveError::kNoBlock;
+  try {
+    (void)r.read(0, data.size());
+    FAIL() << "corrupted archive read back silently";
+  } catch (const ArchiveError& e) {
+    EXPECT_EQ(e.kind(), ArchiveError::Kind::kBlockCorrupt);
+    bad_block = e.block();
+  }
+  ASSERT_LT(bad_block, r.block_count());
+
+  // verify() finds the same damage without a caller-driven read.
+  try {
+    (void)r.verify();
+    FAIL() << "verify() passed a corrupted archive";
+  } catch (const ArchiveError& e) {
+    EXPECT_EQ(e.kind(), ArchiveError::Kind::kBlockCorrupt);
+    EXPECT_EQ(e.block(), bad_block);
+  }
+
+  // Damage is contained: a different block still reads correctly.
+  const std::size_t other = bad_block == 0 ? 1 : 0;
+  const std::size_t off = other * opt.block_bytes;
+  const auto got = r.read(off, 100);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), data.begin() + static_cast<long>(off)));
+}
+
+TEST(Archive, TypedErrorsOnMalformedTrailers) {
+  const auto data = wl::make_corpus("wiki", 10 * 1024);
+  const auto a = build(data);
+  {
+    auto bad = a;
+    bad.back() = 'X';
+    try {
+      ArchiveReader r{std::span<const std::uint8_t>(bad)};
+      FAIL() << "bad magic accepted";
+    } catch (const ArchiveError& e) {
+      EXPECT_EQ(e.kind(), ArchiveError::Kind::kBadMagic);
+    }
+  }
+  {
+    const std::vector<std::uint8_t> tiny{1, 2, 3};
+    try {
+      ArchiveReader r{std::span<const std::uint8_t>(tiny)};
+      FAIL() << "3-byte archive accepted";
+    } catch (const ArchiveError& e) {
+      EXPECT_EQ(e.kind(), ArchiveError::Kind::kTruncated);
+    }
+  }
+}
+
 TEST(Archive, HardwareModelPathRoundtrips) {
   const auto data = wl::make_corpus("x2e", 96 * 1024);
   ArchiveOptions opt;

@@ -2,6 +2,8 @@
 //
 //   lzss_client [options] <op> [file]
 //     op: compress <file> | decompress <file> | ping | stats
+//         | log-append <file> (prints the durable sequence number)
+//         | log-read <seq>    (prints/-o the stored record)
 //     --host <h>     server host (default 127.0.0.1)
 //     --port <p>     server port (default 5555)
 //     --raw          raw-LZSS container instead of zlib
@@ -49,7 +51,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: lzss_client [--host h] [--port p] [--raw] [--preset id] [-o out]\n"
                "                   [--no-verify] [--retries n] [--retry-base-ms m]\n"
-               "                   compress|decompress|ping|stats [file]\n");
+               "                   compress|decompress|ping|stats [file]\n"
+               "                   | log-append <file> | log-read <seq>\n");
   return 2;
 }
 
@@ -92,7 +95,8 @@ int main(int argc, char** argv) {
       file = arg;
     }
   }
-  const bool needs_file = op == "compress" || op == "decompress";
+  const bool needs_file =
+      op == "compress" || op == "decompress" || op == "log-append" || op == "log-read";
   if (op.empty() || (needs_file && file.empty()) || port > 65535 || preset > 255)
     return usage();
 
@@ -107,6 +111,14 @@ int main(int argc, char** argv) {
     } else if (op == "decompress") {
       req.opcode = server::Opcode::kDecompress;
       req.payload = read_file(file);
+    } else if (op == "log-append") {
+      req.opcode = server::Opcode::kLogAppend;
+      req.payload = read_file(file);
+    } else if (op == "log-read") {
+      req.opcode = server::Opcode::kLogRead;
+      const std::uint64_t seq = static_cast<std::uint64_t>(std::atoll(file.c_str()));
+      for (int s = 0; s < 8; ++s)
+        req.payload.push_back(static_cast<std::uint8_t>(seq >> (8 * s)));
     } else if (op == "ping") {
       req.opcode = server::Opcode::kPing;
     } else if (op == "stats") {
@@ -153,6 +165,29 @@ int main(int argc, char** argv) {
     }
     if (op == "stats") {
       std::fwrite(resp.payload.data(), 1, resp.payload.size(), stdout);
+      return 0;
+    }
+    if (op == "log-append") {
+      if (resp.payload.size() != 8 || resp.adler != checksum::adler32(req.payload)) {
+        std::fprintf(stderr, "log-append: malformed ack\n");
+        return 1;
+      }
+      std::uint64_t seq = 0;
+      for (int s = 7; s >= 0; --s) seq = (seq << 8) | resp.payload[static_cast<std::size_t>(s)];
+      std::printf("seq %llu (%zu bytes durable)\n", static_cast<unsigned long long>(seq),
+                  req.payload.size());
+      return 0;
+    }
+    if (op == "log-read") {
+      if (resp.adler != checksum::adler32(resp.payload)) {
+        std::fprintf(stderr, "log-read: adler MISMATCH\n");
+        return 1;
+      }
+      if (!out_path.empty()) {
+        write_file(out_path, resp.payload);
+      } else {
+        std::fwrite(resp.payload.data(), 1, resp.payload.size(), stdout);
+      }
       return 0;
     }
 

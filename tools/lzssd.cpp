@@ -13,17 +13,27 @@
 //     --hung-worker-ms <t>      watchdog threshold: a worker stuck on one
 //                               request longer than this is poisoned and
 //                               replaced (0 = watchdog off, default)
+//     --store-dir <dir>         attach a durable log store: LOG_APPEND /
+//                               LOG_READ persist records that survive
+//                               daemon restarts (docs/STORE.md)
+//     --store-fsync <policy>    never | interval | every-record
+//                               (default every-record: an acked append
+//                               survives power loss)
+//     --store-segment-kb <k>    segment rotation threshold (default 4096)
 //
 // Wire protocol: docs/SERVER.md. Stop with SIGINT/SIGTERM (clean drain).
 #include <atomic>
+#include <cinttypes>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "estimator/presets.hpp"
 #include "server/service.hpp"
 #include "server/tcp.hpp"
+#include "store/log_store.hpp"
 
 namespace {
 
@@ -37,7 +47,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: lzssd [--port p] [--engines n] [--queue-depth d] [--preset name]\n"
                "             [--large-engines n] [--threshold-kb k]\n"
-               "             [--request-timeout-ms t] [--hung-worker-ms t]\n");
+               "             [--request-timeout-ms t] [--hung-worker-ms t]\n"
+               "             [--store-dir dir] [--store-fsync policy] [--store-segment-kb k]\n");
   return 2;
 }
 
@@ -49,6 +60,9 @@ int main(int argc, char** argv) {
   server::ServiceConfig cfg;
   unsigned port = 5555;
   std::string preset = "speed";
+  std::string store_dir;
+  store::StoreOptions store_opt;
+  store_opt.fsync_policy = store::FsyncPolicy::kEveryRecord;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -70,6 +84,16 @@ int main(int argc, char** argv) {
       cfg.request_timeout_ms = static_cast<std::uint32_t>(std::atoi(v));
     } else if (arg == "--hung-worker-ms" && (v = next()) != nullptr) {
       cfg.hung_worker_ms = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--store-dir" && (v = next()) != nullptr) {
+      store_dir = v;
+    } else if (arg == "--store-fsync" && (v = next()) != nullptr) {
+      try {
+        store_opt.fsync_policy = store::fsync_policy_from_name(v);
+      } catch (const std::invalid_argument&) {
+        return usage();
+      }
+    } else if (arg == "--store-segment-kb" && (v = next()) != nullptr) {
+      store_opt.segment_bytes = static_cast<std::size_t>(std::atoi(v)) * 1024;
     } else {
       return usage();
     }
@@ -78,7 +102,20 @@ int main(int argc, char** argv) {
 
   try {
     cfg.hw = est::preset_by_name(preset).config;
+    // Declared before the service so it outlives the worker drain in
+    // Service::~Service (queued LOG_APPENDs may still touch the store).
+    std::unique_ptr<store::LogStore> log_store;
     server::Service service(cfg);
+
+    if (!store_dir.empty()) {
+      store::RecoveryReport recovery;
+      log_store = std::make_unique<store::LogStore>(store_dir, store_opt, &recovery);
+      service.attach_store(log_store.get());
+      std::printf("store %s (fsync %s): %s", store_dir.c_str(),
+                  store::fsync_policy_name(store_opt.fsync_policy),
+                  recovery.render().c_str());
+    }
+
     server::TcpServer tcp(service, static_cast<std::uint16_t>(port));
     g_server = &tcp;
     std::signal(SIGINT, handle_signal);
@@ -93,6 +130,12 @@ int main(int argc, char** argv) {
 
     const auto stats = service.snapshot();
     std::printf("lzssd shutting down\n%s", stats.render().c_str());
+    if (log_store) {
+      const auto ss = log_store->stats();
+      std::printf("store: %" PRIu64 " appends, %" PRIu64 " fsyncs, %" PRIu64 " -> %" PRIu64
+                  " bytes, %" PRIu64 " segments\n",
+                  ss.appends, ss.fsyncs, ss.bytes_in, ss.bytes_stored, ss.segments);
+    }
     g_server = nullptr;
     return 0;
   } catch (const std::exception& e) {
