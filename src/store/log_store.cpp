@@ -183,11 +183,16 @@ std::string two_part_path(const std::string& dir, const char* name) {
 }
 
 /// The sidecar index image: per-segment aggregates plus a trailing CRC.
+/// end_sequence is the sequence the NEXT segment starts at (it is recorded
+/// explicitly rather than derived as base + record_count, because a segment
+/// with quarantined gaps holds fewer records than sequences — deriving it
+/// would re-issue sequences that still exist as valid records after a gap).
 struct IndexEntry {
   std::uint64_t id;
   std::uint64_t base_sequence;
   std::uint64_t record_count;
   std::uint64_t data_end;
+  std::uint64_t end_sequence;
 };
 
 std::vector<std::uint8_t> encode_index(std::span<const IndexEntry> entries,
@@ -202,6 +207,7 @@ std::vector<std::uint8_t> encode_index(std::span<const IndexEntry> entries,
     put_le64(out, e.base_sequence);
     put_le64(out, e.record_count);
     put_le64(out, e.data_end);
+    put_le64(out, e.end_sequence);
   }
   put_le32(out, checksum::crc32(std::span(out.data(), out.size())));
   return out;
@@ -212,14 +218,16 @@ bool decode_index(std::span<const std::uint8_t> buf, std::vector<IndexEntry>& en
   if (buf.size() < 24 || std::memcmp(buf.data(), kIndexMagic, 4) != 0) return false;
   if (get_le32(buf.data() + 4) != kFormatVersion) return false;
   const std::uint32_t count = get_le32(buf.data() + 8);
-  const std::size_t body = 20 + static_cast<std::size_t>(count) * 32;
+  const std::size_t body = 20 + static_cast<std::size_t>(count) * 40;
   if (buf.size() != body + 4) return false;
   if (get_le32(buf.data() + body) != checksum::crc32(buf.first(body))) return false;
   next_sequence = get_le64(buf.data() + 12);
   entries.clear();
   for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint8_t* p = buf.data() + 20 + static_cast<std::size_t>(i) * 32;
-    entries.push_back({get_le64(p), get_le64(p + 8), get_le64(p + 16), get_le64(p + 24)});
+    const std::uint8_t* p = buf.data() + 20 + static_cast<std::size_t>(i) * 40;
+    entries.push_back({get_le64(p), get_le64(p + 8), get_le64(p + 16), get_le64(p + 24),
+                       get_le64(p + 32)});
+    if (entries.back().end_sequence < entries.back().base_sequence) return false;
   }
   return true;
 }
@@ -229,9 +237,14 @@ std::vector<std::pair<std::uint64_t, std::string>> list_segments(const std::stri
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     const std::string name = entry.path().filename().string();
     unsigned long long id = 0;
-    if (std::sscanf(name.c_str(), "seg-%08llu.lzseg", &id) == 1) {
-      out.emplace_back(id, entry.path().string());
-    }
+    // sscanf alone is prefix-matching (it returns 1 once the id converts,
+    // whether or not ".lzseg" follows), so stray siblings like
+    // seg-00000001.lzseg.bak would alias a real segment id. Re-render the
+    // canonical name from the parsed id and require an exact match.
+    if (std::sscanf(name.c_str(), "seg-%llu", &id) != 1) continue;
+    char expect[32];
+    std::snprintf(expect, sizeof(expect), "seg-%08llu.lzseg", id);
+    if (name == expect) out.emplace_back(id, entry.path().string());
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -355,7 +368,10 @@ LogStore::LogStore(std::string dir, StoreOptions options, RecoveryReport* report
       seg.base_sequence = idx[i].base_sequence;
       seg.record_count = idx[i].record_count;
       seg.data_end = idx[i].data_end;
-      expected = idx[i].base_sequence + idx[i].record_count;
+      // The recorded end, NOT base + record_count: a gappy segment holds
+      // fewer records than sequences, and recreating a headerless tail from
+      // the undercount would re-issue live sequence numbers.
+      expected = idx[i].end_sequence;
       segments_.push_back(std::move(seg));
       continue;
     }
@@ -514,8 +530,15 @@ void LogStore::rotate_locked() {
 void LogStore::write_index_locked() {
   std::vector<IndexEntry> entries;
   entries.reserve(segments_.size());
-  for (const Segment& s : segments_)
-    entries.push_back({s.id, s.base_sequence, s.record_count, s.data_end});
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& s = segments_[i];
+    // A sealed segment's end sequence is pinned by its successor's base;
+    // the tail's is the live next_sequence_. Both stay correct even when
+    // the segment's record_count later shrinks to a lazily-found gap.
+    const std::uint64_t end_sequence =
+        i + 1 < segments_.size() ? segments_[i + 1].base_sequence : next_sequence_;
+    entries.push_back({s.id, s.base_sequence, s.record_count, s.data_end, end_sequence});
+  }
   const auto image = encode_index(entries, next_sequence_);
 
   const std::string tmp = two_part_path(dir_, kIndexTmpName);
@@ -550,6 +573,17 @@ void LogStore::maybe_fsync_locked() {
 }
 
 std::uint64_t LogStore::append(std::span<const std::uint8_t> bytes) {
+  // The cap applies to the RAW size, not the stored payload: recovery's
+  // parse_record_header rejects raw_length > kMaxRecordBytes as corruption,
+  // so an oversized-but-compressible record must never be acked — it would
+  // read fine in-session and then quarantine on reopen. Checking up front
+  // also keeps bytes.size() within the header's u32 fields.
+  if (bytes.size() > kMaxRecordBytes)
+    throw StoreError(StoreError::Kind::kBadFormat,
+                     "record of " + std::to_string(bytes.size()) +
+                         " bytes exceeds the per-record cap of " +
+                         std::to_string(kMaxRecordBytes));
+
   // Encode outside the lock: compression dominates append cost.
   std::uint32_t flags = 0;
   std::vector<std::uint8_t> stored;
@@ -560,10 +594,10 @@ std::uint64_t LogStore::append(std::span<const std::uint8_t> bytes) {
       flags = kFlagZlib;
     }
   }
+  // stored is only kept when strictly smaller than bytes, so the payload is
+  // within the cap whenever the raw size is.
   const std::span<const std::uint8_t> payload =
       flags != 0 ? std::span<const std::uint8_t>(stored) : bytes;
-  if (payload.size() > kMaxRecordBytes)
-    throw StoreError(StoreError::Kind::kBadFormat, "record exceeds kMaxRecordBytes");
 
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::uint8_t> rec;
@@ -672,6 +706,16 @@ std::vector<std::uint8_t> LogStore::read(std::uint64_t sequence) {
     throw StoreError(StoreError::Kind::kCorrupt,
                      "record " + std::to_string(sequence) + " failed to inflate: " + e.what());
   }
+}
+
+std::uint64_t LogStore::first_sequence() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return first_sequence_;
+}
+
+std::uint64_t LogStore::next_sequence() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_sequence_;
 }
 
 void LogStore::flush() {

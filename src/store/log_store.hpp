@@ -56,8 +56,11 @@ namespace lzss::store {
 inline constexpr std::uint32_t kFormatVersion = 1;
 inline constexpr std::size_t kSegmentHeaderSize = 32;
 inline constexpr std::size_t kRecordHeaderSize = 28;
-/// Hard cap on one record's stored payload; larger lengths in a header are
-/// treated as corruption (they cannot have been written by this store).
+/// Hard cap on one record's RAW size (and therefore also its stored
+/// payload); append() rejects anything larger up front, so lengths above
+/// this in a header are corruption (they cannot have been written by this
+/// store). Capping the raw size matters: a >64 MiB record that compresses
+/// under the cap would be readable in-session but rejected by recovery.
 inline constexpr std::uint32_t kMaxRecordBytes = 64u * 1024 * 1024;
 
 enum class FsyncPolicy : std::uint8_t {
@@ -154,7 +157,8 @@ class LogStore {
 
   /// Appends one record; returns its sequence (starting at 1). Thread-safe.
   /// Throws IoError when the disk fails — logical state is unchanged and the
-  /// append may simply be retried.
+  /// append may simply be retried. Throws StoreError(kBadFormat) when
+  /// @p bytes exceeds kMaxRecordBytes (raw, pre-compression size).
   std::uint64_t append(std::span<const std::uint8_t> bytes);
 
   /// Reads one record's payload by sequence. Thread-safe.
@@ -163,8 +167,10 @@ class LogStore {
   /// fsyncs the tail segment and rewrites the sidecar index.
   void flush();
 
-  [[nodiscard]] std::uint64_t first_sequence() const noexcept { return first_sequence_; }
-  [[nodiscard]] std::uint64_t next_sequence() const noexcept { return next_sequence_; }
+  /// Oldest live sequence / the sequence the next append gets. Thread-safe
+  /// (taken under the store mutex — concurrent append() mutates both).
+  [[nodiscard]] std::uint64_t first_sequence() const;
+  [[nodiscard]] std::uint64_t next_sequence() const;
   [[nodiscard]] StoreStats stats() const;
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
 

@@ -4,6 +4,7 @@
 // transport. Crash/corruption recovery lives in test_store_recovery.cpp.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <set>
@@ -60,6 +61,35 @@ TEST(Store, CompressibleRecordsShrinkOnDisk) {
   const auto stats = log.stats();
   EXPECT_LT(stats.bytes_stored, stats.bytes_in);
   EXPECT_EQ(log.read(1), text);
+}
+
+TEST(Store, OversizedRecordRejectedEvenWhenCompressible) {
+  TempDir dir;
+  {
+    LogStore log(dir.path, small_options());
+    log.append(record_payload(1));
+    // All-zero input: compresses far below the cap, but the RAW size is over
+    // it. Recovery rejects raw_length > kMaxRecordBytes as corruption, so
+    // acking this record would lose it on reopen — append must refuse up
+    // front instead.
+    const std::vector<std::uint8_t> huge(static_cast<std::size_t>(kMaxRecordBytes) + 1, 0);
+    try {
+      log.append(huge);
+      FAIL() << "oversized append was acked";
+    } catch (const StoreError& e) {
+      EXPECT_EQ(e.kind(), StoreError::Kind::kBadFormat);
+    }
+    EXPECT_EQ(log.next_sequence(), 2u);  // the rejection did not burn a sequence
+    EXPECT_EQ(log.append(record_payload(2)), 2u);
+  }
+  // Reopen: nothing of the oversized record ever hit disk; everything acked
+  // around the rejection survives.
+  RecoveryReport report;
+  LogStore log(dir.path, small_options(), &report);
+  EXPECT_EQ(report.records, 2u);
+  EXPECT_TRUE(report.gaps.empty());
+  EXPECT_EQ(log.read(1), record_payload(1));
+  EXPECT_EQ(log.read(2), record_payload(2));
 }
 
 TEST(Store, IncompressibleRecordsStoredRaw) {
@@ -250,7 +280,17 @@ TEST(Store, ConcurrentAppendersAllLand) {
       }
     });
   }
+  // Poll the sequence accessors while appenders mutate them: they are part
+  // of the thread-safe surface and must not race the append path.
+  std::atomic<bool> stop{false};
+  std::thread poller([&log, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_LE(log.first_sequence(), log.next_sequence());
+    }
+  });
   for (auto& th : threads) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
 
   EXPECT_EQ(log.next_sequence(), 1u + kThreads * kPerThread);
   std::multiset<std::vector<std::uint8_t>> expected, got;

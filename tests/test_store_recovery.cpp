@@ -233,6 +233,91 @@ TEST(StoreRecovery, MidSegmentCorruptionIsQuarantined) {
   }
 }
 
+TEST(StoreRecovery, StrayFilesAreNotTreatedAsSegments) {
+  TempDir dir;
+  build_store(dir.path, 40);
+  const auto segs = segment_files(dir.path);
+  ASSERT_GT(segs.size(), 2u);
+
+  // Leftovers a backup tool / editor / crashed copy might drop next to real
+  // segments. Several are byte-identical copies of segment 1, so if the
+  // name filter prefix-matches, id 1 appears twice and the base-sequence
+  // chain is corrupted during recovery.
+  const auto image = slurp(segs.front());
+  spit(segs.front() + ".bak", image, image.size());  // seg-00000001.lzseg.bak
+  spit(dir.path + "/seg-00000001.tmp", image, image.size());
+  spit(dir.path + "/seg-1.lzseg", image, image.size());  // wrong zero padding
+  const std::vector<std::uint8_t> junk(64, 0xAA);
+  spit(dir.path + "/seg-00000002.lzseg.swp", junk, junk.size());
+
+  RecoveryReport report;
+  LogStore log(dir.path, sweep_options(), &report);
+  EXPECT_FALSE(report.index_rebuilt) << "the real segment set still matches the index";
+  EXPECT_TRUE(report.gaps.empty());
+  EXPECT_EQ(report.records, 40u);
+  for (std::uint64_t seq = 1; seq <= 40; ++seq) {
+    EXPECT_EQ(log.read(seq), record_payload(seq)) << "seq " << seq;
+  }
+  EXPECT_EQ(log.append(record_payload(41)), 41u);
+}
+
+TEST(StoreRecovery, GappySealedSegmentDoesNotReissueSequencesAfterTailHeaderLoss) {
+  // The index must pin each sealed segment's END sequence, not derive it as
+  // base + record_count: after a mid-segment gap is quarantined, the segment
+  // holds fewer records than sequences. If the tail's header is then lost,
+  // a derived (undercounted) base for the recreated tail would re-issue
+  // sequence numbers that still exist as valid records after the gap.
+  TempDir dir;
+  build_store(dir.path, 40);
+  const auto segs = segment_files(dir.path);
+  ASSERT_GT(segs.size(), 2u);
+
+  // Corrupt the FIRST record of the LAST sealed segment, so valid records
+  // remain between the gap and the tail.
+  const std::string victim = segs[segs.size() - 2];
+  const auto victim_records = parse_segment_records(victim);
+  ASSERT_GE(victim_records.size(), 2u);
+  const std::uint64_t victim_base = victim_records.front().sequence;
+  const std::uint64_t tail_base = parse_segment_records(segs.back()).front().sequence;
+  {
+    auto image = slurp(victim);
+    image[victim_records.front().offset + kRecordHeaderSize] ^= 0xFF;
+    spit(victim, image, image.size());
+  }
+
+  {
+    // Open with the (still-consistent) index trusted. Reading the damaged
+    // sequence forces the lazy per-record scan that discovers the gap and
+    // shrinks record_count; flush() then republishes the index with that
+    // undercount on disk.
+    RecoveryReport report;
+    LogStore log(dir.path, sweep_options(), &report);
+    EXPECT_FALSE(report.index_rebuilt);
+    EXPECT_THROW((void)log.read(victim_base), StoreError);
+    log.flush();
+  }
+
+  // Crash shape: the tail segment's header never became durable.
+  {
+    auto tail_image = slurp(segs.back());
+    ASSERT_GE(tail_image.size(), kSegmentHeaderSize);
+    for (std::size_t i = 0; i < kSegmentHeaderSize; ++i) tail_image[i] = 0;
+    spit(segs.back(), tail_image, tail_image.size());
+  }
+
+  RecoveryReport report;
+  LogStore log(dir.path, sweep_options(), &report);
+  // The recreated tail resumes at the sealed chain's true end.
+  EXPECT_EQ(report.next_sequence, tail_base);
+  EXPECT_EQ(log.append(record_payload(100)), tail_base);
+  // Every post-gap record in the sealed segment is still uniquely
+  // addressable — the new append did not collide with one.
+  for (std::uint64_t seq = victim_base + 1; seq < tail_base; ++seq) {
+    EXPECT_EQ(log.read(seq), record_payload(seq)) << "seq " << seq;
+  }
+  EXPECT_EQ(log.read(tail_base), record_payload(100));
+}
+
 TEST(StoreRecovery, SealedSegmentHeaderDestroyedBecomesWholeSegmentGap) {
   TempDir dir;
   build_store(dir.path, 40);
