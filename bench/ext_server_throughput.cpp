@@ -8,14 +8,21 @@
 //     the software twin of the valid/ready backpressure in stream/channel.
 // A third axis behind `--durable`: goodput of the LOG_APPEND opcode per
 // fsync policy, i.e. what each durability guarantee costs at the wire.
+//
+// Besides the human tables, the default run writes BENCH_server.json
+// (override with `--json <path>`): the sweep rows plus a full STATS-opcode
+// snapshot fetched over the loopback wire, so CI can archive and diff the
+// machine-readable numbers.
 #include "bench_util.hpp"
 
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -27,6 +34,8 @@
 namespace {
 
 using namespace lzss;
+
+std::string g_json_path = "BENCH_server.json";
 
 struct LoadResult {
   double mb_per_s = 0;
@@ -107,11 +116,16 @@ void print_tables() {
   const auto& corpus = bench::cached_corpus("wiki", bytes);
   const std::size_t chunk = 64 * 1024;
 
+  std::string json = "{\"bench\":\"server_throughput\",\"chunk_bytes\":65536";
+  char jbuf[256];
+  std::string stats_payload;  // last engines-sweep STATS response, verbatim
+
   std::printf("\n-- throughput vs engines (queue depth 64, 2x oversubscribed load) --\n");
   std::printf("(engines are host threads: scaling needs cores; this host has %u)\n",
               std::thread::hardware_concurrency());
   std::printf("%-9s %9s %14s %9s %9s %12s\n", "engines", "threads", "host MB/s", "ok", "busy",
               "reject rate");
+  json += ",\"engines_sweep\":[";
   double base = 0;
   for (const unsigned engines : {1u, 2u, 4u}) {
     server::ServiceConfig cfg;
@@ -125,11 +139,28 @@ void print_tables() {
                 r.mb_per_s, base > 0 ? r.mb_per_s / base : 0,
                 static_cast<unsigned long long>(r.ok),
                 static_cast<unsigned long long>(r.busy), 100 * r.reject_rate);
+    std::snprintf(jbuf, sizeof(jbuf),
+                  "%s{\"engines\":%u,\"threads\":%u,\"mb_per_s\":%.3f,\"ok\":%llu,"
+                  "\"busy\":%llu,\"reject_rate\":%.4f}",
+                  engines == 1 ? "" : ",", engines, engines * 2, r.mb_per_s,
+                  static_cast<unsigned long long>(r.ok),
+                  static_cast<unsigned long long>(r.busy), r.reject_rate);
+    json += jbuf;
+    // Fetch the machine-readable snapshot through the same wire path the
+    // loadgen used; the last sweep's payload lands in the JSON artifact.
+    server::LoopbackClient client(service);
+    server::RequestFrame sreq;
+    sreq.opcode = server::Opcode::kStats;
+    const auto sresp = client.call(sreq);
+    if (sresp.status == server::Status::kOk)
+      stats_payload.assign(sresp.payload.begin(), sresp.payload.end());
   }
+  json += "]";
 
   std::printf("\n-- backpressure vs queue depth (1 engine, 12 loadgen threads) --\n");
   std::printf("%-12s %9s %9s %12s %16s\n", "queue depth", "ok", "busy", "reject rate",
               "queue high water");
+  json += ",\"queue_sweep\":[";
   for (const std::size_t depth : {1u, 2u, 4u, 8u, 16u}) {
     server::ServiceConfig cfg;
     cfg.workers = 1;
@@ -142,7 +173,15 @@ void print_tables() {
                 static_cast<unsigned long long>(r.ok),
                 static_cast<unsigned long long>(r.busy), 100 * r.reject_rate,
                 static_cast<unsigned long long>(stats.queue_high_water));
+    std::snprintf(jbuf, sizeof(jbuf),
+                  "%s{\"queue_depth\":%zu,\"ok\":%llu,\"busy\":%llu,\"reject_rate\":%.4f,"
+                  "\"queue_high_water\":%llu}",
+                  depth == 1 ? "" : ",", depth, static_cast<unsigned long long>(r.ok),
+                  static_cast<unsigned long long>(r.busy), r.reject_rate,
+                  static_cast<unsigned long long>(stats.queue_high_water));
+    json += jbuf;
   }
+  json += "]";
 
   // Same saturated setup (1 engine, shallow queue, 12 threads) with and
   // without client-side retry: backoff converts rejects into completed work
@@ -150,6 +189,7 @@ void print_tables() {
   std::printf("\n-- retry with backoff vs give-up (1 engine, queue depth 2, 12 threads) --\n");
   std::printf("%-22s %9s %9s %9s %12s\n", "client policy", "ok", "busy", "retries",
               "goodput rate");
+  json += ",\"retry_sweep\":[";
   for (const bool with_retry : {false, true}) {
     server::ServiceConfig cfg;
     cfg.workers = 1;
@@ -168,6 +208,29 @@ void print_tables() {
                 static_cast<unsigned long long>(r.busy),
                 static_cast<unsigned long long>(r.retries),
                 total > 0 ? 100 * static_cast<double>(r.ok) / total : 0);
+    std::snprintf(jbuf, sizeof(jbuf),
+                  "%s{\"retry\":%s,\"ok\":%llu,\"busy\":%llu,\"retries\":%llu}",
+                  with_retry ? "," : "", with_retry ? "true" : "false",
+                  static_cast<unsigned long long>(r.ok),
+                  static_cast<unsigned long long>(r.busy),
+                  static_cast<unsigned long long>(r.retries));
+    json += jbuf;
+  }
+  json += "]";
+
+  // The STATS payload is already JSON ({"service":...,"metrics":[...]}) —
+  // embed it verbatim.
+  json += ",\"stats\":";
+  json += stats_payload.empty() ? "null" : stats_payload;
+  json += "}\n";
+
+  std::FILE* jf = std::fopen(g_json_path.c_str(), "wb");
+  if (jf == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", g_json_path.c_str());
+  } else {
+    std::fwrite(json.data(), 1, json.size(), jf);
+    std::fclose(jf);
+    std::printf("\nwrote %s\n", g_json_path.c_str());
   }
 }
 
@@ -285,13 +348,16 @@ BENCHMARK(BM_PingRoundTrip);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // `--durable` swaps in the fsync-policy goodput tables; the flag is ours,
-  // not google-benchmark's, so strip it before handing argv over.
+  // `--durable` and `--json` are ours, not google-benchmark's, so strip them
+  // before handing argv over. `--durable` swaps in the fsync-policy goodput
+  // tables; `--json <path>` moves the machine-readable artifact.
   bool durable = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--durable") == 0) {
       durable = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      g_json_path = argv[++i];
     } else {
       argv[out++] = argv[i];
     }

@@ -1,0 +1,24 @@
+#include "hw/metrics.hpp"
+
+namespace lzss::hw {
+
+void export_cycle_stats(obs::Registry& registry, const CycleStats& stats) {
+  const std::pair<const char*, std::uint64_t> states[] = {
+      {"waiting", stats.waiting},   {"fetching", stats.fetching},
+      {"matching", stats.matching}, {"output", stats.output},
+      {"updating", stats.updating}, {"rotating", stats.rotating},
+  };
+  for (const auto& [state, cycles] : states)
+    registry.counter("hw_state_cycles_total", {{"state", state}}).add(cycles);
+  registry.counter("hw_cycles_total").add(stats.total_cycles);
+  registry.counter("hw_bytes_in_total").add(stats.bytes_in);
+  registry.counter("hw_tokens_total", {{"kind", "literal"}}).add(stats.literals);
+  registry.counter("hw_tokens_total", {{"kind", "match"}}).add(stats.matches);
+  registry.counter("hw_match_bytes_total").add(stats.match_bytes);
+  registry.counter("hw_chain_probes_total").add(stats.chain_probes);
+  registry.counter("hw_compare_bytes_total").add(stats.compare_bytes);
+  registry.counter("hw_output_stall_cycles_total").add(stats.output_stall_cycles);
+  registry.counter("hw_prefetch_hits_total").add(stats.prefetch_hits);
+}
+
+}  // namespace lzss::hw

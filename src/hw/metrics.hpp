@@ -1,0 +1,18 @@
+// Re-exports the hardware model's per-FSM-state cycle census (hw/cycle_stats
+// .hpp — the paper's fig. 5 categories) into an obs::Registry, so the service
+// view of "where did the cycles go" lines up with the paper's evaluation.
+//
+// The per-state counters hw_state_cycles_total{state=...} sum exactly to
+// hw_cycles_total, the same invariant CycleStats itself maintains.
+#pragma once
+
+#include "hw/cycle_stats.hpp"
+#include "obs/metrics.hpp"
+
+namespace lzss::hw {
+
+/// Accumulates one compression run's census into @p registry. Call once per
+/// CompressResult; counters only ever grow.
+void export_cycle_stats(obs::Registry& registry, const CycleStats& stats);
+
+}  // namespace lzss::hw

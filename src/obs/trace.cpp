@@ -1,0 +1,93 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+namespace lzss::obs {
+
+namespace {
+
+void copy_fixed(char* dst, std::size_t cap, const char* src) noexcept {
+  std::size_t i = 0;
+  for (; src != nullptr && src[i] != '\0' && i + 1 < cap; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+std::uint32_t thread_tag() noexcept {
+  return static_cast<std::uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+std::uint64_t TraceRing::now_us() noexcept {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - t0)
+                                        .count());
+}
+
+void TraceRing::record(const TraceEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_[recorded_ % ring_.size()] = event;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  const std::size_t n = recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                                 : ring_.size();
+  out.reserve(n);
+  const std::uint64_t first = recorded_ - n;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(ring_[(first + i) % ring_.size()]);
+  return out;
+}
+
+std::uint64_t TraceRing::recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::string TraceRing::to_jsonl() const {
+  std::string out;
+  char line[256];
+  for (const TraceEvent& e : events()) {
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"%s\",\"start_us\":%" PRIu64 ",\"dur_us\":%" PRIu64
+                  ",\"tid\":%u,\"tag\":\"%s\",\"a0\":%" PRId64 ",\"a1\":%" PRId64 "}\n",
+                  e.name, e.start_us, e.end_us - e.start_us, e.tid, e.tag, e.a0, e.a1);
+    out += line;
+  }
+  return out;
+}
+
+Span::Span(TraceRing* ring, const char* name) noexcept
+    : ring_(ring), name_(name), start_us_(ring != nullptr ? TraceRing::now_us() : 0) {}
+
+void Span::set_tag(const char* tag) noexcept { tag_ = tag != nullptr ? tag : ""; }
+
+Span::~Span() {
+  if (ring_ == nullptr) return;
+  TraceEvent e;
+  e.start_us = start_us_;
+  e.end_us = TraceRing::now_us();
+  e.tid = thread_tag();
+  copy_fixed(e.name, sizeof(e.name), name_);
+  copy_fixed(e.tag, sizeof(e.tag), tag_);
+  e.a0 = a0_;
+  e.a1 = a1_;
+  ring_->record(e);
+}
+
+TraceRing& default_trace() {
+  static TraceRing* instance = new TraceRing(8192);  // leaked: outlives all users
+  return *instance;
+}
+
+}  // namespace lzss::obs

@@ -1,0 +1,84 @@
+// Lightweight trace spans recorded into a fixed-size ring.
+//
+// The hw model already has cycle-exact tracing (hw/trace.hpp dumps VCD); the
+// service layer needs the wall-clock analogue: who processed which request,
+// when, for how long, and with what outcome. A TraceRing keeps the most
+// recent N completed spans in a preallocated ring — recording is a mutex'd
+// struct copy, no allocation — and exports them as JSONL (one event object
+// per line, Chrome-trace-like fields) for offline digestion.
+//
+// Spans are RAII: construct at the start of the unit of work, annotate with
+// a0/a1/tag, and the destructor stamps the end time and records. A null ring
+// pointer disables a span entirely, so call sites stay unconditional.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lzss::obs {
+
+/// One completed span. Name/tag are fixed-size char arrays so the ring is a
+/// single flat allocation and recording never touches the heap.
+struct TraceEvent {
+  std::uint64_t start_us = 0;  ///< microseconds since process start (steady)
+  std::uint64_t end_us = 0;
+  std::uint32_t tid = 0;       ///< hashed thread id
+  char name[24] = {};          ///< what ran, e.g. "compress", "store.fsync"
+  char tag[16] = {};           ///< outcome, e.g. a status name
+  std::int64_t a0 = 0;         ///< span-defined args (bytes in, sequence, ...)
+  std::int64_t a1 = 0;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 4096);
+
+  void record(const TraceEvent& event);
+
+  /// Events oldest-to-newest. Total recorded counts overwrites, so
+  /// `recorded() - events().size()` is how many the ring has forgotten.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+
+  /// One JSON object per line:
+  /// {"name":"compress","start_us":..,"dur_us":..,"tid":..,"tag":"OK","a0":..,"a1":..}
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Microseconds since process start on the steady clock (the spans'
+  /// timebase).
+  [[nodiscard]] static std::uint64_t now_us() noexcept;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t recorded_ = 0;  ///< next slot = recorded_ % capacity
+};
+
+/// RAII span: stamps start at construction, records into the ring (when
+/// non-null) at destruction.
+class Span {
+ public:
+  Span(TraceRing* ring, const char* name) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void set_tag(const char* tag) noexcept;
+  void set_args(std::int64_t a0, std::int64_t a1 = 0) noexcept { a0_ = a0; a1_ = a1; }
+
+ private:
+  TraceRing* ring_;
+  const char* name_;
+  const char* tag_ = "";
+  std::int64_t a0_ = 0;
+  std::int64_t a1_ = 0;
+  std::uint64_t start_us_ = 0;
+};
+
+/// Process-wide default ring (what lzssd exports with --trace-jsonl).
+[[nodiscard]] TraceRing& default_trace();
+
+}  // namespace lzss::obs

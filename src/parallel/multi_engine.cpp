@@ -16,7 +16,10 @@ MultiEngineReport compress_multi_engine(const hw::HwConfig& config,
                                         std::span<const std::uint8_t> data,
                                         unsigned num_engines) {
   if (num_engines == 0) throw std::invalid_argument("compress_multi_engine: zero engines");
-  // Stripes smaller than the dictionary make no sense; shrink the bank.
+  const unsigned requested_engines = num_engines;
+  // Stripes smaller than the dictionary make no sense; shrink the bank. The
+  // clamp is reported (requested vs effective) instead of happening silently —
+  // a bench labelled "8 engines" that actually ran 2 is a lie.
   const std::size_t max_engines = std::max<std::size_t>(data.size() / config.dict_size(), 1);
   num_engines = static_cast<unsigned>(std::min<std::size_t>(num_engines, max_engines));
 
@@ -59,6 +62,8 @@ MultiEngineReport compress_multi_engine(const hw::HwConfig& config,
   if (first_error) std::rethrow_exception(first_error);
 
   MultiEngineReport report;
+  report.requested_engines = requested_engines;
+  report.effective_engines = num_engines;
   report.input_bytes = data.size();
   bits::BitWriter w;
   for (unsigned i = 0; i < num_engines; ++i) {

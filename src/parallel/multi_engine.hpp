@@ -26,6 +26,9 @@ namespace lzss::par {
 
 struct MultiEngineReport {
   std::vector<hw::CycleStats> engines;   ///< per-unit cycle census
+  unsigned requested_engines = 0;        ///< what the caller asked for
+  unsigned effective_engines = 0;        ///< after the stripe>=dictionary clamp
+                                         ///< (== engines.size())
   std::uint64_t parallel_cycles = 0;     ///< slowest unit (wall-clock on chip)
   std::uint64_t serial_cycles = 0;       ///< sum over units (single-unit time)
   std::size_t input_bytes = 0;

@@ -46,8 +46,14 @@ class Backoff {
     return static_cast<unsigned>(half + rng_.next_below(delay - half));
   }
 
-  void sleep(unsigned attempt) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms(attempt)));
+  /// Sleeps one jittered backoff step and returns the milliseconds actually
+  /// slept. One RNG draw total: callers that account the sleep (RetryStats::
+  /// slept_ms) use the return value instead of a second delay_ms() call,
+  /// which would advance the stream and desync the report from reality.
+  unsigned sleep(unsigned attempt) {
+    const unsigned ms = delay_ms(attempt);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return ms;
   }
 
  private:
@@ -76,12 +82,11 @@ template <typename CallFn>
     resp = call(request);
     if (stats != nullptr) ++stats->attempts;
     if (!retryable_status(resp.status) || attempt + 1 >= policy.max_attempts) return resp;
-    const unsigned ms = backoff.delay_ms(attempt);
+    const unsigned ms = backoff.sleep(attempt);
     if (stats != nullptr) {
       ++stats->retries;
       stats->slept_ms += ms;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
   }
 }
 

@@ -16,7 +16,10 @@
 #include "deflate/inflate.hpp"
 #include "estimator/presets.hpp"
 #include "fault/fault.hpp"
+#include "hw/metrics.hpp"
 #include "lzss/raw_container.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/multi_engine.hpp"
 #include "store/log_store.hpp"
 
@@ -100,14 +103,53 @@ std::string ServiceStats::render() const {
   std::snprintf(line, sizeof(line), "workers respawned: %llu\n",
                 static_cast<unsigned long long>(workers_respawned));
   out += line;
-  std::snprintf(line, sizeof(line), "latency samples overwritten: %llu\n",
-                static_cast<unsigned long long>(latency_overflow));
+  std::snprintf(line, sizeof(line), "latency samples: %llu\n",
+                static_cast<unsigned long long>(latency_samples));
   out += line;
+  return out;
+}
+
+std::string ServiceStats::to_json() const {
+  std::string out = "{\"opcodes\":{";
+  char buf[256];
+  for (std::size_t i = 0; i < per_opcode.size(); ++i) {
+    const OpcodeCounters& c = per_opcode[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"requests\":%llu,\"ok\":%llu,\"busy\":%llu,\"errors\":%llu,"
+                  "\"bytes_in\":%llu,\"bytes_out\":%llu,\"p50_us\":%llu,\"p99_us\":%llu}",
+                  i == 0 ? "" : ",", opcode_name(static_cast<Opcode>(i)),
+                  static_cast<unsigned long long>(c.requests),
+                  static_cast<unsigned long long>(c.ok),
+                  static_cast<unsigned long long>(c.busy),
+                  static_cast<unsigned long long>(c.errors),
+                  static_cast<unsigned long long>(c.bytes_in),
+                  static_cast<unsigned long long>(c.bytes_out),
+                  static_cast<unsigned long long>(c.p50_us),
+                  static_cast<unsigned long long>(c.p99_us));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "},\"queue_high_water\":%llu,\"deadline_exceeded\":%llu,\"fallbacks\":%llu,"
+                "\"workers_respawned\":%llu,\"latency_samples\":%llu}",
+                static_cast<unsigned long long>(queue_high_water),
+                static_cast<unsigned long long>(deadline_exceeded),
+                static_cast<unsigned long long>(fallbacks),
+                static_cast<unsigned long long>(workers_respawned),
+                static_cast<unsigned long long>(latency_samples));
+  out += buf;
   return out;
 }
 
 Service::Service(ServiceConfig config) : cfg_(std::move(config)) {
   cfg_.validate();
+  if (cfg_.registry != nullptr) {
+    registry_ = cfg_.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  trace_ = cfg_.trace;
+  bind_metrics();
   {
     const std::lock_guard<std::mutex> lock(workers_mutex_);
     workers_.reserve(cfg_.workers);
@@ -160,6 +202,7 @@ void Service::stop() {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     for (auto& j : queue_) leftovers.push_back(std::move(j));
     queue_.clear();
+    queue_depth_g_->set(0);
   }
   for (auto& j : leftovers) {
     ResponseFrame resp;
@@ -179,7 +222,7 @@ void Service::submit(RequestFrame&& request, Completion done) {
     resp.id = request.id;
     resp.flags = request.flags;
     if (op == Opcode::kStats) {
-      const std::string text = snapshot().render();
+      const std::string text = stats_json();
       resp.payload.assign(text.begin(), text.end());
     }
     finish(op, request, resp, t0, done);
@@ -206,6 +249,8 @@ void Service::submit(RequestFrame&& request, Completion done) {
       job->enqueued_at = t0;
       queue_.push_back(std::move(job));
       queue_high_water_ = std::max<std::uint64_t>(queue_high_water_, queue_.size());
+      queue_depth_g_->set(static_cast<std::int64_t>(queue_.size()));
+      queue_high_water_g_->set(static_cast<std::int64_t>(queue_high_water_));
       lock.unlock();
       queue_cv_.notify_one();
       return;
@@ -213,18 +258,13 @@ void Service::submit(RequestFrame&& request, Completion done) {
   }
 
   // Queue full (or service stopping): reject-with-BUSY, the software twin of
-  // de-asserting `ready` on a valid/ready link.
+  // de-asserting `ready` on a valid/ready link. Counting happens in finish()
+  // like every other response, so requests == ok + busy + errors holds.
   ResponseFrame busy;
   busy.id = request.id;
   busy.flags = request.flags;
   busy.status = Status::kBusy;
-  {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    OpState& s = ops_[static_cast<std::size_t>(op)];
-    ++s.counters.requests;
-    ++s.counters.busy;
-  }
-  done(std::move(busy));
+  finish(op, request, busy, t0, done);
 }
 
 bool Service::expired(const Job& job, std::chrono::steady_clock::time_point now) const noexcept {
@@ -247,9 +287,13 @@ void Service::worker_loop(Worker* self) {
       if (queue_.empty()) break;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_g_->set(static_cast<std::int64_t>(queue_.size()));
     }
 
     const auto now = std::chrono::steady_clock::now();
+    queue_wait_us_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - job->enqueued_at)
+            .count()));
     if (expired(*job, now)) {
       // Expired while queued and the reaper has not got to it yet: refuse to
       // burn worker time on a request the client has already given up on.
@@ -267,14 +311,26 @@ void Service::worker_loop(Worker* self) {
 
     ResponseFrame resp;
     bool killed = false;
-    try {
-      fault::point("server.worker.pre_compress");
-      resp = process(job->request, compressor);
-    } catch (const fault::WorkerKill&) {
-      killed = true;
-    } catch (const std::exception&) {
-      resp.status = Status::kInternal;
+    workers_busy_g_->add(1);
+    {
+      obs::Span span(trace_, opcode_name(job->request.opcode));
+      try {
+        fault::point("server.worker.pre_compress");
+        resp = process(job->request, compressor);
+      } catch (const fault::WorkerKill&) {
+        killed = true;
+      } catch (const std::exception&) {
+        resp.status = Status::kInternal;
+      }
+      span.set_tag(killed ? "killed" : status_name(resp.status));
+      span.set_args(static_cast<std::int64_t>(job->request.payload.size()),
+                    static_cast<std::int64_t>(resp.payload.size()));
     }
+    workers_busy_g_->add(-1);
+    worker_busy_us_->add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - now)
+            .count()));
 
     if (killed) {
       // Simulated crash: exit without answering and leave `current` set so
@@ -321,6 +377,7 @@ void Service::watchdog_loop() {
           ++it;
         }
       }
+      queue_depth_g_->set(static_cast<std::int64_t>(queue_.size()));
     }
     for (auto& job : reaped) {
       ResponseFrame resp;
@@ -345,7 +402,7 @@ void Service::watchdog_loop() {
           // The worker thread died mid-request (simulated crash).
           orphans.emplace_back(std::move(w->current), Status::kInternal);
           w->current.reset();
-          workers_respawned_.fetch_add(1, std::memory_order_relaxed);
+          respawns_c_->add(1);
           ++respawns;
         } else if (hung != 0 && !w->exited.load() && !w->poisoned.load() && w->current &&
                    now - w->busy_since > milliseconds(hung)) {
@@ -353,7 +410,7 @@ void Service::watchdog_loop() {
           // exits when (if) it ever finishes, and backfill the pool slot.
           orphans.emplace_back(w->current, Status::kDeadlineExceeded);
           w->poisoned.store(true);
-          workers_respawned_.fetch_add(1, std::memory_order_relaxed);
+          respawns_c_->add(1);
           ++respawns;
         }
         if (w->exited.load() && !w->current && w->thread.joinable()) {
@@ -379,8 +436,7 @@ void Service::deliver(const JobPtr& job, ResponseFrame&& response) {
   if (!job->answered.compare_exchange_strong(expected, true)) return;  // lost the race
   response.id = job->request.id;
   response.flags = job->request.flags;
-  if (response.status == Status::kDeadlineExceeded)
-    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  if (response.status == Status::kDeadlineExceeded) deadline_c_->add(1);
   finish(job->request.opcode, job->request, response, job->enqueued_at, job->done);
 }
 
@@ -466,12 +522,14 @@ ResponseFrame Service::do_compress(const RequestFrame& request, const hw::HwConf
   const bool raw = (request.flags & kFlagRawContainer) != 0;
   const bool large = input.size() >= cfg_.large_threshold;
 
+  hw::CycleStats census;
   try {
     fault::point("server.worker.compress");
     if (!raw && large && !input.empty()) {
       // Large zlib requests stripe across a bank of engines; the stitched
       // multi-block Deflate stream wraps into one valid zlib container.
       const auto report = par::compress_multi_engine(cfg, input, cfg_.large_engines);
+      for (const auto& engine : report.engines) census += engine;
       resp.payload = deflate::zlib_wrap(report.deflate_stream, resp.adler,
                                         container_window_bits(cfg));
     } else {
@@ -480,10 +538,14 @@ ResponseFrame Service::do_compress(const RequestFrame& request, const hw::HwConf
       // worker's own when the request uses the service default config.
       std::vector<core::Token> tokens;
       if (default_compressor != nullptr) {
-        tokens = default_compressor->compress(input).tokens;
+        auto result = default_compressor->compress(input);
+        census = result.stats;
+        tokens = std::move(result.tokens);
       } else {
         hw::Compressor ad_hoc(cfg);
-        tokens = ad_hoc.compress(input).tokens;
+        auto result = ad_hoc.compress(input);
+        census = result.stats;
+        tokens = std::move(result.tokens);
       }
       if (raw) {
         resp.payload = core::raw_container_pack(tokens, cfg.dict_bits, input.size());
@@ -494,11 +556,15 @@ ResponseFrame Service::do_compress(const RequestFrame& request, const hw::HwConf
     }
   } catch (const std::exception&) {
     // Graceful degradation: the model path failed, but a stored container
-    // always round-trips — COMPRESS degrades instead of erroring.
+    // always round-trips — COMPRESS degrades instead of erroring. No census
+    // export: a run that threw has no complete cycle accounting.
     resp.payload = fallback_container(input, resp.adler, raw, cfg);
-    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    fallbacks_c_->add(1);
     return resp;
   }
+  // The model ran to completion: fold its per-FSM-state cycle census (the
+  // paper's fig. 5 categories) into the registry.
+  hw::export_cycle_stats(*registry_, census);
 
   // Ratio guard: a payload incompressible past the configured ratio degrades
   // to the stored form when that is actually smaller (GPULZ-style fallback).
@@ -508,7 +574,7 @@ ResponseFrame Service::do_compress(const RequestFrame& request, const hw::HwConf
     auto stored = fallback_container(input, resp.adler, raw, cfg);
     if (stored.size() < resp.payload.size()) {
       resp.payload = std::move(stored);
-      fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      fallbacks_c_->add(1);
     }
   }
   return resp;
@@ -538,6 +604,41 @@ ResponseFrame Service::do_decompress(const RequestFrame& request) {
   return resp;
 }
 
+void Service::bind_metrics() {
+  obs::Registry& r = *registry_;
+  for (std::size_t i = 0; i < kOpcodeCount; ++i) {
+    const char* op = opcode_name(static_cast<Opcode>(i));
+    OpInstruments& m = opm_[i];
+    m.requests = &r.counter("server_requests_total", {{"opcode", op}});
+    m.ok = &r.counter("server_responses_total", {{"opcode", op}, {"status", "ok"}});
+    m.busy = &r.counter("server_responses_total", {{"opcode", op}, {"status", "busy"}});
+    m.errors = &r.counter("server_responses_total", {{"opcode", op}, {"status", "error"}});
+    m.bytes_in = &r.counter("server_bytes_in_total", {{"opcode", op}});
+    m.bytes_out = &r.counter("server_bytes_out_total", {{"opcode", op}});
+    m.latency_us = &r.histogram("server_latency_us", {{"opcode", op}});
+  }
+  queue_wait_us_ = &r.histogram("server_queue_wait_us");
+  queue_depth_g_ = &r.gauge("server_queue_depth");
+  queue_high_water_g_ = &r.gauge("server_queue_high_water");
+  workers_busy_g_ = &r.gauge("server_workers_busy");
+  worker_busy_us_ = &r.counter("server_worker_busy_us_total");
+  deadline_c_ = &r.counter("server_deadline_exceeded_total");
+  fallbacks_c_ = &r.counter("server_fallbacks_total");
+  respawns_c_ = &r.counter("server_workers_respawned_total");
+  // Pull-style mirror of the fault-injection trigger table: scraped at
+  // snapshot time, so disarmed points cost nothing on the request path.
+  // Capture-less on purpose — the collector may outlive this service when
+  // the registry is shared.
+  r.add_collector([](obs::Snapshot& snap) {
+    for (const char* point : fault::all_points()) {
+      snap.add_counter_sample("fault_point_visits_total", {{"point", point}},
+                              fault::visits(point));
+      snap.add_counter_sample("fault_point_triggers_total", {{"point", point}},
+                              fault::triggers(point));
+    }
+  });
+}
+
 void Service::finish(Opcode op, const RequestFrame& request, ResponseFrame& response,
                      std::chrono::steady_clock::time_point t0, const Completion& done) {
   try {
@@ -547,60 +648,63 @@ void Service::finish(Opcode op, const RequestFrame& request, ResponseFrame& resp
     response.payload.clear();
     response.status = Status::kInternal;
   }
-  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
-  {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    OpState& s = ops_[static_cast<std::size_t>(op)];
-    ++s.counters.requests;
-    if (response.status == Status::kOk) {
-      ++s.counters.ok;
-    } else {
-      ++s.counters.errors;
-    }
-    s.counters.bytes_in += request.payload.size();
-    s.counters.bytes_out += response.payload.size();
-    const auto sample = static_cast<std::uint32_t>(
-        std::min<long long>(micros, std::numeric_limits<std::uint32_t>::max()));
-    if (s.latency_ring.size() < kLatencyRingSize) {
-      s.latency_ring.push_back(sample);
-    } else {
-      s.latency_ring[s.ring_next] = sample;
-      latency_overflow_.fetch_add(1, std::memory_order_relaxed);
-    }
-    s.ring_next = (s.ring_next + 1) % kLatencyRingSize;
+  // The single classification point: every response — inline reject, worker,
+  // watchdog, or drain rescue — lands here exactly once, so per opcode
+  // requests == ok + busy + errors always holds. BUSY rejects never accepted
+  // the payload and never ran, so they contribute no bytes and no latency
+  // sample.
+  const OpInstruments& m = opm_[static_cast<std::size_t>(op)];
+  m.requests->add(1);
+  if (response.status == Status::kOk) {
+    m.ok->add(1);
+  } else if (response.status == Status::kBusy) {
+    m.busy->add(1);
+  } else {
+    m.errors->add(1);
+  }
+  if (response.status != Status::kBusy) {
+    m.bytes_in->add(request.payload.size());
+    m.bytes_out->add(response.payload.size());
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    m.latency_us->record(static_cast<std::uint64_t>(std::max<long long>(micros, 0)));
   }
   done(std::move(response));
 }
 
 ServiceStats Service::snapshot() const {
   ServiceStats out;
-  {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    for (std::size_t i = 0; i < ops_.size(); ++i) {
-      out.per_opcode[i] = ops_[i].counters;
-      std::vector<std::uint32_t> samples = ops_[i].latency_ring;
-      if (!samples.empty()) {
-        auto pct = [&samples](double q) {
-          const auto k = static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1));
-          std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(k),
-                           samples.end());
-          return static_cast<std::uint64_t>(samples[k]);
-        };
-        out.per_opcode[i].p50_us = pct(0.50);
-        out.per_opcode[i].p99_us = pct(0.99);
-      }
-    }
+  for (std::size_t i = 0; i < kOpcodeCount; ++i) {
+    const OpInstruments& m = opm_[i];
+    OpcodeCounters& c = out.per_opcode[i];
+    c.requests = m.requests->value();
+    c.ok = m.ok->value();
+    c.busy = m.busy->value();
+    c.errors = m.errors->value();
+    c.bytes_in = m.bytes_in->value();
+    c.bytes_out = m.bytes_out->value();
+    const obs::Histogram::Merged lat = m.latency_us->merged();
+    c.p50_us = lat.quantile(0.50);
+    c.p99_us = lat.quantile(0.99);
+    out.latency_samples += lat.count;
   }
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     out.queue_high_water = queue_high_water_;
   }
-  out.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
-  out.fallbacks = fallbacks_.load(std::memory_order_relaxed);
-  out.workers_respawned = workers_respawned_.load(std::memory_order_relaxed);
-  out.latency_overflow = latency_overflow_.load(std::memory_order_relaxed);
+  out.deadline_exceeded = deadline_c_->value();
+  out.fallbacks = fallbacks_c_->value();
+  out.workers_respawned = respawns_c_->value();
+  return out;
+}
+
+std::string Service::stats_json() const {
+  std::string out = "{\"service\":";
+  out += snapshot().to_json();
+  out += ",\"metrics\":";
+  out += registry_->snapshot().metrics_json_array();
+  out += "}";
   return out;
 }
 

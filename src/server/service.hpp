@@ -30,9 +30,15 @@
 // Every in-flight request carries an answered flag, so the worker and the
 // watchdog can race to complete it and exactly one response wins.
 //
-// Counters are per-opcode (requests, ok, busy, errors, bytes in/out) plus a
-// bounded ring of service-time samples from which the STATS opcode reports
-// p50/p99 microseconds; ring overwrites are counted, not silently dropped.
+// Observability: every counter and latency sample lives in an obs::Registry
+// (sharded counters and log-linear histograms — no sample ring, no overwrite,
+// no stats mutex on the hot path). finish() is the single place a response's
+// status is classified, so per-opcode requests == ok + busy + errors exactly,
+// wherever the response was produced (inline reject, worker, watchdog, or
+// drain rescue). The worker path also exports the hw model's per-FSM-state
+// cycle census (the paper's fig. 5) into the same registry, and a collector
+// mirrors the fault-point trigger table. The STATS opcode renders the whole
+// registry as a machine-readable JSON snapshot.
 #pragma once
 
 #include <array>
@@ -52,6 +58,14 @@
 #include "hw/config.hpp"
 #include "server/frame.hpp"
 
+namespace lzss::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class Registry;
+class TraceRing;
+}  // namespace lzss::obs
+
 namespace lzss::store {
 class LogStore;
 }
@@ -69,6 +83,13 @@ struct ServiceConfig {
   /// COMPRESS falls back to a stored container when the compressed payload
   /// exceeds input_size * this ratio and the stored form is smaller.
   double stored_fallback_ratio = 1.0;
+  /// Metrics sink. Null = the service creates and owns a private registry
+  /// (tests and benches stay isolated); non-null = report into a shared one
+  /// (lzssd shares a registry across the service, the store, and the hw
+  /// census). Must outlive the service.
+  obs::Registry* registry = nullptr;
+  /// Trace-span ring; null disables request tracing. Must outlive the service.
+  obs::TraceRing* trace = nullptr;
   hw::HwConfig hw = hw::HwConfig::speed_optimized();
 
   void validate() const;  ///< throws std::invalid_argument when inconsistent
@@ -91,13 +112,16 @@ struct ServiceStats {
   std::uint64_t deadline_exceeded = 0;   ///< requests failed by the deadline/watchdog
   std::uint64_t fallbacks = 0;           ///< COMPRESS stored-container degradations
   std::uint64_t workers_respawned = 0;   ///< dead/hung workers replaced
-  std::uint64_t latency_overflow = 0;    ///< latency samples overwritten in the ring
+  std::uint64_t latency_samples = 0;     ///< total latency observations (histograms
+                                         ///< never drop or overwrite samples)
 
   [[nodiscard]] const OpcodeCounters& of(Opcode op) const noexcept {
     return per_opcode[static_cast<std::size_t>(op)];
   }
-  /// Human-readable table, also the STATS opcode's response payload.
+  /// Human-readable table (lzssd's shutdown summary).
   [[nodiscard]] std::string render() const;
+  /// The {"opcodes":{...},...} object embedded in the STATS payload.
+  [[nodiscard]] std::string to_json() const;
 };
 
 class Service {
@@ -116,6 +140,12 @@ class Service {
   void submit(RequestFrame&& request, Completion done);
 
   [[nodiscard]] ServiceStats snapshot() const;
+  /// The STATS opcode's payload: {"service":{...},"metrics":[...]} — the
+  /// per-opcode table plus every sample in the metrics registry.
+  [[nodiscard]] std::string stats_json() const;
+  /// The registry this service reports into (its own unless one was shared
+  /// through ServiceConfig::registry).
+  [[nodiscard]] obs::Registry& metrics() const noexcept { return *registry_; }
   [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
 
   /// Attaches a durable log store (not owned; must outlive the service).
@@ -184,23 +214,34 @@ class Service {
   std::thread watchdog_;
   std::condition_variable watchdog_cv_;  ///< waits on queue_mutex_ (stop signal)
 
-  // Counters: one slab per opcode, all guarded by stats_mutex_ (the service
-  // times are microseconds-to-milliseconds, so one mutex is not contended).
-  struct OpState {
-    OpcodeCounters counters;
-    std::vector<std::uint32_t> latency_ring;  ///< recent service micros
-    std::size_t ring_next = 0;
+  // Metrics: sharded registry instruments, resolved once at construction so
+  // the request path never takes the registry's name-lookup mutex. See
+  // docs/OBSERVABILITY.md for the catalog.
+  struct OpInstruments {
+    obs::Counter* requests;
+    obs::Counter* ok;
+    obs::Counter* busy;
+    obs::Counter* errors;
+    obs::Counter* bytes_in;
+    obs::Counter* bytes_out;
+    obs::Histogram* latency_us;
   };
-  static constexpr std::size_t kLatencyRingSize = 4096;
-  mutable std::mutex stats_mutex_;
-  std::array<OpState, kOpcodeCount> ops_;
+  void bind_metrics();
+
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
+  std::array<OpInstruments, kOpcodeCount> opm_{};
+  obs::Histogram* queue_wait_us_ = nullptr;   ///< enqueue -> dispatch
+  obs::Gauge* queue_depth_g_ = nullptr;       ///< live queue occupancy
+  obs::Gauge* queue_high_water_g_ = nullptr;
+  obs::Gauge* workers_busy_g_ = nullptr;      ///< workers holding a request now
+  obs::Counter* worker_busy_us_ = nullptr;    ///< total processing time (occupancy)
+  obs::Counter* deadline_c_ = nullptr;
+  obs::Counter* fallbacks_c_ = nullptr;
+  obs::Counter* respawns_c_ = nullptr;
 
   store::LogStore* store_ = nullptr;  ///< durable sink for LOG_APPEND/LOG_READ
-
-  std::atomic<std::uint64_t> deadline_exceeded_{0};
-  std::atomic<std::uint64_t> fallbacks_{0};
-  std::atomic<std::uint64_t> workers_respawned_{0};
-  std::atomic<std::uint64_t> latency_overflow_{0};
 };
 
 }  // namespace lzss::server

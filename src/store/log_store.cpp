@@ -1,6 +1,7 @@
 #include "store/log_store.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -9,6 +10,8 @@
 #include "common/checksum.hpp"
 #include "deflate/container.hpp"
 #include "deflate/inflate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lzss::store {
 
@@ -317,8 +320,9 @@ LogStore::LogStore(std::string dir, StoreOptions options, RecoveryReport* report
   opt_.validate();
   std::filesystem::create_directories(dir_);
 
-  RecoveryReport local;
-  RecoveryReport& rep = report != nullptr ? *report : local;
+  // Recovery findings land in the member first (bind_metrics exports them
+  // later); the out-param is a courtesy copy.
+  RecoveryReport& rep = recovery_;
   rep = RecoveryReport{};
 
   const auto found = list_segments(dir_);
@@ -326,6 +330,7 @@ LogStore::LogStore(std::string dir, StoreOptions options, RecoveryReport* report
     create_segment_locked(1, 1);
     write_index_locked();
     rep.next_sequence = next_sequence_;
+    if (report != nullptr) *report = recovery_;
     return;
   }
 
@@ -479,6 +484,7 @@ LogStore::LogStore(std::string dir, StoreOptions options, RecoveryReport* report
       index_dirty_ = true;
     }
   }
+  if (report != nullptr) *report = recovery_;
 }
 
 LogStore::~LogStore() {
@@ -512,14 +518,30 @@ void LogStore::create_segment_locked(std::uint64_t id, std::uint64_t base_sequen
   stat_bytes_stored_ += header.size();
 }
 
-void LogStore::rotate_locked() {
-  // Seal the old tail durably before the new segment exists, so recovery
-  // never finds a newer segment whose predecessor is still volatile.
+void LogStore::fsync_tail_locked() {
+  obs::Span span(trace_, "store.fsync");
+  const auto t0 = std::chrono::steady_clock::now();
   tail_file_.fsync();
   ++stat_fsyncs_;
   unsynced_records_ = 0;
+  if (m_fsyncs_ != nullptr) {
+    m_fsyncs_->add(1);
+    m_fsync_us_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+}
+
+void LogStore::rotate_locked() {
+  // Seal the old tail durably before the new segment exists, so recovery
+  // never finds a newer segment whose predecessor is still volatile.
+  fsync_tail_locked();
+  if (m_rotations_ != nullptr) m_rotations_->add(1);
   const std::uint64_t next_id = segments_.back().id + 1;
   create_segment_locked(next_id, next_sequence_);
+  if (m_segments_g_ != nullptr)
+    m_segments_g_->set(static_cast<std::int64_t>(segments_.size()));
   try {
     write_index_locked();
   } catch (const IoError&) {
@@ -556,18 +578,12 @@ void LogStore::maybe_fsync_locked() {
     case FsyncPolicy::kNever:
       return;
     case FsyncPolicy::kEveryRecord:
-      tail_file_.fsync();
-      ++stat_fsyncs_;
-      unsynced_records_ = 0;
+      fsync_tail_locked();
       return;
     case FsyncPolicy::kInterval:
       // Counts the record just written; on a sync the counter resets so the
       // synced record is not carried into the next window.
-      if (++unsynced_records_ >= opt_.fsync_interval_records) {
-        tail_file_.fsync();
-        ++stat_fsyncs_;
-        unsynced_records_ = 0;
-      }
+      if (++unsynced_records_ >= opt_.fsync_interval_records) fsync_tail_locked();
       return;
   }
 }
@@ -635,6 +651,11 @@ std::uint64_t LogStore::append(std::span<const std::uint8_t> bytes) {
   ++stat_appends_;
   stat_bytes_in_ += bytes.size();
   stat_bytes_stored_ += rec.size();
+  if (m_appends_ != nullptr) {
+    m_appends_->add(1);
+    m_bytes_in_->add(bytes.size());
+    m_bytes_stored_->add(rec.size());
+  }
   return seq;
 }
 
@@ -721,10 +742,30 @@ std::uint64_t LogStore::next_sequence() const {
 void LogStore::flush() {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!tail_file_.is_open()) return;
-  tail_file_.fsync();
-  ++stat_fsyncs_;
-  unsynced_records_ = 0;
+  fsync_tail_locked();
   write_index_locked();
+}
+
+void LogStore::bind_metrics(obs::Registry& registry, obs::TraceRing* trace) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  m_appends_ = &registry.counter("store_appends_total");
+  m_bytes_in_ = &registry.counter("store_bytes_in_total");
+  m_bytes_stored_ = &registry.counter("store_bytes_stored_total");
+  m_fsyncs_ = &registry.counter("store_fsyncs_total");
+  m_rotations_ = &registry.counter("store_rotations_total");
+  m_fsync_us_ = &registry.histogram("store_fsync_us");
+  trace_ = trace;
+  // One-shot export of what the opening recovery pass found/did. Counters
+  // are cumulative across binds by design (a registry shared across store
+  // generations keeps the full history).
+  registry.counter("store_recovery_records_total").add(recovery_.records);
+  registry.counter("store_recovery_torn_bytes_total").add(recovery_.torn_bytes_discarded);
+  registry.counter("store_recovery_gaps_total").add(recovery_.gaps.size());
+  registry.counter("store_recovery_index_rebuilds_total").add(recovery_.index_rebuilt ? 1 : 0);
+  // Push-style gauge, not a collector: a collector capturing `this` could
+  // outlive the store when the registry is shared.
+  m_segments_g_ = &registry.gauge("store_segments");
+  m_segments_g_->set(static_cast<std::int64_t>(segments_.size()));
 }
 
 StoreStats LogStore::stats() const {

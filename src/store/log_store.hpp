@@ -51,6 +51,14 @@
 #include "lzss/params.hpp"
 #include "store/file.hpp"
 
+namespace lzss::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class Registry;
+class TraceRing;
+}  // namespace lzss::obs
+
 namespace lzss::store {
 
 inline constexpr std::uint32_t kFormatVersion = 1;
@@ -174,6 +182,17 @@ class LogStore {
   [[nodiscard]] StoreStats stats() const;
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
 
+  /// What the constructor's recovery pass found (same data the optional
+  /// constructor out-param receives).
+  [[nodiscard]] const RecoveryReport& recovery() const noexcept { return recovery_; }
+
+  /// Starts reporting into @p registry: append/fsync/rotation counters, an
+  /// fsync-latency histogram, and one-shot counters for what recovery did.
+  /// Optional @p trace additionally records a span per fsync. Call once,
+  /// before traffic — instruments are read by appending threads without
+  /// synchronization. Both sinks must outlive the store.
+  void bind_metrics(obs::Registry& registry, obs::TraceRing* trace = nullptr);
+
   /// Offline full scan of the store at @p dir; read-only, never repairs.
   [[nodiscard]] static VerifyReport verify(const std::string& dir);
 
@@ -201,6 +220,9 @@ class LogStore {
   void rotate_locked();
   void write_index_locked();
   void maybe_fsync_locked();
+  /// The one place the tail is fsynced: counts it, times it, and (when a
+  /// trace ring is bound) records a "store.fsync" span.
+  void fsync_tail_locked();
   void load_segment_locked(Segment& seg);
   Segment* find_segment_locked(std::uint64_t sequence);
 
@@ -220,6 +242,19 @@ class LogStore {
   std::uint64_t stat_fsyncs_ = 0;
   std::uint64_t stat_bytes_in_ = 0;
   std::uint64_t stat_bytes_stored_ = 0;
+
+  RecoveryReport recovery_;  ///< what the constructor's recovery pass found
+
+  // Registry instruments (null until bind_metrics); guarded by mutex_ like
+  // the stat_* counters they mirror.
+  obs::Counter* m_appends_ = nullptr;
+  obs::Counter* m_bytes_in_ = nullptr;
+  obs::Counter* m_bytes_stored_ = nullptr;
+  obs::Counter* m_fsyncs_ = nullptr;
+  obs::Counter* m_rotations_ = nullptr;
+  obs::Histogram* m_fsync_us_ = nullptr;
+  obs::Gauge* m_segments_g_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
 };
 
 }  // namespace lzss::store

@@ -63,6 +63,22 @@ TEST(MultiEngine, EngineCountClampedForTinyInputs) {
   EXPECT_EQ(deflate::inflate_raw(report.deflate_stream), data);
 }
 
+TEST(MultiEngine, ReportRecordsRequestedVersusEffectiveEngines) {
+  // The stripe >= dictionary clamp must be visible in the report, not a
+  // silent shrink: a tiny input asked to run on 16 engines runs on 1.
+  const auto tiny = wl::make_corpus("wiki", 6 * 1024);
+  const auto clamped = compress_multi_engine(hw::HwConfig::speed_optimized(), tiny, 16);
+  EXPECT_EQ(clamped.requested_engines, 16u);
+  EXPECT_EQ(clamped.effective_engines, 1u);
+  EXPECT_EQ(clamped.effective_engines, clamped.engines.size());
+
+  const auto big = wl::make_corpus("wiki", 512 * 1024);
+  const auto full = compress_multi_engine(hw::HwConfig::speed_optimized(), big, 4);
+  EXPECT_EQ(full.requested_engines, 4u);
+  EXPECT_EQ(full.effective_engines, 4u);
+  EXPECT_EQ(full.engines.size(), 4u);
+}
+
 TEST(MultiEngine, ZeroEnginesRejected) {
   const auto data = wl::make_corpus("wiki", 1024);
   EXPECT_THROW((void)compress_multi_engine(hw::HwConfig::speed_optimized(), data, 0),

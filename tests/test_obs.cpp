@@ -1,0 +1,372 @@
+// Tests for the observability layer: sharded counters/gauges, log-linear
+// histograms, the registry's naming contract, renderers, and the trace ring.
+// The concurrency tests here run under the ASan+UBSan CI job (ctest regex
+// "Obs"), hammering instruments from many threads while snapshots race.
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hw/metrics.hpp"
+
+namespace lzss::obs {
+namespace {
+
+// --- Counter / Gauge --------------------------------------------------------
+
+TEST(ObsCounter, SumsAcrossThreads) {
+  Counter c;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsGauge, SetAddAndNegativeValues) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.add(-50);
+  EXPECT_EQ(g.value(), -8);
+}
+
+// --- Histogram bucket math --------------------------------------------------
+
+TEST(ObsHistogram, LowBucketsAreExact) {
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_upper_bound(v), v);
+  }
+}
+
+TEST(ObsHistogram, UpperBoundWithinQuarterOfValue) {
+  // The log-linear promise: the containing bucket's upper bound is at most
+  // 25 % above the recorded value (and never below it).
+  for (std::uint64_t v : {4ull, 5ull, 7ull, 8ull, 9ull, 100ull, 1000ull, 65535ull,
+                          1000000ull, (1ull << 40) + 12345ull}) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    const std::uint64_t ub = Histogram::bucket_upper_bound(idx);
+    EXPECT_GE(ub, v) << v;
+    EXPECT_LE(static_cast<double>(ub), 1.25 * static_cast<double>(v)) << v;
+  }
+}
+
+TEST(ObsHistogram, IndexAndUpperBoundAreConsistent) {
+  // bucket_upper_bound(i) must itself land in bucket i, and the next value
+  // must not.
+  for (std::size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+    const std::uint64_t ub = Histogram::bucket_upper_bound(i);
+    EXPECT_EQ(Histogram::bucket_index(ub), i) << i;
+    EXPECT_EQ(Histogram::bucket_index(ub + 1), i + 1) << i;
+  }
+}
+
+TEST(ObsHistogram, HugeValuesClampToLastBucket) {
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_index(std::uint64_t{1} << 50), Histogram::kBuckets - 1);
+}
+
+TEST(ObsHistogram, QuantilesBracketRecordedValues) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const auto m = h.merged();
+  EXPECT_EQ(m.count, 1000u);
+  EXPECT_EQ(m.sum, 1000u * 1001u / 2);
+  // The true p50 is 500; the bucketed answer may overshoot by <= 25 %.
+  EXPECT_GE(m.quantile(0.50), 500u);
+  EXPECT_LE(m.quantile(0.50), 640u);
+  EXPECT_GE(m.quantile(0.99), 990u);
+  EXPECT_LE(m.quantile(0.99), 1280u);
+  EXPECT_LE(m.quantile(0.50), m.quantile(0.99));
+  EXPECT_EQ(m.quantile(1.0), m.quantile(0.9999));
+}
+
+TEST(ObsHistogram, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.merged().quantile(0.5), 0u);
+  EXPECT_EQ(h.merged().count, 0u);
+}
+
+TEST(ObsHistogram, NeverDropsSamplesUnderConcurrency) {
+  // The property the old 1024-sample latency ring lacked: every recorded
+  // sample is counted, regardless of volume or thread count.
+  Histogram h;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;  // >> the old ring size
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.record(t * 1000 + (i % 977));
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(h.merged().count, kThreads * kPerThread);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(ObsRegistry, SameNameAndLabelsReturnsSameInstrument) {
+  Registry r;
+  Counter& a = r.counter("requests", {{"op", "x"}});
+  Counter& b = r.counter("requests", {{"op", "x"}});
+  EXPECT_EQ(&a, &b);
+  Counter& c = r.counter("requests", {{"op", "y"}});
+  EXPECT_NE(&a, &c);
+  a.add(2);
+  c.add(3);
+  EXPECT_EQ(b.value(), 2u);
+  EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  Registry r;
+  (void)r.counter("thing");
+  EXPECT_THROW((void)r.gauge("thing"), std::logic_error);
+  EXPECT_THROW((void)r.histogram("thing"), std::logic_error);
+}
+
+TEST(ObsRegistry, CollectorRunsAtSnapshot) {
+  Registry r;
+  r.counter("live").add(7);
+  r.add_collector([](Snapshot& s) { s.add_counter_sample("pulled", {{"k", "v"}}, 99); });
+  const auto snap = r.snapshot();
+  const Sample* live = snap.find("live");
+  ASSERT_NE(live, nullptr);
+  EXPECT_EQ(live->value, 7u);
+  const Sample* pulled = snap.find("pulled", "v");
+  ASSERT_NE(pulled, nullptr);
+  EXPECT_EQ(pulled->value, 99u);
+}
+
+TEST(ObsRegistry, SnapshotWhileHammered) {
+  // N writer threads mutate counters and histograms while the main thread
+  // scrapes; sanitizers verify no data races on the shard atomics, and the
+  // final quiesced snapshot must be exact.
+  Registry r;
+  constexpr unsigned kThreads = 6;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&r] {
+      Counter& c = r.counter("hammer_total", {{"op", "compress"}});
+      Histogram& h = r.histogram("hammer_us", {{"op", "compress"}});
+      Gauge& g = r.gauge("hammer_depth");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.add(1);
+        h.record(i % 4096);
+        g.add(1);
+        g.add(-1);
+      }
+    });
+  }
+  for (unsigned i = 0; i < 50; ++i) (void)r.snapshot();  // racing scrapes
+  for (auto& th : pool) th.join();
+  const auto snap = r.snapshot();
+  const Sample* c = snap.find("hammer_total", "compress");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, kThreads * kPerThread);
+  const Sample* h = snap.find("hammer_us", "compress");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, kThreads * kPerThread);
+}
+
+TEST(ObsRegistry, ConcurrentGettersAreSafe) {
+  // Instrument resolution itself (name lookup + creation) raced from many
+  // threads must produce one instrument per key.
+  Registry r;
+  std::vector<std::thread> pool;
+  std::vector<Counter*> seen(8);
+  for (unsigned t = 0; t < 8; ++t) {
+    pool.emplace_back([&r, &seen, t] { seen[t] = &r.counter("raced", {{"l", "v"}}); });
+  }
+  for (auto& th : pool) th.join();
+  for (unsigned t = 1; t < 8; ++t) EXPECT_EQ(seen[t], seen[0]);
+}
+
+// --- Renderers --------------------------------------------------------------
+
+TEST(ObsSnapshot, PrometheusTextShape) {
+  Registry r;
+  r.counter("reqs_total", {{"op", "ping"}}).add(3);
+  r.gauge("depth").set(-2);
+  Histogram& h = r.histogram("lat_us");
+  h.record(0);
+  h.record(5);
+  h.record(5);
+  const std::string text = r.snapshot().to_prometheus();
+  EXPECT_NE(text.find("# TYPE reqs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("reqs_total{op=\"ping\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("depth -2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"5\"} 3"), std::string::npos);  // cumulative
+  EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum 10"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 3"), std::string::npos);
+}
+
+TEST(ObsSnapshot, JsonArrayShape) {
+  Registry r;
+  r.counter("a_total", {{"k", "v"}}).add(1);
+  r.histogram("b_us").record(7);
+  const std::string json = r.snapshot().metrics_json_array();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("{\"name\":\"a_total\",\"labels\":{\"k\":\"v\"},\"type\":\"counter\",\"value\":1}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"b_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":7"), std::string::npos);
+}
+
+TEST(ObsSnapshot, PrometheusEmitsOneTypeLinePerFamily) {
+  // Collector samples arrive interleaved (visits, triggers, visits, ...);
+  // the exposition format allows only one # TYPE line per metric family.
+  Registry r;
+  r.add_collector([](Snapshot& s) {
+    for (const char* point : {"a", "b"}) {
+      s.add_counter_sample("visits_total", {{"point", point}}, 1);
+      s.add_counter_sample("triggers_total", {{"point", point}}, 2);
+    }
+  });
+  const std::string text = r.snapshot().to_prometheus();
+  std::size_t type_lines = 0;
+  for (std::size_t pos = 0; (pos = text.find("# TYPE visits_total", pos)) != std::string::npos;
+       ++pos)
+    ++type_lines;
+  EXPECT_EQ(type_lines, 1u);
+  // Both series still render under the single family header.
+  EXPECT_NE(text.find("visits_total{point=\"a\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("visits_total{point=\"b\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("triggers_total{point=\"b\"} 2"), std::string::npos);
+}
+
+TEST(ObsSnapshot, DeterministicOrdering) {
+  Registry r;
+  r.counter("zzz").add(1);
+  r.counter("aaa").add(1);
+  const std::string a = r.snapshot().to_prometheus();
+  const std::string b = r.snapshot().to_prometheus();
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a.find("aaa"), a.find("zzz"));  // map order, not insertion order
+}
+
+// --- hw census export -------------------------------------------------------
+
+TEST(ObsHwExport, PerStateCyclesSumToTotal) {
+  hw::CycleStats s;
+  s.waiting = 10;
+  s.fetching = 20;
+  s.matching = 30;
+  s.output = 25;
+  s.updating = 10;
+  s.rotating = 5;
+  s.total_cycles = 100;
+  s.bytes_in = 64;
+  s.literals = 3;
+  s.matches = 2;
+  Registry r;
+  hw::export_cycle_stats(r, s);
+  hw::export_cycle_stats(r, s);  // counters accumulate across runs
+  const auto snap = r.snapshot();
+  std::uint64_t state_sum = 0;
+  for (const char* state : {"waiting", "fetching", "matching", "output", "updating",
+                            "rotating"}) {
+    const Sample* sample = snap.find("hw_state_cycles_total", state);
+    ASSERT_NE(sample, nullptr) << state;
+    state_sum += sample->value;
+  }
+  const Sample* total = snap.find("hw_cycles_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(state_sum, total->value);
+  EXPECT_EQ(total->value, 200u);
+  const Sample* lits = snap.find("hw_tokens_total", "literal");
+  ASSERT_NE(lits, nullptr);
+  EXPECT_EQ(lits->value, 6u);
+}
+
+// --- Trace ring -------------------------------------------------------------
+
+TEST(ObsTrace, SpanRecordsIntoRing) {
+  TraceRing ring(8);
+  {
+    Span span(&ring, "unit");
+    span.set_tag("OK");
+    span.set_args(123, 456);
+  }
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit");
+  EXPECT_STREQ(events[0].tag, "OK");
+  EXPECT_EQ(events[0].a0, 123);
+  EXPECT_EQ(events[0].a1, 456);
+  EXPECT_GE(events[0].end_us, events[0].start_us);
+}
+
+TEST(ObsTrace, NullRingSpanIsANoop) {
+  Span span(nullptr, "nothing");
+  span.set_tag("X");
+  span.set_args(1);
+  // Destructor must not crash; nothing to assert beyond surviving.
+}
+
+TEST(ObsTrace, RingOverwritesOldestAndCountsRecorded) {
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent e;
+    e.a0 = i;
+    ring.record(e);
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-to-newest: the last four recorded.
+  EXPECT_EQ(events[0].a0, 6);
+  EXPECT_EQ(events[3].a0, 9);
+}
+
+TEST(ObsTrace, JsonlOneObjectPerLine) {
+  TraceRing ring(8);
+  for (int i = 0; i < 3; ++i) {
+    Span span(&ring, "op");
+    span.set_tag("OK");
+  }
+  const std::string jsonl = ring.to_jsonl();
+  std::size_t lines = 0;
+  for (const char ch : jsonl)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(jsonl.find("\"name\":\"op\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"tag\":\"OK\""), std::string::npos);
+}
+
+TEST(ObsTrace, ConcurrentSpansAllLand) {
+  TraceRing ring(4096);
+  constexpr unsigned kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&ring] {
+      for (int i = 0; i < kPerThread; ++i) Span span(&ring, "worker");
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(ring.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(ring.events().size(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace lzss::obs

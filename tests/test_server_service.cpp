@@ -17,6 +17,7 @@
 #include "common/checksum.hpp"
 #include "deflate/inflate.hpp"
 #include "lzss/raw_container.hpp"
+#include "server/retry.hpp"
 #include "server/service.hpp"
 #include "server/tcp.hpp"
 #include "workloads/corpus.hpp"
@@ -191,6 +192,9 @@ TEST(ServerService, SaturatedQueueAnswersBusy) {
   EXPECT_EQ(c.requests, static_cast<std::uint64_t>(kJobs));
   EXPECT_EQ(c.busy, static_cast<std::uint64_t>(busy));
   EXPECT_EQ(c.ok, static_cast<std::uint64_t>(ok));
+  // A BUSY answer is a reject, not an error — and it is counted exactly once.
+  EXPECT_EQ(c.errors, 0u);
+  EXPECT_EQ(c.requests, c.ok + c.busy + c.errors);
 }
 
 TEST(ServerService, StatsCountersMatchIssuedRequests) {
@@ -221,14 +225,100 @@ TEST(ServerService, StatsCountersMatchIssuedRequests) {
   EXPECT_EQ(c.bytes_out, bytes_out);
   EXPECT_EQ(stats.of(Opcode::kPing).requests, 1u);
 
-  // The STATS opcode renders the same numbers.
+  // The STATS opcode answers the same numbers as machine-readable JSON:
+  // {"service":{...},"metrics":[...]}. The snapshot is taken before the
+  // STATS request itself is counted, so compress still reads exactly 5.
   RequestFrame sreq;
   sreq.opcode = Opcode::kStats;
   const auto sresp = client.call(sreq);
   ASSERT_EQ(sresp.status, Status::kOk);
   const std::string text(sresp.payload.begin(), sresp.payload.end());
-  EXPECT_NE(text.find("compress"), std::string::npos);
-  EXPECT_NE(text.find("queue high water"), std::string::npos);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_EQ(text.back(), '}');
+  EXPECT_NE(text.find("\"service\":{\"opcodes\":{"), std::string::npos);
+  EXPECT_NE(text.find("\"compress\":{\"requests\":5,\"ok\":5,\"busy\":0,\"errors\":0"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"ping\":{\"requests\":1,\"ok\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"queue_high_water\":"), std::string::npos);
+  // The registry rides along: per-opcode counters from the metrics layer
+  // must agree with the service-level snapshot in the same payload.
+  EXPECT_NE(text.find("\"metrics\":["), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"server_requests_total\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"server_latency_us\""), std::string::npos);
+}
+
+TEST(ServerService, DeadlineExceededCountsAsErrorExactlyOnce) {
+  // Queue entries that blow their deadline answer DEADLINE_EXCEEDED via the
+  // same finish() path as everything else: each request lands in exactly one
+  // of ok/busy/errors, and the buckets sum back to requests.
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_depth = 16;
+  cfg.request_timeout_ms = 1;
+  Service service(cfg);
+
+  const auto data = wl::make_corpus("wiki", 64 * 1024);
+  constexpr int kJobs = 10;
+  std::mutex mutex;
+  std::condition_variable cv;
+  int completed = 0, ok = 0, busy = 0, errors = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    service.submit(compress_request(static_cast<std::uint64_t>(i), data),
+                   [&](ResponseFrame&& resp) {
+                     const std::lock_guard<std::mutex> lock(mutex);
+                     ++completed;
+                     if (resp.status == Status::kOk) ++ok;
+                     else if (resp.status == Status::kBusy) ++busy;
+                     else ++errors;
+                     cv.notify_one();
+                   });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return completed == kJobs; });
+  }
+  EXPECT_GT(errors, 0) << "1 ms deadline never expired a queued 64 KiB job";
+
+  const auto stats = service.snapshot();
+  const auto& c = stats.of(Opcode::kCompress);
+  EXPECT_EQ(c.requests, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(c.ok, static_cast<std::uint64_t>(ok));
+  EXPECT_EQ(c.busy, static_cast<std::uint64_t>(busy));
+  EXPECT_EQ(c.errors, static_cast<std::uint64_t>(errors));
+  EXPECT_EQ(c.requests, c.ok + c.busy + c.errors);
+  EXPECT_GE(stats.deadline_exceeded, static_cast<std::uint64_t>(errors));
+}
+
+TEST(ServerRetry, SleepAccountingSharesTheRngDraw) {
+  // RetryStats::slept_ms must equal the milliseconds the backoff actually
+  // slept. A replica Backoff with the same seed predicts the exact stream;
+  // a second independent draw inside sleep() would desync them.
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_delay_ms = 2;
+  policy.max_delay_ms = 8;
+  Backoff replica(policy);
+  std::uint64_t expected = 0;
+  for (unsigned a = 0; a + 1 < policy.max_attempts; ++a) expected += replica.delay_ms(a);
+
+  RetryStats stats;
+  unsigned calls = 0;
+  RequestFrame req;
+  req.opcode = Opcode::kPing;
+  const auto resp = call_with_retry(
+      [&](const RequestFrame&) {
+        ++calls;
+        ResponseFrame r;
+        r.status = Status::kBusy;
+        return r;
+      },
+      req, policy, &stats);
+  EXPECT_EQ(resp.status, Status::kBusy);  // exhausted, last answer returned
+  EXPECT_EQ(calls, policy.max_attempts);
+  EXPECT_EQ(stats.attempts, policy.max_attempts);
+  EXPECT_EQ(stats.retries, policy.max_attempts - 1);
+  EXPECT_EQ(stats.slept_ms, expected);
 }
 
 TEST(ServerService, LatencyPercentilesPopulateAfterTraffic) {

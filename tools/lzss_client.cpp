@@ -1,7 +1,9 @@
 // lzss_client — talk to a running lzssd.
 //
 //   lzss_client [options] <op> [file]
-//     op: compress <file> | decompress <file> | ping | stats
+//     op: compress <file> | decompress <file> | ping
+//         | stats             (prints the server's machine-readable snapshot:
+//                              {"service":{...},"metrics":[...]} JSON)
 //         | log-append <file> (prints the durable sequence number)
 //         | log-read <seq>    (prints/-o the stored record)
 //     --host <h>     server host (default 127.0.0.1)
@@ -164,7 +166,12 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (op == "stats") {
-      std::fwrite(resp.payload.data(), 1, resp.payload.size(), stdout);
+      if (!out_path.empty()) {
+        write_file(out_path, resp.payload);
+      } else {
+        std::fwrite(resp.payload.data(), 1, resp.payload.size(), stdout);
+        std::printf("\n");
+      }
       return 0;
     }
     if (op == "log-append") {

@@ -20,6 +20,10 @@
 //                               (default every-record: an acked append
 //                               survives power loss)
 //     --store-segment-kb <k>    segment rotation threshold (default 4096)
+//     --metrics-dump            print the full metrics registry (Prometheus
+//                               text exposition) on shutdown
+//     --trace-jsonl <path>      write the trace-span ring to <path> as JSONL
+//                               on shutdown
 //
 // Wire protocol: docs/SERVER.md. Stop with SIGINT/SIGTERM (clean drain).
 #include <atomic>
@@ -31,6 +35,8 @@
 #include <string>
 
 #include "estimator/presets.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "server/service.hpp"
 #include "server/tcp.hpp"
 #include "store/log_store.hpp"
@@ -48,7 +54,8 @@ int usage() {
                "usage: lzssd [--port p] [--engines n] [--queue-depth d] [--preset name]\n"
                "             [--large-engines n] [--threshold-kb k]\n"
                "             [--request-timeout-ms t] [--hung-worker-ms t]\n"
-               "             [--store-dir dir] [--store-fsync policy] [--store-segment-kb k]\n");
+               "             [--store-dir dir] [--store-fsync policy] [--store-segment-kb k]\n"
+               "             [--metrics-dump] [--trace-jsonl path]\n");
   return 2;
 }
 
@@ -63,6 +70,8 @@ int main(int argc, char** argv) {
   std::string store_dir;
   store::StoreOptions store_opt;
   store_opt.fsync_policy = store::FsyncPolicy::kEveryRecord;
+  bool metrics_dump = false;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -94,6 +103,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--store-segment-kb" && (v = next()) != nullptr) {
       store_opt.segment_bytes = static_cast<std::size_t>(std::atoi(v)) * 1024;
+    } else if (arg == "--metrics-dump") {
+      metrics_dump = true;
+    } else if (arg == "--trace-jsonl" && (v = next()) != nullptr) {
+      trace_path = v;
     } else {
       return usage();
     }
@@ -102,6 +115,14 @@ int main(int argc, char** argv) {
 
   try {
     cfg.hw = est::preset_by_name(preset).config;
+    // One registry/trace ring for the whole process: the service, the store,
+    // and the hw census all report here, so a single STATS response (or the
+    // shutdown dump) covers every layer. Declared before the store and the
+    // service so it outlives both.
+    obs::Registry registry;
+    obs::TraceRing trace(8192);
+    cfg.registry = &registry;
+    cfg.trace = &trace;
     // Declared before the service so it outlives the worker drain in
     // Service::~Service (queued LOG_APPENDs may still touch the store).
     std::unique_ptr<store::LogStore> log_store;
@@ -110,6 +131,7 @@ int main(int argc, char** argv) {
     if (!store_dir.empty()) {
       store::RecoveryReport recovery;
       log_store = std::make_unique<store::LogStore>(store_dir, store_opt, &recovery);
+      log_store->bind_metrics(registry, &trace);
       service.attach_store(log_store.get());
       std::printf("store %s (fsync %s): %s", store_dir.c_str(),
                   store::fsync_policy_name(store_opt.fsync_policy),
@@ -135,6 +157,22 @@ int main(int argc, char** argv) {
       std::printf("store: %" PRIu64 " appends, %" PRIu64 " fsyncs, %" PRIu64 " -> %" PRIu64
                   " bytes, %" PRIu64 " segments\n",
                   ss.appends, ss.fsyncs, ss.bytes_in, ss.bytes_stored, ss.segments);
+    }
+    if (metrics_dump) {
+      const std::string text = registry.snapshot().to_prometheus();
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    }
+    if (!trace_path.empty()) {
+      const std::string jsonl = trace.to_jsonl();
+      std::FILE* f = std::fopen(trace_path.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "lzssd: cannot write %s\n", trace_path.c_str());
+      } else {
+        std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+        std::fclose(f);
+        std::printf("trace: %" PRIu64 " spans recorded, last %zu written to %s\n",
+                    trace.recorded(), trace.events().size(), trace_path.c_str());
+      }
     }
     g_server = nullptr;
     return 0;
