@@ -20,6 +20,8 @@ void print_tables() {
   const std::size_t bytes = bench::sample_bytes(8);
   const auto& data = bench::cached_corpus("wiki", bytes);
 
+  // MB here is decimal (10^6 bytes), matching MultiEngineReport::
+  // aggregate_mb_per_s — bytes * MHz / cycles is exactly 10^6 bytes/s.
   std::printf("%-9s %9s %14s %10s %10s %14s\n", "requested", "effective", "aggregate MB/s",
               "speedup", "ratio", "BRAM36 (bank)");
   const hw::HwConfig cfg = hw::HwConfig::speed_optimized();

@@ -8,6 +8,9 @@
 //     the software twin of the valid/ready backpressure in stream/channel.
 // A third axis behind `--durable`: goodput of the LOG_APPEND opcode per
 // fsync policy, i.e. what each durability guarantee costs at the wire.
+// A fourth: single-request GB/s of the blocked container (COMPRESS_BLOCKED)
+// vs block size vs engines — the fan-out path where one request spreads
+// over the whole pool.
 //
 // Besides the human tables, the default run writes BENCH_server.json
 // (override with `--json <path>`): the sweep rows plus a full STATS-opcode
@@ -26,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "server/retry.hpp"
 #include "server/service.hpp"
 #include "server/tcp.hpp"
@@ -105,6 +109,48 @@ LoadResult run_load(server::Service& service, const std::vector<std::uint8_t>& c
   r.mb_per_s = secs > 0 ? static_cast<double>(ok_bytes.load()) / 1e6 / secs : 0;
   const double total = static_cast<double>(r.ok + r.busy);
   r.reject_rate = total > 0 ? static_cast<double>(r.busy) / total : 0;
+  return r;
+}
+
+struct BlockedResult {
+  double compress_gb_s = 0;    ///< GB/s (10^9 bytes) over the raw input
+  double decompress_gb_s = 0;  ///< GB/s over the raw output
+  std::uint64_t helper_blocks = 0;
+  std::size_t container_bytes = 0;
+  bool ok = false;
+};
+
+/// One COMPRESS_BLOCKED request for the whole @p corpus, then a DECOMPRESS
+/// of the container it produced. Unlike run_load() this measures how far a
+/// *single* request can spread across the pool, so throughput is per
+/// request, not aggregate, and the helper-block counter says how much of
+/// the work left the parent worker.
+BlockedResult run_blocked(server::Service& service, const std::vector<std::uint8_t>& corpus) {
+  BlockedResult r;
+  server::LoopbackClient client(service);
+
+  server::RequestFrame req;
+  req.id = 1;
+  req.opcode = server::Opcode::kCompressBlocked;
+  req.payload = corpus;
+  auto t0 = std::chrono::steady_clock::now();
+  auto resp = client.call(req);
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (resp.status != server::Status::kOk) return r;
+  r.compress_gb_s = secs > 0 ? static_cast<double>(corpus.size()) / 1e9 / secs : 0;
+  r.container_bytes = resp.payload.size();
+  r.helper_blocks = service.metrics().counter("container_helper_blocks_total").value();
+
+  server::RequestFrame dreq;
+  dreq.id = 2;
+  dreq.opcode = server::Opcode::kDecompress;
+  dreq.payload = std::move(resp.payload);
+  t0 = std::chrono::steady_clock::now();
+  resp = client.call(dreq);
+  secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (resp.status != server::Status::kOk || resp.payload.size() != corpus.size()) return r;
+  r.decompress_gb_s = secs > 0 ? static_cast<double>(corpus.size()) / 1e9 / secs : 0;
+  r.ok = true;
   return r;
 }
 
@@ -215,6 +261,44 @@ void print_tables() {
                   static_cast<unsigned long long>(r.busy),
                   static_cast<unsigned long long>(r.retries));
     json += jbuf;
+  }
+  json += "]";
+
+  // Blocked container: one big request split into fixed-size blocks and
+  // fanned across the worker pool, so a single caller can occupy every
+  // engine. GB here is decimal (10^9 bytes). The sweep shows the trade:
+  // small blocks parallelise better but restart the dictionary more often
+  // (bigger container), big blocks the reverse.
+  std::printf("\n-- blocked container: one 8 MiB COMPRESS_BLOCKED request per cell --\n");
+  std::printf("%-10s %8s %14s %16s %14s %16s\n", "block KiB", "engines", "compress GB/s",
+              "decompress GB/s", "helper blocks", "container bytes");
+  const auto& big = bench::cached_corpus("x2e", 8u << 20);
+  json += ",\"blocked_sweep\":[";
+  bool first_blocked = true;
+  for (const unsigned block_kb : {64u, 256u, 1024u}) {
+    for (const unsigned engines : {1u, 2u, 4u}) {
+      server::ServiceConfig cfg;
+      cfg.workers = engines;
+      cfg.queue_depth = 64;
+      cfg.block_bytes = static_cast<std::size_t>(block_kb) * 1024;
+      server::Service service(cfg);
+      const auto r = run_blocked(service, big);
+      if (!r.ok) {
+        std::printf("%-10u %8u   (request failed)\n", block_kb, engines);
+        continue;
+      }
+      std::printf("%-10u %8u %14.3f %16.3f %14llu %16zu\n", block_kb, engines, r.compress_gb_s,
+                  r.decompress_gb_s, static_cast<unsigned long long>(r.helper_blocks),
+                  r.container_bytes);
+      std::snprintf(jbuf, sizeof(jbuf),
+                    "%s{\"block_kb\":%u,\"engines\":%u,\"compress_gb_s\":%.4f,"
+                    "\"decompress_gb_s\":%.4f,\"helper_blocks\":%llu,\"container_bytes\":%zu}",
+                    first_blocked ? "" : ",", block_kb, engines, r.compress_gb_s,
+                    r.decompress_gb_s, static_cast<unsigned long long>(r.helper_blocks),
+                    r.container_bytes);
+      json += jbuf;
+      first_blocked = false;
+    }
   }
   json += "]";
 

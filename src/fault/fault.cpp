@@ -148,6 +148,9 @@ std::span<const char* const> all_points() noexcept {
       "server.tcp.short_write",     // TcpServer::flush_writable (1-byte writes)
       "server.tcp.abort",           // TcpServer read/write (connection drop)
       "deflate.inflate.corrupt",    // zlib_decompress input (bit corruption)
+      "container.block.corrupt",    // LZBC decode_block input (bit corruption)
+      "container.reassemble.delay", // block fan-out, before the parent claims
+
       "stream.channel.stall",       // stream::Channel valid/ready (stall cycles)
       "store.file.short_write",     // store::File::pwrite (half lands, then EIO)
       "store.file.enospc",          // store::File::pwrite (fails before any byte)

@@ -9,6 +9,7 @@
 
 #include "common/bitio.hpp"
 #include "deflate/encoder.hpp"
+#include "parallel/stripe.hpp"
 
 namespace lzss::par {
 
@@ -19,9 +20,9 @@ MultiEngineReport compress_multi_engine(const hw::HwConfig& config,
   const unsigned requested_engines = num_engines;
   // Stripes smaller than the dictionary make no sense; shrink the bank. The
   // clamp is reported (requested vs effective) instead of happening silently —
-  // a bench labelled "8 engines" that actually ran 2 is a lie.
-  const std::size_t max_engines = std::max<std::size_t>(data.size() / config.dict_size(), 1);
-  num_engines = static_cast<unsigned>(std::min<std::size_t>(num_engines, max_engines));
+  // a bench labelled "8 engines" that actually ran 2 is a lie. The same rule
+  // sizes the block container's blocks (parallel/stripe.hpp).
+  num_engines = clamp_stripe_count(data.size(), config.dict_size(), num_engines);
 
   const std::size_t stripe = (data.size() + num_engines - 1) / num_engines;
   struct EngineOutput {

@@ -35,7 +35,13 @@ struct MultiEngineReport {
   std::size_t compressed_bytes = 0;      ///< multi-block Deflate payload size
   std::vector<std::uint8_t> deflate_stream;
 
-  /// Aggregate on-chip throughput: all units run in the same clock domain.
+  /// Aggregate on-chip throughput in MB/s (MB = 10^6 bytes): all units run
+  /// in the same clock domain, so wall-clock time on chip is
+  /// parallel_cycles / (clock_mhz * 10^6 cycles/s), and
+  ///   bytes * (clock_mhz * 10^6) / parallel_cycles  [bytes/s]
+  /// divided by 10^6 bytes/MB cancels to exactly this expression. The unit
+  /// is pinned by test_multi_engine (AggregateThroughputUnitsAreMbPerS) so
+  /// the bench table labels cannot silently drift.
   [[nodiscard]] double aggregate_mb_per_s(double clock_mhz) const noexcept {
     return parallel_cycles == 0 ? 0.0
                                 : static_cast<double>(input_bytes) * clock_mhz /

@@ -1,0 +1,36 @@
+// Stripe and block sizing shared by the multi-engine bank and the block
+// container.
+//
+// Both layers split input so independent engines can run concurrently, and
+// both face the same trade-off: every stripe/block restarts with an empty
+// dictionary, so slices smaller than the dictionary cost compression ratio
+// without buying any extra parallelism. These clamps keep the slices at or
+// above the dictionary size; callers report requested vs effective values
+// (see MultiEngineReport and docs/CONTAINER.md) instead of clamping
+// silently.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace lzss::par {
+
+/// Largest engine count for which every stripe still fills the dictionary
+/// at least once. Never returns 0 (a degenerate input runs on one engine).
+[[nodiscard]] constexpr unsigned clamp_stripe_count(std::size_t data_size,
+                                                    std::size_t dict_size,
+                                                    unsigned requested) noexcept {
+  const std::size_t max_engines =
+      dict_size == 0 ? requested : std::max<std::size_t>(data_size / dict_size, 1);
+  return static_cast<unsigned>(
+      std::min<std::size_t>(std::max(requested, 1u), max_engines));
+}
+
+/// Smallest block size that still fills the dictionary: blocks below the
+/// dictionary are rounded up (the container's analogue of the stripe clamp).
+[[nodiscard]] constexpr std::size_t clamp_block_bytes(std::size_t requested,
+                                                      std::size_t dict_size) noexcept {
+  return std::max(requested, dict_size);
+}
+
+}  // namespace lzss::par

@@ -76,6 +76,7 @@ const char* opcode_name(Opcode op) noexcept {
     case Opcode::kStats: return "stats";
     case Opcode::kLogAppend: return "log_append";
     case Opcode::kLogRead: return "log_read";
+    case Opcode::kCompressBlocked: return "compress_blocked";
   }
   return "?";
 }
@@ -173,7 +174,8 @@ RequestParser::RequestParser(std::size_t max_payload) noexcept
     : FrameAccumulator(kRequestMagic, kRequestHeaderSize, max_payload) {}
 
 ParseError RequestParser::validate_header(std::span<const std::uint8_t> header) const {
-  if (header[5] > static_cast<std::uint8_t>(Opcode::kLogRead)) return ParseError::kBadOpcode;
+  if (header[5] > static_cast<std::uint8_t>(Opcode::kCompressBlocked))
+    return ParseError::kBadOpcode;
   return ParseError::kNone;
 }
 

@@ -50,10 +50,13 @@ enum class Opcode : std::uint8_t {
   kStats = 3,
   kLogAppend = 4,  ///< durable log store: payload = record; replies 8-byte LE sequence
   kLogRead = 5,    ///< durable log store: payload = 8-byte LE sequence; replies record
+  kCompressBlocked = 6,  ///< block-parallel compress: replies an LZBC container whose
+                         ///< blocks fanned out across the worker pool (docs/CONTAINER.md);
+                         ///< DECOMPRESS sniffs the LZBC magic and inverts it in parallel
 };
 
 /// Number of opcodes (per-opcode counter array size).
-inline constexpr std::size_t kOpcodeCount = 6;
+inline constexpr std::size_t kOpcodeCount = 7;
 
 enum class Status : std::uint8_t {
   kOk = 0,

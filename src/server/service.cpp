@@ -11,6 +11,9 @@
 
 #include "common/bitio.hpp"
 #include "common/checksum.hpp"
+#include "container/codec.hpp"
+#include "container/format.hpp"
+#include "container/scheduler.hpp"
 #include "deflate/container.hpp"
 #include "deflate/encoder.hpp"
 #include "deflate/inflate.hpp"
@@ -21,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/multi_engine.hpp"
+#include "parallel/stripe.hpp"
 #include "store/log_store.hpp"
 
 namespace lzss::server {
@@ -63,6 +67,9 @@ void ServiceConfig::validate() const {
   if (workers == 0) throw std::invalid_argument("ServiceConfig: zero workers");
   if (queue_depth == 0) throw std::invalid_argument("ServiceConfig: zero queue depth");
   if (large_engines == 0) throw std::invalid_argument("ServiceConfig: zero large_engines");
+  if (block_bytes == 0) throw std::invalid_argument("ServiceConfig: zero block_bytes");
+  if (block_bytes > kMaxPayload)
+    throw std::invalid_argument("ServiceConfig: block_bytes exceeds the protocol cap");
   if (max_payload > kMaxPayload)
     throw std::invalid_argument("ServiceConfig: max_payload exceeds the protocol cap");
   if (!(stored_fallback_ratio > 0.0))
@@ -311,18 +318,28 @@ void Service::worker_loop(Worker* self) {
 
     ResponseFrame resp;
     bool killed = false;
+    const bool internal = static_cast<bool>(job->block_work);
     workers_busy_g_->add(1);
     {
-      obs::Span span(trace_, opcode_name(job->request.opcode));
+      obs::Span span(trace_, internal ? "container_block_job"
+                                      : opcode_name(job->request.opcode));
       try {
         fault::point("server.worker.pre_compress");
-        resp = process(job->request, compressor);
+        if (internal) {
+          // Container sub-job: drains block claims from a parent request's
+          // fan-out on this worker's engine. No response — the parent
+          // assembles and answers; a throw here just hands the claimed
+          // block back (ClaimGuard) for the parent to re-run.
+          job->block_work(compressor);
+        } else {
+          resp = process(job->request, compressor);
+        }
       } catch (const fault::WorkerKill&) {
         killed = true;
       } catch (const std::exception&) {
         resp.status = Status::kInternal;
       }
-      span.set_tag(killed ? "killed" : status_name(resp.status));
+      span.set_tag(killed ? "killed" : (internal ? "done" : status_name(resp.status)));
       span.set_args(static_cast<std::int64_t>(job->request.payload.size()),
                     static_cast<std::int64_t>(resp.payload.size()));
     }
@@ -434,6 +451,11 @@ void Service::watchdog_loop() {
 void Service::deliver(const JobPtr& job, ResponseFrame&& response) {
   bool expected = false;
   if (!job->answered.compare_exchange_strong(expected, true)) return;  // lost the race
+  // Internal container sub-jobs answer nobody: the parent request owns the
+  // client response, and the fan-out's claim pool already re-runs any block
+  // a reaped/orphaned helper left behind. Dropping here keeps the per-opcode
+  // invariant (requests == ok + busy + errors) about *client* requests only.
+  if (job->block_work) return;
   response.id = job->request.id;
   response.flags = job->request.flags;
   if (response.status == Status::kDeadlineExceeded) deadline_c_->add(1);
@@ -465,6 +487,8 @@ ResponseFrame Service::process(RequestFrame& request, hw::Compressor& compressor
   if (request.opcode == Opcode::kLogAppend) return do_log_append(request);
   if (request.opcode == Opcode::kLogRead) return do_log_read(request);
   if (request.opcode == Opcode::kDecompress) return do_decompress(request);
+  if (request.opcode == Opcode::kCompressBlocked)
+    return do_compress_blocked(request, *cfg, preset_id == 0 ? &compressor : nullptr);
   return do_compress(request, *cfg, preset_id == 0 ? &compressor : nullptr);
 }
 
@@ -581,6 +605,11 @@ ResponseFrame Service::do_compress(const RequestFrame& request, const hw::HwConf
 }
 
 ResponseFrame Service::do_decompress(const RequestFrame& request) {
+  // LZBC payloads take the symmetric block-parallel path; everything else
+  // is a single-shot inflate. The magics are disjoint ("LZBC" vs "LZS1" vs
+  // a zlib CMF byte), so sniffing cannot misroute a valid container.
+  if (container::looks_like_container(request.payload))
+    return do_decompress_blocked(request);
   ResponseFrame resp;
   const bool raw = (request.flags & kFlagRawContainer) != 0;
   try {
@@ -604,6 +633,155 @@ ResponseFrame Service::do_decompress(const RequestFrame& request) {
   return resp;
 }
 
+ResponseFrame Service::do_compress_blocked(const RequestFrame& request, const hw::HwConfig& cfg,
+                                           hw::Compressor* default_compressor) {
+  const std::span<const std::uint8_t> input(request.payload);
+  ResponseFrame resp;
+  resp.adler = checksum::adler32(input);
+  if ((request.flags & kFlagRawContainer) != 0) {
+    // LZBC block payloads are deflate/stored; the raw-LZSS container has no
+    // block form. Typed reject instead of a silently different container.
+    resp.status = Status::kBadRequest;
+    return resp;
+  }
+
+  const std::size_t block_bytes = par::clamp_block_bytes(cfg_.block_bytes, cfg.dict_size());
+  const std::size_t blocks = container::block_count_for(input.size(), block_bytes);
+  std::vector<std::vector<std::uint8_t>> records(blocks);
+  const bool use_worker_engine = default_compressor != nullptr;
+
+  // The per-block body; runs on the parent worker and on helper workers
+  // concurrently (records[i] slots are disjoint). It never throws:
+  // encode_block degrades to a stored record internally, so one bad block
+  // can only cost ratio, never the request.
+  const container::BlockWork work = [&](std::size_t i, hw::Compressor* engine) {
+    const auto t0 = std::chrono::steady_clock::now();
+    obs::Span span(trace_, "container_block");
+    const std::size_t begin = i * block_bytes;
+    const std::size_t len = std::min(block_bytes, input.size() - begin);
+    auto result = container::encode_block(cfg, use_worker_engine ? engine : nullptr,
+                                          input.subspan(begin, len));
+    if (result.census_valid) hw::export_cycle_stats(*registry_, result.census);
+    if (result.stored) block_fallbacks_c_->add(1);
+    records[i] = std::move(result.record);
+    blocks_compress_c_->add(1);
+    block_lat_compress_us_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    span.set_tag("compress");
+    span.set_args(static_cast<std::int64_t>(i), static_cast<std::int64_t>(len));
+  };
+
+  struct WaiterGuard {
+    obs::Gauge* g;
+    explicit WaiterGuard(obs::Gauge* gauge) : g(gauge) { g->add(1); }
+    ~WaiterGuard() { g->add(-1); }
+  } waiter(reassembly_waiters_g_);
+  const container::FanoutReport rep = container::run_fanout(
+      blocks, cfg_.workers > 0 ? cfg_.workers - 1 : 0, work,
+      [this](std::function<void(hw::Compressor&)> task) {
+        return try_enqueue_helper(std::move(task));
+      },
+      default_compressor);
+  helper_blocks_c_->add(rep.helper_blocks);
+  helper_rejects_c_->add(rep.helpers_rejected);
+  reassembly_wait_us_->record(rep.reassembly_wait_us);
+
+  std::size_t total = container::kSuperframeHeaderSize;
+  for (const auto& r : records) total += r.size();
+  resp.payload.reserve(total);
+  container::append_superframe_header(resp.payload, static_cast<std::uint32_t>(block_bytes),
+                                      static_cast<std::uint32_t>(blocks), input.size());
+  for (const auto& r : records) resp.payload.insert(resp.payload.end(), r.begin(), r.end());
+  return resp;
+}
+
+ResponseFrame Service::do_decompress_blocked(const RequestFrame& request) {
+  ResponseFrame resp;
+  container::SuperframeView view;
+  try {
+    // Full structural validation before any block work: raw_total is capped
+    // by max_payload here, the superframe-level bomb guard.
+    view = container::parse(request.payload, cfg_.max_payload);
+  } catch (const container::ContainerError& e) {
+    resp.status = e.kind() == container::ContainerError::Kind::kTooLarge ? Status::kTooLarge
+                                                                         : Status::kCorrupt;
+    return resp;
+  }
+
+  std::vector<std::uint8_t> output(static_cast<std::size_t>(view.raw_total));
+  std::atomic<bool> block_failed{false};
+
+  const container::BlockWork work = [&](std::size_t i, hw::Compressor*) {
+    if (block_failed.load(std::memory_order_relaxed)) return;  // request already lost
+    const auto t0 = std::chrono::steady_clock::now();
+    obs::Span span(trace_, "container_block");
+    const container::BlockView& b = view.blocks[i];
+    bool ok = true;
+    try {
+      // Disjoint output slices: blocks from several workers land directly
+      // in the preallocated payload, no reassembly copy.
+      container::decode_block(b, std::span<std::uint8_t>(output).subspan(b.raw_offset, b.raw_len));
+    } catch (const std::exception&) {
+      // CRC mismatch, bad stream, or a per-block bomb: all corruption of
+      // this block. The typed per-block error fails the whole request —
+      // never a partial-success payload.
+      ok = false;
+      block_failed.store(true, std::memory_order_relaxed);
+    }
+    blocks_decompress_c_->add(1);
+    block_lat_decompress_us_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    span.set_tag(ok ? "decompress" : "corrupt");
+    span.set_args(static_cast<std::int64_t>(i), static_cast<std::int64_t>(b.raw_len));
+  };
+
+  struct WaiterGuard {
+    obs::Gauge* g;
+    explicit WaiterGuard(obs::Gauge* gauge) : g(gauge) { g->add(1); }
+    ~WaiterGuard() { g->add(-1); }
+  } waiter(reassembly_waiters_g_);
+  const container::FanoutReport rep = container::run_fanout(
+      view.blocks.size(), cfg_.workers > 0 ? cfg_.workers - 1 : 0, work,
+      [this](std::function<void(hw::Compressor&)> task) {
+        return try_enqueue_helper(std::move(task));
+      },
+      nullptr);
+  helper_blocks_c_->add(rep.helper_blocks);
+  helper_rejects_c_->add(rep.helpers_rejected);
+  reassembly_wait_us_->record(rep.reassembly_wait_us);
+
+  if (block_failed.load()) {
+    resp.status = Status::kCorrupt;
+    return resp;
+  }
+  resp.payload = std::move(output);
+  resp.adler = checksum::adler32(resp.payload);
+  return resp;
+}
+
+bool Service::try_enqueue_helper(std::function<void(hw::Compressor&)> work) {
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    // Same bounded queue as client requests: a full queue refuses the
+    // helper (per-block BUSY) and the parent absorbs the block itself.
+    if (stopping_ || queue_.size() >= cfg_.queue_depth) return false;
+    auto job = std::make_shared<Job>();
+    job->block_work = std::move(work);
+    job->enqueued_at = t0;
+    queue_.push_back(std::move(job));
+    queue_high_water_ = std::max<std::uint64_t>(queue_high_water_, queue_.size());
+    queue_depth_g_->set(static_cast<std::int64_t>(queue_.size()));
+    queue_high_water_g_->set(static_cast<std::int64_t>(queue_high_water_));
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
 void Service::bind_metrics() {
   obs::Registry& r = *registry_;
   for (std::size_t i = 0; i < kOpcodeCount; ++i) {
@@ -625,6 +803,16 @@ void Service::bind_metrics() {
   deadline_c_ = &r.counter("server_deadline_exceeded_total");
   fallbacks_c_ = &r.counter("server_fallbacks_total");
   respawns_c_ = &r.counter("server_workers_respawned_total");
+  blocks_compress_c_ = &r.counter("container_blocks_total", {{"op", "compress"}});
+  blocks_decompress_c_ = &r.counter("container_blocks_total", {{"op", "decompress"}});
+  block_lat_compress_us_ = &r.histogram("container_block_latency_us", {{"op", "compress"}});
+  block_lat_decompress_us_ =
+      &r.histogram("container_block_latency_us", {{"op", "decompress"}});
+  reassembly_waiters_g_ = &r.gauge("container_reassembly_waiters");
+  reassembly_wait_us_ = &r.histogram("container_reassembly_wait_us");
+  helper_blocks_c_ = &r.counter("container_helper_blocks_total");
+  helper_rejects_c_ = &r.counter("container_helper_rejects_total");
+  block_fallbacks_c_ = &r.counter("container_block_fallbacks_total");
   // Pull-style mirror of the fault-injection trigger table: scraped at
   // snapshot time, so disarmed points cost nothing on the request path.
   // Capture-less on purpose — the collector may outlive this service when

@@ -12,6 +12,12 @@
 // for the service's default configuration; payloads at or above
 // large_threshold take the par::MultiEngine striped path instead, so one big
 // request does not serialize behind a single model instance.
+// COMPRESS_BLOCKED splits the payload into an LZBC block container and fans
+// the blocks across the pool as internal sub-jobs on the same bounded queue
+// (container/scheduler.hpp); DECOMPRESS sniffs the LZBC magic and inverts
+// blocked containers the same parallel way. The parent request's worker
+// always participates in the fan-out, so a saturated queue degrades to
+// single-worker throughput instead of deadlocking.
 //
 // Robustness contract (see docs/SERVER.md "Failure semantics"):
 //  * Deadlines — with request_timeout_ms set, a watchdog thread fails
@@ -77,6 +83,9 @@ struct ServiceConfig {
   std::size_t queue_depth = 64;          ///< bounded MPMC queue capacity
   unsigned large_engines = 4;            ///< MultiEngine width for large payloads
   std::size_t large_threshold = 1 << 18; ///< bytes; >= this stripes across engines
+  /// COMPRESS_BLOCKED split size (clamped up to the dictionary size, see
+  /// parallel/stripe.hpp); lzssd exposes it as --block-kb.
+  std::size_t block_bytes = 256 * 1024;
   std::size_t max_payload = kMaxPayload; ///< per-request payload cap
   std::uint32_t request_timeout_ms = 0;  ///< 0 = no per-request deadline
   std::uint32_t hung_worker_ms = 0;      ///< 0 = no hung/dead worker recovery
@@ -163,9 +172,15 @@ class Service {
  private:
   /// One in-flight request. Shared between the owning worker and the
   /// watchdog; whoever wins the answered flag delivers the response.
+  /// When `block_work` is set the job is an internal container sub-job: it
+  /// runs a slice of another request's block fan-out on this worker's
+  /// engine and produces no response of its own (the parent request
+  /// assembles and answers). It still rides the same bounded queue, so
+  /// BUSY, deadline reaping and watchdog rescue apply per block.
   struct Job {
     RequestFrame request;
     Completion done;
+    std::function<void(hw::Compressor&)> block_work;
     std::chrono::steady_clock::time_point enqueued_at;
     std::atomic<bool> answered{false};
   };
@@ -188,6 +203,13 @@ class Service {
                                           const hw::HwConfig& cfg,
                                           hw::Compressor* default_compressor);
   [[nodiscard]] ResponseFrame do_decompress(const RequestFrame& request);
+  [[nodiscard]] ResponseFrame do_compress_blocked(const RequestFrame& request,
+                                                  const hw::HwConfig& cfg,
+                                                  hw::Compressor* default_compressor);
+  [[nodiscard]] ResponseFrame do_decompress_blocked(const RequestFrame& request);
+  /// Offers a container sub-job to the bounded queue; false = queue full or
+  /// stopping (the parent runs the blocks itself — BUSY per block).
+  [[nodiscard]] bool try_enqueue_helper(std::function<void(hw::Compressor&)> work);
   [[nodiscard]] ResponseFrame do_log_append(const RequestFrame& request);
   [[nodiscard]] ResponseFrame do_log_read(const RequestFrame& request);
   /// Records counters/latency and invokes the completion (inline path).
@@ -240,6 +262,17 @@ class Service {
   obs::Counter* deadline_c_ = nullptr;
   obs::Counter* fallbacks_c_ = nullptr;
   obs::Counter* respawns_c_ = nullptr;
+
+  // Block-container instruments (docs/CONTAINER.md / docs/OBSERVABILITY.md).
+  obs::Counter* blocks_compress_c_ = nullptr;      ///< container_blocks_total{op=...}
+  obs::Counter* blocks_decompress_c_ = nullptr;
+  obs::Histogram* block_lat_compress_us_ = nullptr;   ///< per-block latency
+  obs::Histogram* block_lat_decompress_us_ = nullptr;
+  obs::Gauge* reassembly_waiters_g_ = nullptr;     ///< parents waiting on helpers
+  obs::Histogram* reassembly_wait_us_ = nullptr;
+  obs::Counter* helper_blocks_c_ = nullptr;        ///< blocks run by helper jobs
+  obs::Counter* helper_rejects_c_ = nullptr;       ///< helpers refused by the queue
+  obs::Counter* block_fallbacks_c_ = nullptr;      ///< stored-method blocks
 
   store::LogStore* store_ = nullptr;  ///< durable sink for LOG_APPEND/LOG_READ
 };

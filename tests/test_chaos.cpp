@@ -52,6 +52,7 @@ ServiceConfig chaos_config() {
   cfg.queue_depth = 8;
   cfg.request_timeout_ms = 1000;
   cfg.hung_worker_ms = 200;
+  cfg.block_bytes = 4096;  // small enough that chaos traffic spans blocks
   return cfg;
 }
 
@@ -76,11 +77,12 @@ struct TrafficResult {
 };
 
 /// Randomized traffic straight into Service::submit (no transport): mixed
-/// COMPRESS / DECOMPRESS / PING across several client threads. Every submit
-/// is accounted for; the wait at the end fails the test if any completion
-/// never fires.
+/// COMPRESS / DECOMPRESS (zlib and LZBC bodies) / COMPRESS_BLOCKED / PING
+/// across several client threads. Every submit is accounted for; the wait at
+/// the end fails the test if any completion never fires.
 TrafficResult drive_submit_traffic(Service& service, const std::vector<std::uint8_t>& corpus,
                                    const std::vector<std::uint8_t>& zlib_body,
+                                   const std::vector<std::uint8_t>& lzbc_body,
                                    std::uint64_t seed, unsigned threads = 3,
                                    int per_thread = 4) {
   TrafficResult result;
@@ -116,7 +118,16 @@ TrafficResult drive_submit_traffic(Service& service, const std::vector<std::uint
               rng.next_below(2) == 0 ? server::kFlagRawContainer : std::uint16_t{0});
         } else if (kind < 8) {
           req.opcode = Opcode::kDecompress;
-          req.payload = zlib_body;
+          req.payload = rng.next_below(2) == 0 ? zlib_body : lzbc_body;
+        } else if (kind == 8) {
+          // Multi-block fan-out under fault pressure: with the chaos config's
+          // 4 KiB blocks these requests spawn helper sub-jobs on the same
+          // queue the rest of the traffic is fighting over.
+          const std::size_t chunk = 2048 + rng.next_below(10240);
+          const std::size_t off = rng.next_below(corpus.size() - chunk);
+          req.opcode = Opcode::kCompressBlocked;
+          req.payload.assign(corpus.begin() + static_cast<std::ptrdiff_t>(off),
+                             corpus.begin() + static_cast<std::ptrdiff_t>(off + chunk));
         } else {
           req.opcode = Opcode::kPing;
         }
@@ -293,8 +304,13 @@ fault::Spec sweep_spec(const std::string& point, int iter) {
   } else if (point == "server.tcp.short_write" || point == "server.tcp.abort") {
     spec.action = fault::Action::kFire;
     spec.probability = point == "server.tcp.abort" ? 0.15 : 0.5;
-  } else if (point == "server.session.egress" || point == "deflate.inflate.corrupt") {
+  } else if (point == "server.session.egress" || point == "deflate.inflate.corrupt" ||
+             point == "container.block.corrupt") {
     spec.action = fault::Action::kCorrupt;
+    spec.probability = 0.5;
+  } else if (point == "container.reassemble.delay") {
+    spec.action = fault::Action::kDelay;
+    spec.delay_ms = 10;
     spec.probability = 0.5;
   } else {
     spec.action = fault::Action::kThrow;
@@ -303,25 +319,33 @@ fault::Spec sweep_spec(const std::string& point, int iter) {
   return spec;
 }
 
-// The tentpole acceptance test: 54 seeded iterations (every registered point
-// armed six times) of randomized multi-client traffic, each followed by a
-// clean-service health check on the same instance.
+// The sweep acceptance test: every registered point armed six times under
+// randomized multi-client traffic, each episode followed by a clean-service
+// health check on the same instance.
 TEST(Chaos, SweepEveryRegisteredPoint) {
   const auto points = fault::all_points();
-  ASSERT_GE(points.size(), 9u);
+  ASSERT_GE(points.size(), 15u);
   const auto corpus = wl::make_corpus("mixed", 64 * 1024);
-  const auto zlib_body = [&] {
-    // A small valid container for DECOMPRESS traffic, built before any
-    // fault is armed.
+  std::vector<std::uint8_t> zlib_body, lzbc_body;
+  {
+    // Small valid containers (one zlib, one LZBC) for DECOMPRESS traffic,
+    // built before any fault is armed.
     Service service(chaos_config());
     server::LoopbackClient client(service);
     const std::vector<std::uint8_t> data(corpus.begin(), corpus.begin() + 2048);
     const auto resp = client.call(compress_request(1, data));
     EXPECT_EQ(resp.status, Status::kOk);
-    return resp.payload;
-  }();
+    zlib_body = resp.payload;
+    RequestFrame blocked;
+    blocked.id = 2;
+    blocked.opcode = Opcode::kCompressBlocked;
+    blocked.payload.assign(corpus.begin(), corpus.begin() + 12 * 1024);
+    const auto packed = client.call(blocked);
+    EXPECT_EQ(packed.status, Status::kOk);
+    lzbc_body = packed.payload;
+  }
 
-  const int iterations = static_cast<int>(points.size()) * 6;  // 54 >= 50
+  const int iterations = static_cast<int>(points.size()) * 6;
   for (int iter = 0; iter < iterations; ++iter) {
     const std::string point = points[static_cast<std::size_t>(iter) % points.size()];
     SCOPED_TRACE("iteration " + std::to_string(iter) + " point " + point);
@@ -345,10 +369,10 @@ TEST(Chaos, SweepEveryRegisteredPoint) {
         const std::vector<std::uint8_t> block(corpus.begin(), corpus.begin() + 2048);
         const auto report = hw::run_system(hw::HwConfig::speed_optimized(), block);
         EXPECT_EQ(deflate::inflate_raw(report.deflate_stream), block);
-        r = drive_submit_traffic(service, corpus, zlib_body,
+        r = drive_submit_traffic(service, corpus, zlib_body, lzbc_body,
                                  static_cast<std::uint64_t>(iter));
       } else {
-        r = drive_submit_traffic(service, corpus, zlib_body,
+        r = drive_submit_traffic(service, corpus, zlib_body, lzbc_body,
                                  static_cast<std::uint64_t>(iter));
       }
       EXPECT_EQ(r.answered + r.transport_errors, r.submitted);
@@ -545,6 +569,56 @@ TEST(Chaos, ChannelStallNeverWedgesTheHandshake) {
   const auto report = hw::run_system(hw::HwConfig::speed_optimized(), data);
   fault::disarm("stream.channel.stall");
   EXPECT_EQ(deflate::inflate_raw(report.deflate_stream), data);
+}
+
+TEST(Chaos, ContainerFaultPointsAnswerTypedAndRecover) {
+  ServiceConfig cfg = chaos_config();
+  Service service(cfg);
+  server::LoopbackClient client(service);
+  const auto data = wl::make_corpus("mixed", 24 * 1024);
+
+  RequestFrame blocked;
+  blocked.id = 1;
+  blocked.opcode = Opcode::kCompressBlocked;
+  blocked.payload = data;
+  const auto packed = client.call(blocked);
+  ASSERT_EQ(packed.status, Status::kOk);
+
+  RequestFrame dec;
+  dec.opcode = Opcode::kDecompress;
+  dec.payload = packed.payload;
+  {
+    // Every block's compressed view gets bit-flipped in flight: the request
+    // must collapse to one typed CORRUPT — never a partial payload.
+    fault::Spec corrupt;
+    corrupt.action = fault::Action::kCorrupt;
+    const fault::ScopedFault guard("container.block.corrupt", corrupt);
+    dec.id = 2;
+    const auto resp = client.call(dec);
+    EXPECT_EQ(resp.status, Status::kCorrupt);
+    EXPECT_TRUE(resp.payload.empty());
+  }
+  {
+    // A throw out of the fan-out (before the parent claims a block) must
+    // unwind through the quiesce guard into a typed INTERNAL, with every
+    // in-flight helper waited out before the request's stack dies.
+    fault::Spec boom;
+    boom.action = fault::Action::kThrow;
+    const fault::ScopedFault guard("container.reassemble.delay", boom);
+    RequestFrame again;
+    again.id = 3;
+    again.opcode = Opcode::kCompressBlocked;
+    again.payload = data;
+    const auto resp = client.call(again);
+    EXPECT_EQ(resp.status, Status::kInternal);
+    EXPECT_TRUE(resp.payload.empty());
+  }
+  // Disarmed: the same container decodes cleanly on the same instance.
+  dec.id = 4;
+  const auto resp = client.call(dec);
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.payload, data);
+  expect_service_healthy(service, data);
 }
 
 TEST(Chaos, SeededEpisodesAreReproducible) {

@@ -79,6 +79,17 @@ TEST(MultiEngine, ReportRecordsRequestedVersusEffectiveEngines) {
   EXPECT_EQ(full.engines.size(), 4u);
 }
 
+TEST(MultiEngine, AggregateThroughputUnitsAreMbPerS) {
+  // Pin the unit contract bench/ext_multi_engine labels rely on: MB/s with
+  // MB = 10^6 bytes. 5e6 bytes in 1e7 cycles at 100 MHz is 0.1 s of on-chip
+  // wall time, i.e. exactly 50 MB/s — any other unit breaks this equality.
+  MultiEngineReport report;
+  report.input_bytes = 5'000'000;
+  report.parallel_cycles = 10'000'000;
+  EXPECT_DOUBLE_EQ(report.aggregate_mb_per_s(100.0), 50.0);
+  EXPECT_DOUBLE_EQ(report.aggregate_mb_per_s(200.0), 100.0);  // linear in clock
+}
+
 TEST(MultiEngine, ZeroEnginesRejected) {
   const auto data = wl::make_corpus("wiki", 1024);
   EXPECT_THROW((void)compress_multi_engine(hw::HwConfig::speed_optimized(), data, 0),

@@ -12,11 +12,16 @@
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "common/checksum.hpp"
+#include "container/codec.hpp"
+#include "container/format.hpp"
 #include "deflate/inflate.hpp"
+#include "fault/fault.hpp"
 #include "lzss/raw_container.hpp"
+#include "obs/metrics.hpp"
 #include "server/retry.hpp"
 #include "server/service.hpp"
 #include "server/tcp.hpp"
@@ -361,6 +366,174 @@ TEST(ServerService, ConcurrentLoopbackClientsAllRoundTrip) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+RequestFrame blocked_request(std::uint64_t id, std::vector<std::uint8_t> data,
+                             std::uint16_t flags = 0) {
+  RequestFrame req;
+  req.id = id;
+  req.opcode = Opcode::kCompressBlocked;
+  req.flags = flags;
+  req.payload = std::move(data);
+  return req;
+}
+
+RequestFrame decompress_request(std::uint64_t id, std::vector<std::uint8_t> payload) {
+  RequestFrame req;
+  req.id = id;
+  req.opcode = Opcode::kDecompress;
+  req.payload = std::move(payload);
+  return req;
+}
+
+TEST(ServerContainer, BlockedCompressRoundTripsThroughDecompress) {
+  ServiceConfig cfg = small_config();
+  cfg.block_bytes = 32 * 1024;
+  Service service(cfg);
+  LoopbackClient client(service);
+  const auto data = wl::make_corpus("mixed", 200 * 1024);
+
+  const auto packed = client.call(blocked_request(1, data));
+  ASSERT_EQ(packed.status, Status::kOk);
+  EXPECT_EQ(packed.adler, checksum::adler32(data));
+  const auto view = container::parse(packed.payload, data.size());
+  EXPECT_EQ(view.raw_total, data.size());
+  EXPECT_EQ(view.blocks.size(), container::block_count_for(data.size(), 32 * 1024));
+
+  // Plain DECOMPRESS sniffs the LZBC magic and inverts it in parallel.
+  const auto restored = client.call(decompress_request(2, packed.payload));
+  ASSERT_EQ(restored.status, Status::kOk);
+  EXPECT_EQ(restored.payload, data);
+  EXPECT_EQ(restored.adler, checksum::adler32(data));
+}
+
+TEST(ServerContainer, BlockedCompressWithPresetRoundTrips) {
+  ServiceConfig cfg = small_config();
+  cfg.block_bytes = 32 * 1024;
+  Service service(cfg);
+  LoopbackClient client(service);
+  const auto data = wl::make_corpus("wiki", 96 * 1024);
+
+  // Preset 2 = "balanced": workers can't reuse their default-config engine,
+  // so every block encodes on an ad-hoc model for the preset's geometry.
+  const auto packed = client.call(blocked_request(1, data, flags_with_preset(0, 2)));
+  ASSERT_EQ(packed.status, Status::kOk);
+  EXPECT_EQ(container::block_decompress(packed.payload, data.size()), data);
+}
+
+TEST(ServerContainer, LargeRequestOccupiesMultipleWorkers) {
+  // The acceptance proof for the fan-out path: one 8 MiB COMPRESS_BLOCKED
+  // request, four workers. A short armed delay keeps the parent out of the
+  // claim pool at the start, so helper workers demonstrably carry blocks
+  // (container_helper_blocks_total > 0) — the request cannot have run on a
+  // single worker.
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_depth = 32;
+  cfg.block_bytes = 256 * 1024;
+  obs::Registry registry;
+  cfg.registry = &registry;
+  Service service(cfg);
+  LoopbackClient client(service);
+
+  fault::Spec delay;
+  delay.action = fault::Action::kDelay;
+  delay.delay_ms = 50;
+  delay.max_triggers = 1;
+  const auto data = wl::make_corpus("x2e", 8 * 1024 * 1024);
+  std::optional<ResponseFrame> packed;
+  {
+    fault::ScopedFault guard("container.reassemble.delay", delay);
+    packed = client.call(blocked_request(1, data));
+  }
+  ASSERT_EQ(packed->status, Status::kOk);
+  EXPECT_GT(registry.counter("container_helper_blocks_total").value(), 0u);
+  EXPECT_EQ(registry.counter("container_blocks_total", {{"op", "compress"}}).value(),
+            container::block_count_for(data.size(), cfg.block_bytes));
+
+  const auto restored = client.call(decompress_request(2, packed->payload));
+  ASSERT_EQ(restored.status, Status::kOk);
+  EXPECT_EQ(restored.payload, data);
+  EXPECT_EQ(registry.counter("container_blocks_total", {{"op", "decompress"}}).value(),
+            container::block_count_for(data.size(), cfg.block_bytes));
+}
+
+TEST(ServerContainer, CorruptedBlockAnswersCorruptNeverPartial) {
+  ServiceConfig cfg = small_config();
+  cfg.block_bytes = 32 * 1024;
+  Service service(cfg);
+  LoopbackClient client(service);
+  const auto data = wl::make_corpus("wiki", 128 * 1024);
+
+  const auto packed = client.call(blocked_request(1, data));
+  ASSERT_EQ(packed.status, Status::kOk);
+
+  // Flip one bit inside the last block's payload: every earlier block still
+  // decodes, but the response must be a typed CORRUPT with no payload.
+  auto mangled = packed.payload;
+  mangled.back() ^= 0x01;
+  const auto resp = client.call(decompress_request(2, std::move(mangled)));
+  EXPECT_EQ(resp.status, Status::kCorrupt);
+  EXPECT_TRUE(resp.payload.empty());
+}
+
+TEST(ServerContainer, RawTotalBeyondPayloadCapAnswersTooLarge) {
+  // A tiny container whose header promises more raw bytes than the service
+  // cap: the superframe bomb guard answers TOO_LARGE before any block work.
+  ServiceConfig cfg = small_config();
+  cfg.max_payload = 1024 * 1024;
+  Service service(cfg);
+  LoopbackClient client(service);
+
+  std::vector<std::uint8_t> bomb;
+  const std::uint32_t block_size = 1024 * 1024;
+  const std::uint64_t raw_total = static_cast<std::uint64_t>(cfg.max_payload) + 1;
+  container::append_superframe_header(
+      bomb, block_size, static_cast<std::uint32_t>(container::block_count_for(raw_total, block_size)),
+      raw_total);
+  const auto resp = client.call(decompress_request(1, std::move(bomb)));
+  EXPECT_EQ(resp.status, Status::kTooLarge);
+  EXPECT_TRUE(resp.payload.empty());
+}
+
+TEST(ServerContainer, RawFlagOnBlockedCompressAnswersBadRequest) {
+  Service service(small_config());
+  LoopbackClient client(service);
+  const auto resp =
+      client.call(blocked_request(1, wl::make_corpus("wiki", 4 * 1024), kFlagRawContainer));
+  EXPECT_EQ(resp.status, Status::kBadRequest);
+  EXPECT_TRUE(resp.payload.empty());
+}
+
+TEST(ServerContainer, EmptyBlockedCompressRoundTrips) {
+  Service service(small_config());
+  LoopbackClient client(service);
+  const auto packed = client.call(blocked_request(1, {}));
+  ASSERT_EQ(packed.status, Status::kOk);
+  EXPECT_EQ(packed.payload.size(), container::kSuperframeHeaderSize);
+  const auto restored = client.call(decompress_request(2, packed.payload));
+  ASSERT_EQ(restored.status, Status::kOk);
+  EXPECT_TRUE(restored.payload.empty());
+  EXPECT_EQ(restored.adler, 1u);  // Adler-32 of empty output
+}
+
+TEST(ServerService, PlainDecompressBombAnswersTooLarge) {
+  // A valid zlib stream that inflates past the small service's cap must be
+  // refused with the typed TOO_LARGE, not inflated into memory.
+  Service big(small_config());
+  LoopbackClient big_client(big);
+  const auto data = wl::make_corpus("zeros", 2 * 1024 * 1024);
+  const auto packed = big_client.call(compress_request(1, data));
+  ASSERT_EQ(packed.status, Status::kOk);
+  ASSERT_LT(packed.payload.size(), 1024u * 1024);
+
+  ServiceConfig capped = small_config();
+  capped.max_payload = 1024 * 1024;
+  Service small(capped);
+  LoopbackClient small_client(small);
+  const auto resp = small_client.call(decompress_request(2, packed.payload));
+  EXPECT_EQ(resp.status, Status::kTooLarge);
+  EXPECT_TRUE(resp.payload.empty());
 }
 
 TEST(ServerSession, PoisonedSessionEmitsExactlyOneErrorAndIgnoresFurtherBytes) {

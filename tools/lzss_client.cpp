@@ -1,7 +1,7 @@
 // lzss_client — talk to a running lzssd.
 //
 //   lzss_client [options] <op> [file]
-//     op: compress <file> | decompress <file> | ping
+//     op: compress <file> | compress-blocked <file> | decompress <file> | ping
 //         | stats             (prints the server's machine-readable snapshot:
 //                              {"service":{...},"metrics":[...]} JSON)
 //         | log-append <file> (prints the durable sequence number)
@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/checksum.hpp"
+#include "container/codec.hpp"
 #include "deflate/inflate.hpp"
 #include "lzss/raw_container.hpp"
 #include "server/frame.hpp"
@@ -53,7 +54,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: lzss_client [--host h] [--port p] [--raw] [--preset id] [-o out]\n"
                "                   [--no-verify] [--retries n] [--retry-base-ms m]\n"
-               "                   compress|decompress|ping|stats [file]\n"
+               "                   compress|compress-blocked|decompress|ping|stats [file]\n"
                "                   | log-append <file> | log-read <seq>\n");
   return 2;
 }
@@ -97,8 +98,8 @@ int main(int argc, char** argv) {
       file = arg;
     }
   }
-  const bool needs_file =
-      op == "compress" || op == "decompress" || op == "log-append" || op == "log-read";
+  const bool needs_file = op == "compress" || op == "compress-blocked" ||
+                          op == "decompress" || op == "log-append" || op == "log-read";
   if (op.empty() || (needs_file && file.empty()) || port > 65535 || preset > 255)
     return usage();
 
@@ -109,6 +110,9 @@ int main(int argc, char** argv) {
                                           static_cast<std::uint8_t>(preset));
     if (op == "compress") {
       req.opcode = server::Opcode::kCompress;
+      req.payload = read_file(file);
+    } else if (op == "compress-blocked") {
+      req.opcode = server::Opcode::kCompressBlocked;
       req.payload = read_file(file);
     } else if (op == "decompress") {
       req.opcode = server::Opcode::kDecompress;
@@ -198,10 +202,13 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    if (op == "compress" && verify) {
+    const bool compressing = op == "compress" || op == "compress-blocked";
+    if (compressing && verify) {
       // End-to-end proof: inflate locally and byte-compare.
-      const auto round = raw ? core::raw_container_unpack(resp.payload)
-                             : deflate::zlib_decompress(resp.payload);
+      const auto round = op == "compress-blocked"
+                             ? container::block_decompress(resp.payload, req.payload.size())
+                             : (raw ? core::raw_container_unpack(resp.payload)
+                                    : deflate::zlib_decompress(resp.payload));
       if (round != req.payload) {
         std::fprintf(stderr, "round-trip MISMATCH: inflated output differs from input\n");
         return 1;
@@ -211,16 +218,29 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    if (op == "decompress" && resp.adler != checksum::adler32(resp.payload)) {
+      // The adler field is the checksum of the *reconstructed* data; a
+      // mismatch means the response was mangled in transit.
+      std::fprintf(stderr, "adler MISMATCH: server %08x\n", resp.adler);
+      return 1;
+    }
     if (!out_path.empty()) write_file(out_path, resp.payload);
 
+    // Name the container that is actually on the compressed side: what the
+    // server produced for compress ops, what we sent it for decompress.
+    const char* kind = op == "compress-blocked"             ? "LZBC"
+                       : op == "decompress"                 ? (container::looks_like_container(req.payload)
+                                                                  ? "LZBC"
+                                                                  : "zlib/raw")
+                       : raw                                ? "raw"
+                                                            : "zlib";
     std::printf("%zu -> %zu bytes (ratio %.3f, %s container%s)\n", req.payload.size(),
                 resp.payload.size(),
                 resp.payload.empty()
                     ? 0.0
                     : static_cast<double>(req.payload.size()) /
                           static_cast<double>(resp.payload.size()),
-                raw ? "raw" : "zlib",
-                op == "compress" && verify ? ", round-trip verified" : "");
+                kind, compressing && verify ? ", round-trip verified" : "");
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lzss_client: %s\n", e.what());

@@ -8,6 +8,8 @@
 //                         (speed | balanced | ratio | min-bram | baseline-2007)
 //     --large-engines <n> MultiEngine stripe width for large payloads (default 4)
 //     --threshold-kb <k>  payloads >= k KiB take the striped path (default 256)
+//     --block-kb <k>      COMPRESS_BLOCKED block size in KiB; blocks fan out
+//                         across the worker pool (default 256, docs/CONTAINER.md)
 //     --request-timeout-ms <t>  per-request deadline; expired requests answer
 //                               DEADLINE_EXCEEDED (0 = no deadline, default)
 //     --hung-worker-ms <t>      watchdog threshold: a worker stuck on one
@@ -52,7 +54,7 @@ void handle_signal(int) {
 int usage() {
   std::fprintf(stderr,
                "usage: lzssd [--port p] [--engines n] [--queue-depth d] [--preset name]\n"
-               "             [--large-engines n] [--threshold-kb k]\n"
+               "             [--large-engines n] [--threshold-kb k] [--block-kb k]\n"
                "             [--request-timeout-ms t] [--hung-worker-ms t]\n"
                "             [--store-dir dir] [--store-fsync policy] [--store-segment-kb k]\n"
                "             [--metrics-dump] [--trace-jsonl path]\n");
@@ -89,6 +91,8 @@ int main(int argc, char** argv) {
       cfg.large_engines = static_cast<unsigned>(std::atoi(v));
     } else if (arg == "--threshold-kb" && (v = next()) != nullptr) {
       cfg.large_threshold = static_cast<std::size_t>(std::atoi(v)) * 1024;
+    } else if (arg == "--block-kb" && (v = next()) != nullptr) {
+      cfg.block_bytes = static_cast<std::size_t>(std::atoi(v)) * 1024;
     } else if (arg == "--request-timeout-ms" && (v = next()) != nullptr) {
       cfg.request_timeout_ms = static_cast<std::uint32_t>(std::atoi(v));
     } else if (arg == "--hung-worker-ms" && (v = next()) != nullptr) {
