@@ -11,6 +11,9 @@
 // A fourth: single-request GB/s of the blocked container (COMPRESS_BLOCKED)
 // vs block size vs engines — the fan-out path where one request spreads
 // over the whole pool.
+// A fifth behind `--maintenance`: LOG_APPEND goodput with the background
+// compaction + scrub thread running against a gappy archive vs without —
+// the interference cost of self-healing, as a ratio.
 //
 // Besides the human tables, the default run writes BENCH_server.json
 // (override with `--json <path>`): the sweep rows plus a full STATS-opcode
@@ -29,11 +32,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/prng.hpp"
 #include "obs/metrics.hpp"
 #include "server/retry.hpp"
 #include "server/service.hpp"
 #include "server/tcp.hpp"
 #include "store/log_store.hpp"
+#include "store/maintenance.hpp"
 
 namespace {
 
@@ -394,6 +399,148 @@ void print_durable_tables() {
   }
 }
 
+/// `--maintenance`: LOG_APPEND goodput with and without the background
+/// maintenance thread (compaction + scrub) chewing on the same store. Both
+/// runs start from byte-identical copies of a pre-seeded gappy archive, so
+/// the interference ratio isolates what self-healing costs the foreground.
+void print_maintenance_tables() {
+  bench::print_title(
+      "EXTENSION — FOREGROUND GOODPUT UNDER BACKGROUND MAINTENANCE",
+      "4 loadgen threads x 4 KiB LOG_APPEND vs concurrent compaction + scrub");
+
+  const auto& corpus = bench::cached_corpus("wiki", 1 << 20);
+  const std::size_t chunk = 4 * 1024;
+  const unsigned threads = 4;
+  const int per_thread = 150;
+
+  // Seed one gappy archive: incompressible records in small segments, then
+  // a flipped byte in every other sealed segment, quarantined on reopen.
+  // Both measurement runs get a flat copy so they compact identical work.
+  char tmpl[] = "/tmp/lzss_bench_maint_XXXXXX";
+  const char* seed_dir = ::mkdtemp(tmpl);
+  if (seed_dir == nullptr) {
+    std::printf("(skipping: cannot create a temp store directory)\n");
+    return;
+  }
+  {
+    store::StoreOptions opt;
+    opt.fsync_policy = store::FsyncPolicy::kNever;
+    opt.segment_bytes = 8 * 1024;
+    store::LogStore log(seed_dir, opt);
+    rng::Xoshiro256 rng(4242);
+    std::vector<std::uint8_t> rec(2048);
+    for (int i = 0; i < 80; ++i) {
+      for (auto& b : rec) b = static_cast<std::uint8_t>(rng.next_below(256));
+      log.append(rec);
+    }
+    log.flush();
+  }
+  {
+    std::size_t n = 0;
+    for (const auto& e : std::filesystem::directory_iterator(seed_dir)) {
+      if (e.path().extension() != ".lzseg") continue;
+      if (++n % 2 != 0) continue;  // every other segment gets bitrot
+      std::FILE* f = std::fopen(e.path().c_str(), "r+b");
+      if (f == nullptr) continue;
+      std::fseek(f, 70, SEEK_SET);
+      std::fputc('!', f);
+      std::fclose(f);
+    }
+    std::filesystem::remove(std::string(seed_dir) + "/index.lzsx");
+  }
+
+  std::printf("\n%-22s %12s %9s %12s %9s %9s\n", "mode", "goodput MB/s", "records",
+              "compactions", "scrubbed", "ratio");
+  double base = 0;
+  std::string json = "{\"bench\":\"server_maintenance\",\"chunk_bytes\":4096,\"modes\":[";
+  char jbuf[256];
+  for (const bool with_maintenance : {false, true}) {
+    char run_tmpl[] = "/tmp/lzss_bench_maint_run_XXXXXX";
+    const char* run_dir = ::mkdtemp(run_tmpl);
+    if (run_dir == nullptr) break;
+    for (const auto& e : std::filesystem::directory_iterator(seed_dir)) {
+      if (e.is_regular_file())
+        std::filesystem::copy_file(e.path(),
+                                   std::filesystem::path(run_dir) / e.path().filename());
+    }
+
+    store::StoreOptions opt;
+    opt.fsync_policy = store::FsyncPolicy::kInterval;
+    opt.segment_bytes = 8 * 1024;
+    std::uint64_t ok = 0;
+    double secs = 0;
+    store::MaintenanceStats ms;
+    {
+      store::LogStore log(run_dir, opt);  // quarantines the seeded bitrot
+      server::ServiceConfig cfg;
+      cfg.workers = 2;
+      server::Service service(cfg);
+      service.attach_store(&log);
+      store::MaintenanceConfig mcfg;
+      mcfg.compact_trigger_garbage_pct = 1.0;
+      mcfg.scrub_interval_s = 1;
+      mcfg.tick_interval_ms = 10;
+      store::Maintenance maint(log, mcfg);
+      if (with_maintenance) maint.start();
+
+      std::atomic<std::uint64_t> acked{0};
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> pool;
+      for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+          server::LoopbackClient client(service);
+          for (int i = 0; i < per_thread; ++i) {
+            const std::size_t off = ((static_cast<std::size_t>(t) * 7919 +
+                                      static_cast<std::size_t>(i) * 104729) *
+                                     chunk) %
+                                    (corpus.size() - chunk);
+            server::RequestFrame req;
+            req.id = static_cast<std::uint64_t>(t) << 32 | static_cast<std::uint32_t>(i);
+            req.opcode = server::Opcode::kLogAppend;
+            req.payload.assign(corpus.begin() + static_cast<std::ptrdiff_t>(off),
+                               corpus.begin() + static_cast<std::ptrdiff_t>(off + chunk));
+            if (client.call(req).status == server::Status::kOk) acked.fetch_add(1);
+          }
+        });
+      }
+      for (auto& th : pool) th.join();
+      secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      ok = acked.load();
+      if (with_maintenance) maint.stop();
+      ms = maint.stats();
+    }
+    std::filesystem::remove_all(run_dir);
+
+    const double mb_per_s =
+        secs > 0 ? static_cast<double>(ok * chunk) / 1e6 / secs : 0;
+    if (!with_maintenance) base = mb_per_s;
+    const double ratio = base > 0 ? mb_per_s / base : 0;
+    std::printf("%-22s %12.2f %9llu %12llu %9llu %8.2fx\n",
+                with_maintenance ? "compaction + scrub on" : "baseline (off)", mb_per_s,
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(ms.compactions),
+                static_cast<unsigned long long>(ms.scrubbed_segments), ratio);
+    std::snprintf(jbuf, sizeof(jbuf),
+                  "%s{\"maintenance\":%s,\"mb_per_s\":%.3f,\"records\":%llu,"
+                  "\"compactions\":%llu,\"scrubbed_segments\":%llu,"
+                  "\"interference_ratio\":%.4f}",
+                  with_maintenance ? "," : "", with_maintenance ? "true" : "false", mb_per_s,
+                  static_cast<unsigned long long>(ok),
+                  static_cast<unsigned long long>(ms.compactions),
+                  static_cast<unsigned long long>(ms.scrubbed_segments), ratio);
+    json += jbuf;
+  }
+  std::filesystem::remove_all(seed_dir);
+  json += "]}\n";
+
+  std::FILE* jf = std::fopen(g_json_path.c_str(), "wb");
+  if (jf != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), jf);
+    std::fclose(jf);
+    std::printf("\nwrote %s\n", g_json_path.c_str());
+  }
+}
+
 void BM_LoopbackCompress64K(benchmark::State& state) {
   static server::Service service([] {
     server::ServiceConfig cfg;
@@ -436,10 +583,13 @@ int main(int argc, char** argv) {
   // before handing argv over. `--durable` swaps in the fsync-policy goodput
   // tables; `--json <path>` moves the machine-readable artifact.
   bool durable = false;
+  bool maintenance = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--durable") == 0) {
       durable = true;
+    } else if (std::strcmp(argv[i], "--maintenance") == 0) {
+      maintenance = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       g_json_path = argv[++i];
     } else {
@@ -447,5 +597,7 @@ int main(int argc, char** argv) {
     }
   }
   argc = out;
-  return lzss::bench::run_bench_main(argc, argv, durable ? print_durable_tables : print_tables);
+  return lzss::bench::run_bench_main(
+      argc, argv,
+      maintenance ? print_maintenance_tables : durable ? print_durable_tables : print_tables);
 }

@@ -156,6 +156,11 @@ std::span<const char* const> all_points() noexcept {
       "store.file.enospc",          // store::File::pwrite (fails before any byte)
       "store.file.fsync",           // store::File::fsync (EIO without syncing)
       "store.index.rename",         // sidecar publish rename (crash before commit)
+      "store.compact.rename",       // compaction's segment swap rename (crash before commit)
+      "store.compact.crash",        // compaction, tmp staged but not yet renamed (kill window)
+      "store.retain.unlink",        // retention segment unlink (EIO, pass aborts)
+      "store.scrub.read",           // scrub's segment re-read (EIO, counted not thrown)
+      "store.fsync.pace",           // LogStore tail fsync (kDelay = slow disk flush)
   };
   return std::span<const char* const>(kPoints);
 }

@@ -77,6 +77,8 @@ const char* opcode_name(Opcode op) noexcept {
     case Opcode::kLogAppend: return "log_append";
     case Opcode::kLogRead: return "log_read";
     case Opcode::kCompressBlocked: return "compress_blocked";
+    case Opcode::kScrub: return "scrub";
+    case Opcode::kVerify: return "verify";
   }
   return "?";
 }
@@ -174,7 +176,7 @@ RequestParser::RequestParser(std::size_t max_payload) noexcept
     : FrameAccumulator(kRequestMagic, kRequestHeaderSize, max_payload) {}
 
 ParseError RequestParser::validate_header(std::span<const std::uint8_t> header) const {
-  if (header[5] > static_cast<std::uint8_t>(Opcode::kCompressBlocked))
+  if (header[5] > static_cast<std::uint8_t>(Opcode::kVerify))
     return ParseError::kBadOpcode;
   return ParseError::kNone;
 }

@@ -53,10 +53,15 @@ enum class Opcode : std::uint8_t {
   kCompressBlocked = 6,  ///< block-parallel compress: replies an LZBC container whose
                          ///< blocks fanned out across the worker pool (docs/CONTAINER.md);
                          ///< DECOMPRESS sniffs the LZBC magic and inverts it in parallel
+  kScrub = 7,   ///< online integrity walk over the store's sealed segments; empty
+                ///< payload = all, 8-byte LE id = one segment; replies a JSON summary
+  kVerify = 8,  ///< checksum-only verification, no payload back: a container (LZBC /
+                ///< zlib / raw LZS1) by default, or a stored record range when flags
+                ///< bit 1 (kFlagVerifyStore) is set (payload = two LE u64: first, count)
 };
 
 /// Number of opcodes (per-opcode counter array size).
-inline constexpr std::size_t kOpcodeCount = 7;
+inline constexpr std::size_t kOpcodeCount = 9;
 
 enum class Status : std::uint8_t {
   kOk = 0,
@@ -80,6 +85,9 @@ enum class ParseError : std::uint8_t {
 
 /// Container selector in flags bit 0.
 inline constexpr std::uint16_t kFlagRawContainer = 0x0001;
+/// VERIFY target selector in flags bit 1: 0 = the request payload is a
+/// container to checksum, 1 = the payload names a stored record range.
+inline constexpr std::uint16_t kFlagVerifyStore = 0x0002;
 
 [[nodiscard]] constexpr std::uint16_t flags_with_preset(std::uint16_t flags,
                                                         std::uint8_t preset_id) noexcept {

@@ -486,6 +486,8 @@ ResponseFrame Service::process(RequestFrame& request, hw::Compressor& compressor
 
   if (request.opcode == Opcode::kLogAppend) return do_log_append(request);
   if (request.opcode == Opcode::kLogRead) return do_log_read(request);
+  if (request.opcode == Opcode::kScrub) return do_scrub(request);
+  if (request.opcode == Opcode::kVerify) return do_verify(request);
   if (request.opcode == Opcode::kDecompress) return do_decompress(request);
   if (request.opcode == Opcode::kCompressBlocked)
     return do_compress_blocked(request, *cfg, preset_id == 0 ? &compressor : nullptr);
@@ -534,6 +536,201 @@ ResponseFrame Service::do_log_read(const RequestFrame& request) {
   } catch (const store::IoError&) {
     resp.status = Status::kInternal;
   }
+  return resp;
+}
+
+ResponseFrame Service::do_scrub(const RequestFrame& request) {
+  // Online integrity walk. Corruption is *data* here, not a failure: a scrub
+  // that finds damage quarantines it in the store and reports the tally with
+  // OK — the server must stay useful while the archive degrades. Only a
+  // malformed request (or no store) earns an error status.
+  ResponseFrame resp;
+  if (store_ == nullptr) {
+    resp.status = Status::kUnsupported;
+    return resp;
+  }
+  std::vector<std::uint64_t> ids;
+  if (request.payload.empty()) {
+    ids = store_->sealed_segment_ids();
+  } else if (request.payload.size() == 8) {
+    std::uint64_t id = 0;
+    for (int i = 7; i >= 0; --i) id = (id << 8) | request.payload[static_cast<std::size_t>(i)];
+    ids.push_back(id);
+  } else {
+    resp.status = Status::kBadRequest;
+    return resp;
+  }
+  std::uint64_t segments = 0, records = 0, bytes = 0, errors = 0, new_gaps = 0, skipped = 0;
+  for (const std::uint64_t id : ids) {
+    try {
+      const store::ScrubReport report = store_->scrub_segment(id);
+      ++segments;
+      records += report.records;
+      bytes += report.bytes;
+      errors += report.errors;
+      new_gaps += report.new_gaps;
+    } catch (const store::StoreError& e) {
+      if (request.payload.size() == 8) {
+        // A directly named segment that is missing or is the active tail is
+        // the client's mistake, not archive damage.
+        resp.status = Status::kBadRequest;
+        return resp;
+      }
+      // Walking "all": retention may have deleted the segment between the id
+      // snapshot and the scrub; the walk just moves on.
+      (void)e;
+      ++skipped;
+    }
+  }
+  std::string json = "{\"segments\":" + std::to_string(segments);
+  json += ",\"records\":" + std::to_string(records);
+  json += ",\"bytes\":" + std::to_string(bytes);
+  json += ",\"errors\":" + std::to_string(errors);
+  json += ",\"new_gaps\":" + std::to_string(new_gaps);
+  json += ",\"skipped\":" + std::to_string(skipped);
+  json += ",\"clean\":";
+  json += (errors == 0 && new_gaps == 0) ? "true" : "false";
+  json += "}";
+  resp.payload.assign(json.begin(), json.end());
+  resp.adler = checksum::adler32(resp.payload);
+  return resp;
+}
+
+ResponseFrame Service::do_verify(const RequestFrame& request) {
+  // Checksum-only verification: same decode paths as DECOMPRESS, but the
+  // reconstructed bytes never travel back — only a JSON verdict does. Like
+  // SCRUB, damage is reported with OK; error statuses are reserved for
+  // malformed requests and policy limits (decompression bombs).
+  ResponseFrame resp;
+
+  if ((request.flags & kFlagVerifyStore) != 0) {
+    // Stored-record-range mode: payload = two LE u64 (first sequence, count).
+    if (store_ == nullptr) {
+      resp.status = Status::kUnsupported;
+      return resp;
+    }
+    if (request.payload.size() != 16) {
+      resp.status = Status::kBadRequest;
+      return resp;
+    }
+    std::uint64_t first = 0, count = 0;
+    for (int i = 7; i >= 0; --i)
+      first = (first << 8) | request.payload[static_cast<std::size_t>(i)];
+    for (int i = 7; i >= 0; --i)
+      count = (count << 8) | request.payload[static_cast<std::size_t>(8 + i)];
+    constexpr std::uint64_t kMaxVerifyRecords = 65536;
+    if (count == 0 || count > kMaxVerifyRecords) {
+      resp.status = Status::kBadRequest;
+      return resp;
+    }
+    const std::vector<store::RecordVerdict> verdicts = store_->verify_range(first, count);
+    std::uint64_t ok = 0, gap = 0, not_found = 0, corrupt = 0;
+    std::string marks;
+    marks.reserve(verdicts.size());
+    for (const store::RecordVerdict v : verdicts) {
+      switch (v) {
+        case store::RecordVerdict::kOk: ++ok; marks.push_back('.'); break;
+        case store::RecordVerdict::kGap: ++gap; marks.push_back('g'); break;
+        case store::RecordVerdict::kNotFound: ++not_found; marks.push_back('?'); break;
+        case store::RecordVerdict::kCorrupt: ++corrupt; marks.push_back('X'); break;
+      }
+    }
+    std::string json = "{\"mode\":\"store\",\"first\":" + std::to_string(first);
+    json += ",\"count\":" + std::to_string(count);
+    json += ",\"ok\":" + std::to_string(ok);
+    json += ",\"gap\":" + std::to_string(gap);
+    json += ",\"not_found\":" + std::to_string(not_found);
+    json += ",\"corrupt\":" + std::to_string(corrupt);
+    json += ",\"clean\":";
+    json += (corrupt == 0 && gap == 0) ? "true" : "false";
+    json += ",\"verdicts\":\"" + marks + "\"}";
+    resp.payload.assign(json.begin(), json.end());
+    resp.adler = checksum::adler32(resp.payload);
+    return resp;
+  }
+
+  // Container mode: the payload is an LZBC / zlib / raw-LZS1 container.
+  if (request.payload.empty()) {
+    resp.status = Status::kBadRequest;
+    return resp;
+  }
+  const char* format = "zlib";
+  std::uint64_t blocks = 1, corrupt_blocks = 0, raw_bytes = 0;
+  std::uint32_t content_adler = 0;
+  bool parse_error = false;
+  std::string marks;
+  if (container::looks_like_container(request.payload)) {
+    format = "lzbc";
+    container::SuperframeView view;
+    try {
+      view = container::parse(request.payload, cfg_.max_payload);
+    } catch (const container::ContainerError& e) {
+      if (e.kind() == container::ContainerError::Kind::kTooLarge) {
+        resp.status = Status::kTooLarge;
+        return resp;
+      }
+      parse_error = true;
+    }
+    if (!parse_error) {
+      // Per-block verdicts: decode every block into a scratch slice and keep
+      // going past failures — VERIFY maps the damage instead of bailing at
+      // the first bad block the way DECOMPRESS does.
+      blocks = view.blocks.size();
+      std::vector<std::uint8_t> output(static_cast<std::size_t>(view.raw_total));
+      marks.reserve(view.blocks.size());
+      for (const container::BlockView& b : view.blocks) {
+        try {
+          container::decode_block(
+              b, std::span<std::uint8_t>(output).subspan(b.raw_offset, b.raw_len));
+          marks.push_back('.');
+        } catch (const std::exception&) {
+          ++corrupt_blocks;
+          marks.push_back('X');
+        }
+      }
+      raw_bytes = view.raw_total;
+      if (corrupt_blocks == 0) content_adler = checksum::adler32(output);
+    } else {
+      blocks = 0;
+    }
+  } else {
+    const bool raw = (request.flags & kFlagRawContainer) != 0;
+    format = raw ? "raw" : "zlib";
+    try {
+      const std::vector<std::uint8_t> output =
+          raw ? core::raw_container_unpack(request.payload)
+              : deflate::zlib_decompress(request.payload, cfg_.max_payload);
+      if (output.size() > cfg_.max_payload) {
+        resp.status = Status::kTooLarge;
+        return resp;
+      }
+      raw_bytes = output.size();
+      content_adler = checksum::adler32(output);
+      marks.push_back('.');
+    } catch (const deflate::InflateBombError&) {
+      resp.status = Status::kTooLarge;
+      return resp;
+    } catch (const std::exception&) {
+      corrupt_blocks = 1;
+      marks.push_back('X');
+    }
+  }
+  const bool clean = !parse_error && corrupt_blocks == 0;
+  std::string json = "{\"mode\":\"container\",\"format\":\"";
+  json += format;
+  json += "\",\"blocks\":" + std::to_string(blocks);
+  json += ",\"corrupt\":" + std::to_string(corrupt_blocks);
+  json += ",\"parse_error\":";
+  json += parse_error ? "true" : "false";
+  json += ",\"raw_bytes\":" + std::to_string(raw_bytes);
+  json += ",\"clean\":";
+  json += clean ? "true" : "false";
+  json += ",\"verdicts\":\"" + marks + "\"}";
+  resp.payload.assign(json.begin(), json.end());
+  // The adler field keeps the DECOMPRESS convention — checksum of the
+  // reconstructed content — so a clean VERIFY lets the client match the
+  // container against a known original without any payload coming back.
+  resp.adler = clean ? content_adler : checksum::adler32(resp.payload);
   return resp;
 }
 

@@ -212,6 +212,8 @@ class Service {
   [[nodiscard]] bool try_enqueue_helper(std::function<void(hw::Compressor&)> work);
   [[nodiscard]] ResponseFrame do_log_append(const RequestFrame& request);
   [[nodiscard]] ResponseFrame do_log_read(const RequestFrame& request);
+  [[nodiscard]] ResponseFrame do_scrub(const RequestFrame& request);
+  [[nodiscard]] ResponseFrame do_verify(const RequestFrame& request);
   /// Records counters/latency and invokes the completion (inline path).
   void finish(Opcode op, const RequestFrame& request, ResponseFrame& response,
               std::chrono::steady_clock::time_point t0, const Completion& done);

@@ -124,8 +124,9 @@ void File::close() {
   if (rc != 0) throw IoError("close", path_, errno);
 }
 
-void File::rename_file(const std::string& from, const std::string& to) {
-  if (fault::fires("store.index.rename")) throw IoError("rename", to, EIO);
+void File::rename_file(const std::string& from, const std::string& to,
+                       const char* fault_point) {
+  if (fault::fires(fault_point)) throw IoError("rename", to, EIO);
   if (::rename(from.c_str(), to.c_str()) != 0) throw IoError("rename", to, errno);
 }
 

@@ -10,6 +10,7 @@
 #include "common/checksum.hpp"
 #include "deflate/container.hpp"
 #include "deflate/inflate.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -21,8 +22,15 @@ constexpr char kSegmentMagic[4] = {'L', 'Z', 'S', 'G'};
 constexpr char kRecordMagic[4] = {'L', 'Z', 'R', 'C'};
 constexpr char kIndexMagic[4] = {'L', 'Z', 'S', 'X'};
 constexpr std::uint32_t kFlagZlib = 0x1;
+/// Tombstone written by compaction: sequence = first missing number, the
+/// 8-byte payload = LE count of sequences lost to already-quarantined damage.
+constexpr std::uint32_t kFlagSkip = 0x2;
+constexpr std::uint32_t kSkipPayloadSize = 8;
 constexpr const char* kIndexName = "index.lzsx";
 constexpr const char* kIndexTmpName = "index.lzsx.tmp";
+/// Compaction's staging suffix. list_segments' exact-name match ignores it,
+/// so a crash before the rename leaves only the old image visible.
+constexpr const char* kCompactionTmpSuffix = ".cmp";
 
 void put_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -77,8 +85,12 @@ bool parse_record_header(std::span<const std::uint8_t> buf, std::uint64_t off,
   out.flags = get_le32(p + 20);
   out.crc = get_le32(p + 24);
   if (out.stored_length > kMaxRecordBytes || out.raw_length > kMaxRecordBytes) return false;
-  if ((out.flags & ~kFlagZlib) != 0) return false;
-  if ((out.flags & kFlagZlib) == 0 && out.stored_length != out.raw_length) return false;
+  if ((out.flags & ~(kFlagZlib | kFlagSkip)) != 0) return false;
+  if (out.flags == (kFlagZlib | kFlagSkip)) return false;
+  if (out.flags == kFlagSkip &&
+      (out.raw_length != 0 || out.stored_length != kSkipPayloadSize))
+    return false;
+  if (out.flags == 0 && out.stored_length != out.raw_length) return false;
   if (out.sequence == 0) return false;
   if (off + kRecordHeaderSize + out.stored_length > buf.size()) return false;
   return true;
@@ -144,12 +156,34 @@ SegScan scan_segment(const std::string& path) {
   while (off < buf.size()) {
     RecordHeader h{};
     if (validate_record_at(buf, off, h) && h.sequence == expected) {
-      out.records.push_back({h.sequence, off, h.raw_length, h.stored_length, h.flags});
-      out.payload_bytes += h.raw_length;
-      off += kRecordHeaderSize + h.stored_length;
-      out.data_end = off;
-      expected = h.sequence + 1;
-      continue;
+      if ((h.flags & kFlagSkip) != 0) {
+        // A tombstone: compaction's durable stand-in for sequences that were
+        // already quarantined. The chain resumes past the recorded count.
+        const std::uint64_t count = get_le64(buf.data() + off + kRecordHeaderSize);
+        if (count != 0) {
+          Gap gap;
+          gap.segment_id = out.id;
+          gap.offset = off;
+          gap.bytes = kRecordHeaderSize + h.stored_length;
+          gap.first_sequence = h.sequence;
+          gap.sequence_count = count;
+          gap.tombstone = true;
+          out.gaps.push_back(gap);
+          off += kRecordHeaderSize + h.stored_length;
+          out.data_end = off;
+          expected = h.sequence + count;
+          continue;
+        }
+        // A zero-count skip marker is nothing compaction writes: fall
+        // through to damage handling.
+      } else {
+        out.records.push_back({h.sequence, off, h.raw_length, h.stored_length, h.flags});
+        out.payload_bytes += h.raw_length;
+        off += kRecordHeaderSize + h.stored_length;
+        out.data_end = off;
+        expected = h.sequence + 1;
+        continue;
+      }
     }
     // Damage starting at `off`: resync by scanning for the next frame that
     // fully validates (magic + bounds + CRC + a later sequence).
@@ -183,6 +217,23 @@ SegScan scan_segment(const std::string& path) {
 
 std::string two_part_path(const std::string& dir, const char* name) {
   return dir + "/" + name;
+}
+
+/// Serializes one record (header + CRC + payload) onto the end of @p image.
+void append_record_image(std::vector<std::uint8_t>& image, std::uint64_t sequence,
+                         std::uint32_t raw_length, std::uint32_t flags,
+                         std::span<const std::uint8_t> payload) {
+  const std::size_t start = image.size();
+  image.insert(image.end(), std::begin(kRecordMagic), std::end(kRecordMagic));
+  put_le64(image, sequence);
+  put_le32(image, raw_length);
+  put_le32(image, static_cast<std::uint32_t>(payload.size()));
+  put_le32(image, flags);
+  checksum::Crc32 crc;
+  crc.update(std::span(image.data() + start, kRecordHeaderSize - 4));
+  crc.update(payload);
+  put_le32(image, crc.value());
+  image.insert(image.end(), payload.begin(), payload.end());
 }
 
 /// The sidecar index image: per-segment aggregates plus a trailing CRC.
@@ -258,8 +309,9 @@ void render_gaps(std::string& out, const std::vector<Gap>& gaps) {
   for (const Gap& g : gaps) {
     std::snprintf(line, sizeof(line),
                   "  gap: segment %" PRIu64 " offset %" PRIu64 " (%" PRIu64
-                  " bytes, %" PRIu64 " records from seq %" PRIu64 ")\n",
-                  g.segment_id, g.offset, g.bytes, g.sequence_count, g.first_sequence);
+                  " bytes, %" PRIu64 " records from seq %" PRIu64 ")%s\n",
+                  g.segment_id, g.offset, g.bytes, g.sequence_count, g.first_sequence,
+                  g.tombstone ? " [tombstone]" : "");
     out += line;
   }
 }
@@ -398,6 +450,7 @@ LogStore::LogStore(std::string dir, StoreOptions options, RecoveryReport* report
       gap.first_sequence = expected;
       gap.sequence_count = 0;  // unknowable without the header
       rep.gaps.push_back(gap);
+      seg.gaps.push_back(gap);  // keeps garbage accounting (segment_infos) honest
       seg.base_sequence = expected;
       seg.record_count = 0;
       seg.data_end = kSegmentHeaderSize;
@@ -518,11 +571,15 @@ void LogStore::create_segment_locked(std::uint64_t id, std::uint64_t base_sequen
   stat_bytes_stored_ += header.size();
 }
 
-void LogStore::fsync_tail_locked() {
+void LogStore::fsync_tail_io() {
+  // Action point for latency shaping: a kDelay here models a disk whose
+  // flushes crawl. Because appends fsync under io_mutex_ only, readers keep
+  // answering while the flush drags (pinned by a regression test).
+  fault::point("store.fsync.pace");
   obs::Span span(trace_, "store.fsync");
   const auto t0 = std::chrono::steady_clock::now();
   tail_file_.fsync();
-  ++stat_fsyncs_;
+  stat_fsyncs_.fetch_add(1, std::memory_order_relaxed);
   unsynced_records_ = 0;
   if (m_fsyncs_ != nullptr) {
     m_fsyncs_->add(1);
@@ -536,12 +593,16 @@ void LogStore::fsync_tail_locked() {
 void LogStore::rotate_locked() {
   // Seal the old tail durably before the new segment exists, so recovery
   // never finds a newer segment whose predecessor is still volatile.
-  fsync_tail_locked();
+  // (Rotation runs under BOTH io_mutex_ and mutex_ — the one rare spot that
+  // still fsyncs under the metadata lock, because the tail handle itself is
+  // being replaced.)
+  fsync_tail_io();
   if (m_rotations_ != nullptr) m_rotations_->add(1);
   const std::uint64_t next_id = segments_.back().id + 1;
   create_segment_locked(next_id, next_sequence_);
   if (m_segments_g_ != nullptr)
     m_segments_g_->set(static_cast<std::int64_t>(segments_.size()));
+  update_retained_gauge_locked();
   try {
     write_index_locked();
   } catch (const IoError&) {
@@ -573,21 +634,6 @@ void LogStore::write_index_locked() {
   index_dirty_ = false;
 }
 
-void LogStore::maybe_fsync_locked() {
-  switch (opt_.fsync_policy) {
-    case FsyncPolicy::kNever:
-      return;
-    case FsyncPolicy::kEveryRecord:
-      fsync_tail_locked();
-      return;
-    case FsyncPolicy::kInterval:
-      // Counts the record just written; on a sync the counter resets so the
-      // synced record is not carried into the next window.
-      if (++unsynced_records_ >= opt_.fsync_interval_records) fsync_tail_locked();
-      return;
-  }
-}
-
 std::uint64_t LogStore::append(std::span<const std::uint8_t> bytes) {
   // The cap applies to the RAW size, not the stored payload: recovery's
   // parse_record_header rejects raw_length > kMaxRecordBytes as corruption,
@@ -615,39 +661,58 @@ std::uint64_t LogStore::append(std::span<const std::uint8_t> bytes) {
   const std::span<const std::uint8_t> payload =
       flags != 0 ? std::span<const std::uint8_t>(stored) : bytes;
 
-  const std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<std::uint8_t> rec;
-  rec.reserve(kRecordHeaderSize + payload.size());
-  rec.insert(rec.end(), std::begin(kRecordMagic), std::end(kRecordMagic));
-  put_le64(rec, next_sequence_);
-  put_le32(rec, static_cast<std::uint32_t>(bytes.size()));
-  put_le32(rec, static_cast<std::uint32_t>(payload.size()));
-  put_le32(rec, flags);
-  checksum::Crc32 crc;
-  crc.update(std::span(rec.data(), rec.size()));
-  crc.update(payload);
-  put_le32(rec, crc.value());
-  rec.insert(rec.end(), payload.begin(), payload.end());
-
-  if (tail_offset_ + rec.size() > opt_.segment_bytes &&
-      segments_.back().record_count != 0) {
-    rotate_locked();
+  // io_mutex_ serializes the write+sync phase between appenders. mutex_ is
+  // held only for the brief metadata read before the I/O and the publish
+  // after it, so read()/stats() never wait out a disk flush.
+  const std::lock_guard<std::mutex> io_lock(io_mutex_);
+  std::uint64_t seq = 0;
+  std::uint64_t off = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (tail_offset_ + kRecordHeaderSize + payload.size() > opt_.segment_bytes &&
+        segments_.back().record_count != 0) {
+      rotate_locked();
+    }
+    seq = next_sequence_;
+    off = tail_offset_;
   }
 
-  // Write, then satisfy the fsync policy, then — only then — advance logical
-  // state. Any throw on this path means the record was NOT appended: the
-  // tail offset is unchanged and the next append overwrites the torn bytes.
-  tail_file_.pwrite(tail_offset_, rec);
-  maybe_fsync_locked();
+  std::vector<std::uint8_t> rec;
+  rec.reserve(kRecordHeaderSize + payload.size());
+  append_record_image(rec, seq, static_cast<std::uint32_t>(bytes.size()), flags, payload);
 
+  // Write, then satisfy the fsync policy, then — only then — publish the
+  // record. Any throw on this path means the record was NOT appended: the
+  // tail offset is unchanged and the next append overwrites the torn bytes.
+  // (io_mutex_ guarantees no later append wrote past the torn bytes in the
+  // meantime.)
+  tail_file_.pwrite(off, rec);
+  switch (opt_.fsync_policy) {
+    case FsyncPolicy::kNever:
+      ++unsynced_records_;
+      break;
+    case FsyncPolicy::kEveryRecord:
+      fsync_tail_io();
+      break;
+    case FsyncPolicy::kInterval:
+      // Counts the record just written; on a sync the counter resets so the
+      // synced record is not carried into the next window.
+      if (unsynced_records_ + 1 >= opt_.fsync_interval_records) {
+        fsync_tail_io();
+      } else {
+        ++unsynced_records_;
+      }
+      break;
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
   Segment& tail = segments_.back();
-  const std::uint64_t seq = next_sequence_;
-  tail.records.push_back({seq, tail_offset_, static_cast<std::uint32_t>(bytes.size()),
+  tail.records.push_back({seq, off, static_cast<std::uint32_t>(bytes.size()),
                           static_cast<std::uint32_t>(payload.size()), flags});
   ++tail.record_count;
-  tail_offset_ += rec.size();
+  tail_offset_ = off + rec.size();
   tail.data_end = tail_offset_;
-  ++next_sequence_;
+  next_sequence_ = seq + 1;
   ++stat_appends_;
   stat_bytes_in_ += bytes.size();
   stat_bytes_stored_ += rec.size();
@@ -740,9 +805,13 @@ std::uint64_t LogStore::next_sequence() const {
 }
 
 void LogStore::flush() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  // Same split as append: the fsync happens under io_mutex_ only, the index
+  // publish under mutex_. tail_file_ is only re-seated under both locks, so
+  // the open check is stable here.
+  const std::lock_guard<std::mutex> io_lock(io_mutex_);
   if (!tail_file_.is_open()) return;
-  fsync_tail_locked();
+  fsync_tail_io();
+  const std::lock_guard<std::mutex> lock(mutex_);
   write_index_locked();
 }
 
@@ -754,29 +823,455 @@ void LogStore::bind_metrics(obs::Registry& registry, obs::TraceRing* trace) {
   m_fsyncs_ = &registry.counter("store_fsyncs_total");
   m_rotations_ = &registry.counter("store_rotations_total");
   m_fsync_us_ = &registry.histogram("store_fsync_us");
+  m_compactions_ = &registry.counter("store_compactions_total");
+  m_compaction_failures_ = &registry.counter("store_compaction_failures_total");
+  m_compaction_reclaimed_ = &registry.counter("store_compaction_reclaimed_bytes_total");
+  m_compaction_recompressed_ = &registry.counter("store_compaction_recompressed_total");
+  m_scrub_segments_ = &registry.counter("store_scrub_segments_total");
+  m_scrub_records_ = &registry.counter("store_scrub_records_total");
+  m_scrub_errors_ = &registry.counter("store_scrub_errors_total");
+  m_retention_segments_ = &registry.counter("store_retention_segments_total");
+  m_retention_bytes_ = &registry.counter("store_retention_bytes_total");
   trace_ = trace;
   // One-shot export of what the opening recovery pass found/did. Counters
   // are cumulative across binds by design (a registry shared across store
-  // generations keeps the full history).
+  // generations keeps the full history). Tombstones are accounted damage
+  // from a *previous* life, not something this recovery found — exclude
+  // them from the gap count.
+  std::uint64_t fresh_gaps = 0;
+  for (const Gap& g : recovery_.gaps)
+    if (!g.tombstone) ++fresh_gaps;
   registry.counter("store_recovery_records_total").add(recovery_.records);
   registry.counter("store_recovery_torn_bytes_total").add(recovery_.torn_bytes_discarded);
-  registry.counter("store_recovery_gaps_total").add(recovery_.gaps.size());
+  registry.counter("store_recovery_gaps_total").add(fresh_gaps);
   registry.counter("store_recovery_index_rebuilds_total").add(recovery_.index_rebuilt ? 1 : 0);
-  // Push-style gauge, not a collector: a collector capturing `this` could
+  // Push-style gauges, not collectors: a collector capturing `this` could
   // outlive the store when the registry is shared.
   m_segments_g_ = &registry.gauge("store_segments");
   m_segments_g_->set(static_cast<std::int64_t>(segments_.size()));
+  m_retained_bytes_g_ = &registry.gauge("store_retained_bytes");
+  update_retained_gauge_locked();
 }
 
 StoreStats LogStore::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   StoreStats out;
   out.appends = stat_appends_;
-  out.fsyncs = stat_fsyncs_;
+  out.fsyncs = stat_fsyncs_.load(std::memory_order_relaxed);
   out.bytes_in = stat_bytes_in_;
   out.bytes_stored = stat_bytes_stored_;
   out.segments = segments_.size();
   for (const Segment& s : segments_) out.records += s.record_count;
+  return out;
+}
+
+LogStore::Segment* LogStore::find_segment_by_id_locked(std::uint64_t id) {
+  for (Segment& s : segments_)
+    if (s.id == id) return &s;
+  return nullptr;
+}
+
+void LogStore::update_retained_gauge_locked() {
+  if (m_retained_bytes_g_ == nullptr) return;
+  std::uint64_t total = 0;
+  for (const Segment& s : segments_) total += s.data_end;
+  m_retained_bytes_g_->set(static_cast<std::int64_t>(total));
+}
+
+std::vector<SegmentInfo> LogStore::segment_infos() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SegmentInfo> out;
+  out.reserve(segments_.size());
+  const auto now = std::filesystem::file_time_type::clock::now();
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    Segment& s = segments_[i];
+    const bool sealed = i + 1 != segments_.size();
+    if (sealed && !s.loaded) load_segment_locked(s);
+    SegmentInfo info;
+    info.id = s.id;
+    info.base_sequence = s.base_sequence;
+    info.record_count = s.record_count;
+    info.bytes = s.data_end;
+    info.sealed = sealed;
+    for (const Gap& g : s.gaps)
+      if (!g.tombstone) info.garbage_bytes += g.bytes;
+    for (const RecordRef& r : s.records)
+      if ((r.flags & (kFlagZlib | kFlagSkip)) == 0 && r.raw_length != 0) ++info.raw_records;
+    std::error_code ec;
+    const auto mtime = std::filesystem::last_write_time(segment_path(s.id), ec);
+    if (!ec)
+      info.age_seconds =
+          std::chrono::duration_cast<std::chrono::duration<double>>(now - mtime).count();
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> LogStore::sealed_segment_ids() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i + 1 < segments_.size(); ++i) out.push_back(segments_[i].id);
+  return out;
+}
+
+CompactionReport LogStore::compact_segment(std::uint64_t id) {
+  const std::lock_guard<std::mutex> maint(maintenance_mutex_);
+  const auto note_failure = [this] {
+    if (m_compaction_failures_ != nullptr) m_compaction_failures_->add(1);
+  };
+
+  // Snapshot the live-record table under the metadata lock. Everything the
+  // rewrite needs is pinned from here on: sealed segments are immutable
+  // (appends touch only the tail, other maintenance is excluded by
+  // maintenance_mutex_), and the chain's end sequence is the successor's
+  // base — exactly what the index records.
+  std::uint64_t base = 0;
+  std::uint64_t end = 0;
+  std::uint64_t bytes_before = 0;
+  std::vector<RecordRef> refs;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Segment* seg = find_segment_by_id_locked(id);
+    if (seg == nullptr)
+      throw StoreError(StoreError::Kind::kNotFound,
+                       "segment " + std::to_string(id) + " not in store");
+    if (seg == &segments_.back())
+      throw StoreError(StoreError::Kind::kBadFormat, "cannot compact the active tail segment");
+    if (!seg->loaded) load_segment_locked(*seg);
+    base = seg->base_sequence;
+    bytes_before = seg->data_end;
+    refs = seg->records;
+    std::size_t i = 0;
+    while (segments_[i].id != id) ++i;
+    end = segments_[i + 1].base_sequence;
+  }
+
+  // Build the replacement image outside every lock. Live records are copied
+  // (RAW-fallback ones re-tried through deflate: they were stored raw only
+  // because the ingest-time ratio guard fired, and the offline pass can
+  // afford the attempt); lost sequence ranges become skip markers so the
+  // scanner sees an intentional, pinned chain instead of byte damage.
+  CompactionReport report;
+  report.segment_id = id;
+  report.bytes_before = bytes_before;
+  const std::string path = segment_path(id);
+  std::vector<std::uint8_t> image;
+  std::vector<RecordRef> new_refs;
+  std::vector<Gap> new_gaps;
+  try {
+    File old = File::open_ro(path);
+    image = encode_segment_header(id, base);
+    new_refs.reserve(refs.size());
+    std::uint64_t expected = base;
+    const auto emit_skip = [&](std::uint64_t first, std::uint64_t count) {
+      Gap gap;
+      gap.segment_id = id;
+      gap.offset = image.size();
+      gap.bytes = kRecordHeaderSize + kSkipPayloadSize;
+      gap.first_sequence = first;
+      gap.sequence_count = count;
+      gap.tombstone = true;
+      std::vector<std::uint8_t> skip_payload;
+      put_le64(skip_payload, count);
+      append_record_image(image, first, 0, kFlagSkip, skip_payload);
+      new_gaps.push_back(gap);
+    };
+    for (const RecordRef& r : refs) {
+      if (r.sequence > expected) emit_skip(expected, r.sequence - expected);
+      std::vector<std::uint8_t> payload(r.stored_length);
+      if (!payload.empty()) old.pread(r.offset + kRecordHeaderSize, payload);
+      std::uint32_t flags = r.flags;
+      if (flags == 0 && r.raw_length != 0 && opt_.compress) {
+        auto z = deflate::zlib_compress(payload, opt_.params, deflate::BlockKind::kDynamic);
+        if (z.size() < payload.size()) {
+          payload = std::move(z);
+          flags = kFlagZlib;
+          ++report.recompressed;
+        }
+      }
+      const std::uint64_t off = image.size();
+      append_record_image(image, r.sequence, r.raw_length, flags, payload);
+      new_refs.push_back({r.sequence, off, r.raw_length,
+                          static_cast<std::uint32_t>(payload.size()), flags});
+      expected = r.sequence + 1;
+    }
+    if (expected < end) emit_skip(expected, end - expected);
+  } catch (...) {
+    note_failure();
+    throw;
+  }
+  report.records = new_refs.size();
+  report.bytes_after = image.size();
+
+  // Stage the image next to the old segment. The suffix keeps it invisible
+  // to recovery's exact-name listing: a crash anywhere before the rename
+  // leaves only the old image live, and the stale tmp is harmless litter.
+  const std::string tmp = path + kCompactionTmpSuffix;
+  try {
+    File f = File::create(tmp);
+    f.pwrite(0, image);
+    f.fsync();
+    f.close();
+    // The crash-window point: tests park the process here with kDelay (tmp
+    // staged, rename not yet issued) and SIGKILL it, or throw to abort.
+    fault::point("store.compact.crash");
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    note_failure();
+    throw;
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  try {
+    // rename(2) onto the live name: atomic replace, so there is no instant
+    // where neither image exists — and deliberately no unlink step. The
+    // swap must happen under mutex_: a reader resolving offsets against the
+    // old table must never open the new file.
+    File::rename_file(tmp, path, "store.compact.rename");
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    note_failure();
+    throw;
+  }
+  try {
+    File::sync_dir(dir_);
+  } catch (const IoError&) {
+    // A power cut could resurrect the old image — which is equally intact;
+    // either side of the rename satisfies the crash contract.
+  }
+  Segment* seg = find_segment_by_id_locked(id);
+  seg->records = std::move(new_refs);
+  seg->gaps = std::move(new_gaps);
+  seg->record_count = seg->records.size();
+  seg->data_end = image.size();
+  seg->loaded = true;
+  try {
+    write_index_locked();
+  } catch (const IoError&) {
+    index_dirty_ = true;  // advisory; a stale index is rebuilt on reopen
+  }
+  if (m_compactions_ != nullptr) {
+    m_compactions_->add(1);
+    m_compaction_reclaimed_->add(report.reclaimed());
+    m_compaction_recompressed_->add(report.recompressed);
+  }
+  update_retained_gauge_locked();
+  return report;
+}
+
+RetentionReport LogStore::apply_retention(const RetentionPolicy& policy) {
+  const std::lock_guard<std::mutex> maint(maintenance_mutex_);
+  RetentionReport report;
+  for (;;) {
+    std::uint64_t victim_id = 0;
+    std::uint64_t victim_bytes = 0;
+    std::uint64_t victim_records = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      report.first_sequence = first_sequence_;
+      if (segments_.size() < 2) break;  // the active tail is never deleted
+      std::uint64_t total_bytes = 0;
+      std::uint64_t total_records = 0;
+      for (const Segment& s : segments_) {
+        total_bytes += s.data_end;
+        total_records += s.record_count;
+      }
+      bool over = (policy.max_bytes != 0 && total_bytes > policy.max_bytes) ||
+                  (policy.max_records != 0 && total_records > policy.max_records);
+      if (!over && policy.max_age_seconds != 0) {
+        std::error_code ec;
+        const auto mtime =
+            std::filesystem::last_write_time(segment_path(segments_.front().id), ec);
+        if (!ec) {
+          const auto age = std::chrono::duration_cast<std::chrono::duration<double>>(
+                               std::filesystem::file_time_type::clock::now() - mtime)
+                               .count();
+          over = age > static_cast<double>(policy.max_age_seconds);
+        }
+      }
+      if (!over) break;
+      victim_id = segments_.front().id;
+      victim_bytes = segments_.front().data_end;
+      victim_records = segments_.front().record_count;
+    }
+
+    // Unlink first, metadata after. A crash in between leaves the directory
+    // and the index out of step, which reopen resolves with a rebuild; a
+    // thrown unlink aborts the pass with everything already deleted still
+    // consistently gone.
+    const std::string victim_path = segment_path(victim_id);
+    if (fault::fires("store.retain.unlink")) throw IoError("unlink", victim_path, EIO);
+    std::error_code ec;
+    std::filesystem::remove(victim_path, ec);
+    if (ec) throw IoError("unlink", victim_path, ec.value());
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // The front cannot have moved underneath us: retention and compaction
+    // exclude each other via maintenance_mutex_, and appends only grow the
+    // back of the chain.
+    segments_.erase(segments_.begin());
+    first_sequence_ = segments_.front().base_sequence;
+    report.first_sequence = first_sequence_;
+    ++report.segments_deleted;
+    report.bytes_deleted += victim_bytes;
+    report.records_deleted += victim_records;
+    if (m_retention_segments_ != nullptr) {
+      m_retention_segments_->add(1);
+      m_retention_bytes_->add(victim_bytes);
+    }
+    try {
+      write_index_locked();
+    } catch (const IoError&) {
+      index_dirty_ = true;
+    }
+    if (m_segments_g_ != nullptr)
+      m_segments_g_->set(static_cast<std::int64_t>(segments_.size()));
+    update_retained_gauge_locked();
+  }
+  return report;
+}
+
+ScrubReport LogStore::scrub_segment(std::uint64_t id) {
+  const std::lock_guard<std::mutex> maint(maintenance_mutex_);
+  ScrubReport report;
+  report.segment_id = id;
+
+  std::uint64_t prior_records = 0;
+  std::uint64_t prior_gaps = 0;
+  std::uint64_t base = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Segment* seg = find_segment_by_id_locked(id);
+    if (seg == nullptr)
+      throw StoreError(StoreError::Kind::kNotFound,
+                       "segment " + std::to_string(id) + " not in store");
+    if (seg == &segments_.back())
+      throw StoreError(StoreError::Kind::kBadFormat, "cannot scrub the active tail segment");
+    // The prior record count comes from what the store already believes
+    // (the index entry or an earlier lazy load) — deliberately NOT from a
+    // fresh read of the file, which would see the very damage this scrub is
+    // trying to detect and report a zero delta.
+    prior_records = seg->record_count;
+    base = seg->base_sequence;
+    for (const Gap& g : seg->gaps)
+      if (!g.tombstone) ++prior_gaps;
+  }
+
+  // Re-read the file end to end outside the locks (sealed == immutable). A
+  // failing disk surfaces as a counted error, never an exception — scrub
+  // runs unattended inside the server and must not take it down.
+  SegScan scan;
+  try {
+    if (fault::fires("store.scrub.read")) throw IoError("read", segment_path(id), EIO);
+    scan = scan_segment(segment_path(id));
+  } catch (const IoError&) {
+    report.errors = 1;
+    if (m_scrub_segments_ != nullptr) {
+      m_scrub_segments_->add(1);
+      m_scrub_errors_->add(report.errors);
+    }
+    return report;
+  }
+  report.bytes = scan.file_size;
+  report.records = scan.records.size();
+
+  // Escalate fresh damage: adopt the scan as the segment's authoritative
+  // table, so reads of newly-lost sequences answer kGap from now on.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Segment* seg = find_segment_by_id_locked(id);
+  if (seg != nullptr && seg != &segments_.back()) {
+    seg->records.clear();
+    seg->gaps.clear();
+    if (scan.header_ok) {
+      seg->records.reserve(scan.records.size());
+      for (const auto& r : scan.records)
+        seg->records.push_back({r.sequence, r.offset, r.raw_length, r.stored_length, r.flags});
+      seg->gaps = scan.gaps;
+      if (scan.trailing_bad_bytes != 0) {
+        Gap gap;
+        gap.segment_id = id;
+        gap.offset = scan.data_end;
+        gap.bytes = scan.trailing_bad_bytes;
+        gap.first_sequence = scan.next_expected;
+        gap.sequence_count = 0;
+        seg->gaps.push_back(gap);
+      }
+      seg->data_end = scan.data_end;
+    } else {
+      // The segment's own header rotted: nothing in the file is readable.
+      Gap gap;
+      gap.segment_id = id;
+      gap.offset = 0;
+      gap.bytes = scan.file_size;
+      gap.first_sequence = base;
+      gap.sequence_count = 0;
+      seg->gaps.push_back(gap);
+    }
+    seg->record_count = seg->records.size();
+    seg->loaded = true;
+    std::uint64_t fresh_gaps = 0;
+    for (const Gap& g : seg->gaps)
+      if (!g.tombstone) ++fresh_gaps;
+    report.new_gaps = fresh_gaps > prior_gaps ? fresh_gaps - prior_gaps : 0;
+    report.errors = prior_records > report.records ? prior_records - report.records : 0;
+  }
+  if (m_scrub_segments_ != nullptr) {
+    m_scrub_segments_->add(1);
+    m_scrub_records_->add(report.records);
+    m_scrub_errors_->add(report.errors);
+  }
+  return report;
+}
+
+std::vector<RecordVerdict> LogStore::verify_range(std::uint64_t first, std::uint64_t count) {
+  std::vector<RecordVerdict> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t open_id = 0;
+  File sealed;
+  std::vector<std::uint8_t> buf;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t seq = first + i;
+    if (seq < first_sequence_ || seq >= next_sequence_) {
+      out.push_back(RecordVerdict::kNotFound);
+      continue;
+    }
+    Segment* seg = find_segment_locked(seq);
+    if (seg == nullptr) {
+      out.push_back(RecordVerdict::kNotFound);
+      continue;
+    }
+    if (!seg->loaded) load_segment_locked(*seg);
+    const auto it = std::lower_bound(seg->records.begin(), seg->records.end(), seq,
+                                     [](const RecordRef& r, std::uint64_t s) {
+                                       return r.sequence < s;
+                                     });
+    if (it == seg->records.end() || it->sequence != seq) {
+      out.push_back(RecordVerdict::kGap);
+      continue;
+    }
+    buf.resize(kRecordHeaderSize + it->stored_length);
+    try {
+      if (seg == &segments_.back()) {
+        tail_file_.pread(it->offset, buf);
+      } else {
+        if (!sealed.is_open() || open_id != seg->id) {
+          sealed = File::open_ro(segment_path(seg->id));
+          open_id = seg->id;
+        }
+        sealed.pread(it->offset, buf);
+      }
+    } catch (const IoError&) {
+      out.push_back(RecordVerdict::kCorrupt);
+      continue;
+    }
+    RecordHeader h{};
+    out.push_back(validate_record_at(buf, 0, h) && h.sequence == seq
+                      ? RecordVerdict::kOk
+                      : RecordVerdict::kCorrupt);
+  }
   return out;
 }
 

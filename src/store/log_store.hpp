@@ -21,9 +21,17 @@
 //   4   version  u32                   4   sequence u64
 //   8   segment  u64                   12  raw_len  u32  (uncompressed)
 //   16  base_seq u64                   16  len      u32  (stored payload)
-//   24  crc32    u32 (bytes 0..24)     20  flags    u32  (bit0: zlib)
-//   28  reserved u32                   24  crc32    u32  (header + payload)
+//   24  crc32    u32 (bytes 0..24)     20  flags    u32  (bit0: zlib,
+//   28  reserved u32                   24  crc32    u32   bit1: skip marker)
 //                                      28  payload
+//
+// A *skip marker* (flags bit1) is a tombstone compaction writes in place of
+// sequences that were already lost to quarantined damage: sequence is the
+// first missing number, raw_len is 0 and the 8-byte payload is the LE count
+// of missing sequences. The scanner treats a valid skip marker as an
+// intentional, already-accounted gap — reads still answer kGap, but verify()
+// stays clean, and the sequence chain across it is pinned by the marker
+// itself rather than by byte-level damage.
 //
 // Durability: appends go through store::File positional writes at a tracked
 // tail offset, so a failed write never advances logical state — retrying the
@@ -40,6 +48,7 @@
 // stale sidecar triggers a full rebuild scan of every segment.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -115,6 +124,9 @@ struct Gap {
   std::uint64_t bytes = 0;           ///< quarantined byte count
   std::uint64_t first_sequence = 0;  ///< first sequence lost to the gap
   std::uint64_t sequence_count = 0;  ///< sequences lost (0 when unknowable)
+  /// True when the range is a skip marker compaction wrote on purpose (the
+  /// sequences were already quarantined); false for fresh byte-level damage.
+  bool tombstone = false;
 };
 
 /// What the constructor's recovery pass found and did.
@@ -138,9 +150,73 @@ struct VerifyReport {
   std::vector<Gap> gaps;                ///< unrecoverable mid-segment damage
 
   /// A store is healthy when every surviving record checksums; a torn tail
-  /// is recoverable damage and does not fail verification.
-  [[nodiscard]] bool ok() const noexcept { return gaps.empty(); }
+  /// is recoverable damage, and a tombstone (a skip marker compaction wrote
+  /// for sequences that were already quarantined) is accounted-for history —
+  /// neither fails verification. Fresh byte-level damage does.
+  [[nodiscard]] bool ok() const noexcept {
+    for (const Gap& g : gaps)
+      if (!g.tombstone) return false;
+    return true;
+  }
   [[nodiscard]] std::string render() const;
+};
+
+/// Aggregate per-segment view for maintenance policy decisions.
+struct SegmentInfo {
+  std::uint64_t id = 0;
+  std::uint64_t base_sequence = 0;
+  std::uint64_t record_count = 0;     ///< readable records
+  std::uint64_t bytes = 0;            ///< header + record area (data_end)
+  std::uint64_t garbage_bytes = 0;    ///< quarantined, non-tombstone bytes
+  std::uint64_t raw_records = 0;      ///< RAW-fallback records (recompressible)
+  double age_seconds = 0;             ///< since the file was last written
+  bool sealed = false;                ///< false only for the active tail
+};
+
+/// What one compact_segment() call did.
+struct CompactionReport {
+  std::uint64_t segment_id = 0;
+  std::uint64_t records = 0;        ///< live records carried into the new image
+  std::uint64_t recompressed = 0;   ///< RAW records converted to zlib
+  std::uint64_t bytes_before = 0;   ///< old on-disk extent
+  std::uint64_t bytes_after = 0;    ///< new on-disk extent
+
+  [[nodiscard]] std::uint64_t reclaimed() const noexcept {
+    return bytes_before > bytes_after ? bytes_before - bytes_after : 0;
+  }
+};
+
+/// Retention limits; 0 means "no limit on this axis". Retention only ever
+/// deletes whole sealed segments, oldest first — never the active tail.
+struct RetentionPolicy {
+  std::uint64_t max_bytes = 0;        ///< total on-disk record bytes
+  std::uint64_t max_records = 0;      ///< total readable records
+  std::uint64_t max_age_seconds = 0;  ///< oldest segment's file age
+};
+
+/// What one apply_retention() pass deleted.
+struct RetentionReport {
+  std::uint64_t segments_deleted = 0;
+  std::uint64_t bytes_deleted = 0;
+  std::uint64_t records_deleted = 0;
+  std::uint64_t first_sequence = 0;  ///< oldest live sequence after the trim
+};
+
+/// What one scrub_segment() pass over a sealed segment found.
+struct ScrubReport {
+  std::uint64_t segment_id = 0;
+  std::uint64_t records = 0;   ///< records that checksummed clean
+  std::uint64_t bytes = 0;     ///< bytes scanned
+  std::uint64_t errors = 0;    ///< read failures + records lost to new damage
+  std::uint64_t new_gaps = 0;  ///< freshly quarantined ranges
+};
+
+/// Per-sequence verdict from verify_range() (the VERIFY opcode's store mode).
+enum class RecordVerdict : std::uint8_t {
+  kOk,        ///< record present and its CRC-32 checks out
+  kGap,       ///< sequence lost to quarantined damage (or a tombstone)
+  kNotFound,  ///< sequence outside [first, next)
+  kCorrupt,   ///< stored bytes no longer match the record's checksum
 };
 
 struct StoreStats {
@@ -196,6 +272,48 @@ class LogStore {
   /// Offline full scan of the store at @p dir; read-only, never repairs.
   [[nodiscard]] static VerifyReport verify(const std::string& dir);
 
+  // -- maintenance surface (compaction / retention / scrub) ----------------
+  //
+  // All three are serialized against each other by an internal maintenance
+  // mutex and are safe against concurrent append()/read() — they touch only
+  // sealed segments, which appends never revisit.
+
+  /// Aggregate stats for every segment (tail included, marked unsealed).
+  /// Lazy-loads sealed segments so garbage/raw counts are exact.
+  [[nodiscard]] std::vector<SegmentInfo> segment_infos();
+
+  /// Ids of every sealed segment, oldest first.
+  [[nodiscard]] std::vector<std::uint64_t> sealed_segment_ids() const;
+
+  /// Rewrites sealed segment @p id without its quarantined garbage: live
+  /// records are copied (RAW-fallback ones recompressed through the deflate
+  /// path when that shrinks them) into a tmp file alongside skip markers for
+  /// the lost sequences, fsynced, and atomically renamed over the old
+  /// segment. A crash at any byte of the process leaves either the old or
+  /// the new image fully intact. Throws StoreError(kNotFound) for an unknown
+  /// id, StoreError(kBadFormat) for the active tail, IoError on disk
+  /// failure (the old segment stays live and the call may be retried).
+  CompactionReport compact_segment(std::uint64_t id);
+
+  /// Deletes whole sealed segments, oldest first, until @p policy is
+  /// satisfied. The active tail is never deleted. Throws IoError if an
+  /// unlink fails mid-pass; segments already deleted stay deleted and the
+  /// store remains consistent.
+  RetentionReport apply_retention(const RetentionPolicy& policy);
+
+  /// Re-reads sealed segment @p id end to end, re-checking every record
+  /// CRC. Fresh damage is escalated to quarantine (reads answer kGap) and
+  /// counted; a read failure is counted and the segment left as it was.
+  /// Never throws for damage — scrubbing a rotting disk must not crash the
+  /// server. Throws StoreError for an unknown id or the active tail.
+  ScrubReport scrub_segment(std::uint64_t id);
+
+  /// CRC-checks the stored bytes of @p count records starting at @p first
+  /// and returns one verdict per sequence (the VERIFY opcode's store mode).
+  /// Checksum-only: nothing is inflated, no payload leaves the store.
+  [[nodiscard]] std::vector<RecordVerdict> verify_range(std::uint64_t first,
+                                                        std::uint64_t count);
+
  private:
   struct RecordRef {
     std::uint64_t sequence;
@@ -219,27 +337,46 @@ class LogStore {
   void create_segment_locked(std::uint64_t id, std::uint64_t base_sequence);
   void rotate_locked();
   void write_index_locked();
-  void maybe_fsync_locked();
   /// The one place the tail is fsynced: counts it, times it, and (when a
-  /// trace ring is bound) records a "store.fsync" span.
-  void fsync_tail_locked();
+  /// trace ring is bound) records a "store.fsync" span. Requires io_mutex_
+  /// (NOT mutex_ — appends must not block readers for the fsync's duration;
+  /// the counters it touches are atomics / lock-free instruments).
+  void fsync_tail_io();
   void load_segment_locked(Segment& seg);
   Segment* find_segment_locked(std::uint64_t sequence);
+  Segment* find_segment_by_id_locked(std::uint64_t id);
+  void update_retained_gauge_locked();
 
   std::string dir_;
   StoreOptions opt_;
 
+  // Lock order (outer to inner): maintenance_mutex_ -> io_mutex_ -> mutex_.
+  //
+  //  * io_mutex_ serializes tail-file I/O (pwrite + fsync). Appends hold it
+  //    for the whole write+sync, but hold mutex_ only for the brief metadata
+  //    read before and the publish after — so read()/stats()/first_sequence()
+  //    never wait out an fsync (the PR 3 contract survives unchanged: a
+  //    record is published only after its bytes — and, per policy, its
+  //    fsync — succeeded).
+  //  * mutex_ guards the segment table and all logical state.
+  //  * maintenance_mutex_ serializes compaction/retention/scrub against
+  //    each other; none of them takes io_mutex_ (they never touch the tail).
+  //
+  // tail_file_ itself is only re-seated (rotation/recovery) under BOTH
+  // io_mutex_ and mutex_; positional I/O on it is safe under either.
+  std::mutex maintenance_mutex_;
+  std::mutex io_mutex_;
   mutable std::mutex mutex_;
   std::vector<Segment> segments_;  ///< ordered by id / base_sequence
   File tail_file_;                 ///< the open tail segment
   std::uint64_t tail_offset_ = 0;  ///< logical end of the tail segment
   std::uint64_t first_sequence_ = 1;
   std::uint64_t next_sequence_ = 1;
-  std::uint32_t unsynced_records_ = 0;
+  std::uint32_t unsynced_records_ = 0;  ///< guarded by io_mutex_
   bool index_dirty_ = false;
 
   std::uint64_t stat_appends_ = 0;
-  std::uint64_t stat_fsyncs_ = 0;
+  std::atomic<std::uint64_t> stat_fsyncs_{0};  ///< bumped without mutex_
   std::uint64_t stat_bytes_in_ = 0;
   std::uint64_t stat_bytes_stored_ = 0;
 
@@ -254,6 +391,16 @@ class LogStore {
   obs::Counter* m_rotations_ = nullptr;
   obs::Histogram* m_fsync_us_ = nullptr;
   obs::Gauge* m_segments_g_ = nullptr;
+  obs::Gauge* m_retained_bytes_g_ = nullptr;
+  obs::Counter* m_compactions_ = nullptr;
+  obs::Counter* m_compaction_failures_ = nullptr;
+  obs::Counter* m_compaction_reclaimed_ = nullptr;
+  obs::Counter* m_compaction_recompressed_ = nullptr;
+  obs::Counter* m_scrub_segments_ = nullptr;
+  obs::Counter* m_scrub_records_ = nullptr;
+  obs::Counter* m_scrub_errors_ = nullptr;
+  obs::Counter* m_retention_segments_ = nullptr;
+  obs::Counter* m_retention_bytes_ = nullptr;
   obs::TraceRing* trace_ = nullptr;
 };
 

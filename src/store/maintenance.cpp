@@ -1,0 +1,152 @@
+#include "store/maintenance.hpp"
+
+#include <algorithm>
+
+namespace lzss::store {
+
+Maintenance::Maintenance(LogStore& store, MaintenanceConfig config)
+    : store_(store), cfg_(config) {}
+
+Maintenance::~Maintenance() { stop(); }
+
+void Maintenance::start() {
+  if (running_ || !cfg_.enabled()) return;
+  {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    stopping_ = false;
+  }
+  thread_ = std::thread([this] { thread_main(); });
+  running_ = true;
+}
+
+void Maintenance::stop() {
+  if (!running_) return;
+  {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  thread_.join();
+  running_ = false;
+}
+
+void Maintenance::thread_main() {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  while (!stopping_) {
+    // Wait first: the store just finished recovery when the server starts;
+    // give foreground traffic the first slice of every period.
+    wake_cv_.wait_for(lock, std::chrono::milliseconds(cfg_.tick_interval_ms),
+                      [this] { return stopping_; });
+    if (stopping_) return;
+    lock.unlock();
+    run_once();
+    lock.lock();
+  }
+}
+
+void Maintenance::run_once() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.ticks;
+  }
+  run_retention();
+  run_compaction();
+  run_scrub();
+}
+
+void Maintenance::run_retention() {
+  if (cfg_.retain_max_bytes == 0 && cfg_.retain_max_records == 0 && cfg_.retain_max_age_s == 0)
+    return;
+  RetentionPolicy policy;
+  policy.max_bytes = cfg_.retain_max_bytes;
+  policy.max_records = cfg_.retain_max_records;
+  policy.max_age_seconds = cfg_.retain_max_age_s;
+  try {
+    const RetentionReport report = store_.apply_retention(policy);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_.retention_segments += report.segments_deleted;
+    stats_.retention_bytes += report.bytes_deleted;
+  } catch (const std::exception&) {
+    // A failed unlink aborts the pass; whatever was already trimmed stays
+    // consistently gone and the next tick retries.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.errors;
+  }
+}
+
+void Maintenance::run_compaction() {
+  if (cfg_.compact_trigger_garbage_pct <= 0) return;
+  // Pick the single worst offender this tick: the sealed segment whose
+  // quarantined bytes make up the largest fraction of its extent, provided
+  // it clears the trigger. One segment per tick bounds the interference
+  // with foreground appends.
+  std::uint64_t victim = 0;
+  double worst_pct = 0;
+  try {
+    for (const SegmentInfo& info : store_.segment_infos()) {
+      if (!info.sealed || info.garbage_bytes == 0) continue;
+      const double pct =
+          100.0 * static_cast<double>(info.garbage_bytes) /
+          static_cast<double>(std::max<std::uint64_t>(info.bytes + info.garbage_bytes, 1));
+      if (pct >= cfg_.compact_trigger_garbage_pct && pct > worst_pct) {
+        worst_pct = pct;
+        victim = info.id;
+      }
+    }
+    if (victim == 0) return;
+    const CompactionReport report = store_.compact_segment(victim);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.compactions;
+    stats_.bytes_reclaimed += report.reclaimed();
+    stats_.records_recompressed += report.recompressed;
+  } catch (const std::exception&) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.compaction_failures;
+    ++stats_.errors;
+  }
+}
+
+void Maintenance::run_scrub() {
+  if (cfg_.scrub_interval_s == 0) return;
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!scrub_pass_open_) {
+      const auto now = std::chrono::steady_clock::now();
+      const bool due =
+          last_scrub_pass_start_ == std::chrono::steady_clock::time_point{} ||
+          now - last_scrub_pass_start_ >= std::chrono::seconds(cfg_.scrub_interval_s);
+      if (!due) return;
+      scrub_pending_ = store_.sealed_segment_ids();
+      last_scrub_pass_start_ = now;
+      scrub_pass_open_ = true;
+    }
+    if (scrub_pending_.empty()) {
+      // The walk visited everything: the pass is complete.
+      scrub_pass_open_ = false;
+      ++stats_.scrub_passes;
+      return;
+    }
+    id = scrub_pending_.front();
+    scrub_pending_.erase(scrub_pending_.begin());
+  }
+  try {
+    const ScrubReport report = store_.scrub_segment(id);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.scrubbed_segments;
+    stats_.scrub_errors += report.errors;
+  } catch (const std::exception&) {
+    // Retention can delete a segment between the id snapshot and the scrub
+    // (kNotFound), or the id set shrank some other way; either way the walk
+    // just moves on.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.errors;
+  }
+}
+
+MaintenanceStats Maintenance::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace lzss::store

@@ -1,0 +1,121 @@
+// Background archive lifecycle for the durable log store.
+//
+// The store by itself is append-only-until-the-disk-fills: quarantined gaps
+// keep their garbage bytes forever, RAW-fallback records are never revisited,
+// and nothing ever deletes a segment. Maintenance is the slow loop that makes
+// the archive self-healing under sustained traffic. One tick runs, in order:
+//
+//   1. retention   — delete whole sealed segments, oldest first, until the
+//                    byte / record / age budget holds (never the tail);
+//   2. compaction  — at most ONE segment per tick: the sealed segment with
+//                    the highest garbage fraction at or above the trigger is
+//                    rewritten without its quarantined bytes (RAW records
+//                    recompressed through deflate on the way);
+//   3. scrub       — a paced walk: when the scrub interval has elapsed, one
+//                    sealed segment per tick is re-read end to end and fresh
+//                    CRC damage escalated to quarantine.
+//
+// Pacing is the point: every primitive it calls is a LogStore maintenance op
+// that is safe against concurrent append()/read(), and spreading the work one
+// segment per tick keeps the interference with foreground LOG_APPENDs
+// bounded (measured by `bench/ext_server_throughput --maintenance`).
+//
+// Errors never escape the thread. A failing disk makes counters go up
+// (store_compaction_failures_total, store_scrub_errors_total, ...) and the
+// loop keeps ticking — the server stays up; the operator reads STATS.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "store/log_store.hpp"
+
+namespace lzss::store {
+
+struct MaintenanceConfig {
+  /// Compact a sealed segment once quarantined garbage reaches this percent
+  /// of its on-disk extent (0 disables compaction).
+  double compact_trigger_garbage_pct = 0;
+  /// Retention budget; 0 on every axis disables retention.
+  std::uint64_t retain_max_bytes = 0;
+  std::uint64_t retain_max_records = 0;
+  std::uint64_t retain_max_age_s = 0;
+  /// Start a scrub pass over all sealed segments this often (0 disables;
+  /// within a pass, one segment is scrubbed per tick).
+  std::uint64_t scrub_interval_s = 0;
+  /// Tick period. Tests shrink it to milliseconds; production keeps ~1s.
+  std::uint64_t tick_interval_ms = 1000;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return compact_trigger_garbage_pct > 0 || retain_max_bytes != 0 ||
+           retain_max_records != 0 || retain_max_age_s != 0 || scrub_interval_s != 0;
+  }
+};
+
+struct MaintenanceStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t compaction_failures = 0;
+  std::uint64_t bytes_reclaimed = 0;
+  std::uint64_t records_recompressed = 0;
+  std::uint64_t retention_segments = 0;
+  std::uint64_t retention_bytes = 0;
+  std::uint64_t scrub_passes = 0;       ///< completed full walks
+  std::uint64_t scrubbed_segments = 0;
+  std::uint64_t scrub_errors = 0;
+  std::uint64_t errors = 0;  ///< maintenance ops that threw (and were absorbed)
+};
+
+class Maintenance {
+ public:
+  /// Binds to @p store (which must outlive this object). Nothing runs until
+  /// start().
+  Maintenance(LogStore& store, MaintenanceConfig config);
+  ~Maintenance();  ///< stop()s if still running
+
+  Maintenance(const Maintenance&) = delete;
+  Maintenance& operator=(const Maintenance&) = delete;
+
+  /// Launches the background thread (no-op when already running or when the
+  /// config enables nothing).
+  void start();
+
+  /// Quiesces: finishes the in-flight tick, then joins the thread. Safe to
+  /// call twice. In-flight LOG_APPENDs are unaffected — maintenance ops
+  /// never touch the active tail.
+  void stop();
+
+  /// One full tick, synchronously — the unit tests' entry point, and exactly
+  /// what the background thread runs per period.
+  void run_once();
+
+  [[nodiscard]] MaintenanceStats stats() const;
+  [[nodiscard]] const MaintenanceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void thread_main();
+  void run_retention();
+  void run_compaction();
+  void run_scrub();
+
+  LogStore& store_;
+  MaintenanceConfig cfg_;
+
+  mutable std::mutex mutex_;  ///< guards stats_ and the scrub cursor
+  MaintenanceStats stats_;
+  std::vector<std::uint64_t> scrub_pending_;  ///< segments left in this pass
+  std::chrono::steady_clock::time_point last_scrub_pass_start_{};
+  bool scrub_pass_open_ = false;  ///< a walk is in progress
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+  bool running_ = false;
+};
+
+}  // namespace lzss::store

@@ -30,6 +30,8 @@
 #include "server/frame.hpp"
 #include "server/service.hpp"
 #include "server/tcp.hpp"
+#include "store/log_store.hpp"
+#include "store_test_util.hpp"
 #include "stream/channel.hpp"
 #include "workloads/corpus.hpp"
 
@@ -312,6 +314,21 @@ fault::Spec sweep_spec(const std::string& point, int iter) {
     spec.action = fault::Action::kDelay;
     spec.delay_ms = 10;
     spec.probability = 0.5;
+  } else if (point == "store.retain.unlink" || point == "store.scrub.read" ||
+             point == "store.compact.rename") {
+    // fires()/File-op failure signals on the maintenance paths; inert while
+    // no store is attached, but armed here so the sweep proves arming any
+    // registered point never destabilizes plain compression traffic.
+    spec.action = fault::Action::kFire;
+    spec.probability = 1.0;
+  } else if (point == "store.compact.crash") {
+    spec.action = fault::Action::kThrow;
+    spec.probability = 1.0;
+    spec.max_triggers = 1;
+  } else if (point == "store.fsync.pace") {
+    spec.action = fault::Action::kDelay;
+    spec.delay_ms = 5;
+    spec.probability = 0.5;
   } else {
     spec.action = fault::Action::kThrow;
     spec.probability = 0.3;
@@ -324,7 +341,7 @@ fault::Spec sweep_spec(const std::string& point, int iter) {
 // health check on the same instance.
 TEST(Chaos, SweepEveryRegisteredPoint) {
   const auto points = fault::all_points();
-  ASSERT_GE(points.size(), 15u);
+  ASSERT_GE(points.size(), 20u);
   const auto corpus = wl::make_corpus("mixed", 64 * 1024);
   std::vector<std::uint8_t> zlib_body, lzbc_body;
   {
@@ -619,6 +636,89 @@ TEST(Chaos, ContainerFaultPointsAnswerTypedAndRecover) {
   ASSERT_EQ(resp.status, Status::kOk);
   EXPECT_EQ(resp.payload, data);
   expect_service_healthy(service, data);
+}
+
+TEST(Chaos, ScrubHitsCorruptionQuarantinesAndServesOn) {
+  // The online maintenance contract end to end: a scrub that walks into real
+  // bitrot (and into injected read failures) quarantines, counts, and keeps
+  // the server answering — it never takes the service down.
+  store::testutil::TempDir dir;
+  store::StoreOptions opt;
+  opt.segment_bytes = 2048;  // several sealed segments from 50 records
+  opt.fsync_policy = store::FsyncPolicy::kNever;
+  {
+    store::LogStore log(dir.path, opt);
+    for (std::uint64_t seq = 1; seq <= 50; ++seq)
+      log.append(store::testutil::record_payload(seq));
+    log.flush();
+  }
+  const auto segs = store::testutil::segment_files(dir.path);
+  ASSERT_GT(segs.size(), 2u);
+
+  store::LogStore log(dir.path, opt);  // clean open: the index is trusted
+
+  // Silent bitrot after the open — only a scrub re-read can see it.
+  const auto recs = store::testutil::parse_segment_records(segs[1]);
+  ASSERT_GT(recs.size(), 1u);
+  auto image = store::testutil::slurp(segs[1]);
+  image[recs[1].offset + store::kRecordHeaderSize + 1] ^= 0x40;
+  store::testutil::spit(segs[1], image, image.size());
+  const std::uint64_t damaged_seq = recs[1].sequence;
+
+  Service service(chaos_config());
+  log.bind_metrics(service.metrics(), nullptr);
+  service.attach_store(&log);
+  server::LoopbackClient client(service);
+  auto scrub_all = [&](std::uint64_t id) {
+    RequestFrame req;
+    req.id = id;
+    req.opcode = Opcode::kScrub;
+    return client.call(req);
+  };
+
+  // Episode 1: the scrub's own reads fail (injected EIO on every segment).
+  // Each failure is a counted error inside an OK answer — unattended
+  // maintenance must never surface disk trouble as an exception.
+  {
+    fault::Spec eio;
+    eio.action = fault::Action::kFire;
+    const fault::ScopedFault guard("store.scrub.read", eio);
+    const auto resp = scrub_all(1);
+    ASSERT_EQ(resp.status, Status::kOk);
+    const std::string json(resp.payload.begin(), resp.payload.end());
+    EXPECT_NE(json.find("\"clean\":false"), std::string::npos) << json;
+  }
+
+  // Episode 2: disarmed, the scrub reaches the disk and finds the bitrot.
+  {
+    const auto resp = scrub_all(2);
+    ASSERT_EQ(resp.status, Status::kOk);
+    const std::string json(resp.payload.begin(), resp.payload.end());
+    EXPECT_NE(json.find("\"clean\":false"), std::string::npos) << json;
+  }
+
+  // The damage is quarantined — the lost sequence answers a typed gap — and
+  // the healthy neighbours still read back byte-exact.
+  try {
+    (void)log.read(damaged_seq);
+    FAIL() << "scrubbed-out record still readable";
+  } catch (const store::StoreError& e) {
+    EXPECT_EQ(e.kind(), store::StoreError::Kind::kGap);
+  }
+  EXPECT_EQ(log.read(1), store::testutil::record_payload(1));
+  EXPECT_EQ(log.read(50), store::testutil::record_payload(50));
+
+  // The tally reached the shared registry: a nonzero scrub-error counter in
+  // the same stats document operators poll.
+  const std::string stats = service.stats_json();
+  const auto name_at = stats.find("\"store_scrub_errors_total\"");
+  ASSERT_NE(name_at, std::string::npos) << stats;
+  const auto value_at = stats.find("\"value\":", name_at);
+  ASSERT_NE(value_at, std::string::npos) << stats;
+  EXPECT_NE(stats[value_at + 8], '0') << stats.substr(name_at, 80);
+
+  // And the service itself is unharmed.
+  expect_service_healthy(service, wl::make_corpus("mixed", 8 * 1024));
 }
 
 TEST(Chaos, SeededEpisodesAreReproducible) {

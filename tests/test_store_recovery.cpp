@@ -483,5 +483,255 @@ TEST(StoreRecovery, IndexRenameFaultLeavesStoreRecoverable) {
   for (std::uint64_t seq = 1; seq <= 40; ++seq) EXPECT_EQ(log.read(seq), record_payload(seq));
 }
 
+// ---------------------------------------------------------------------------
+// Compaction crash safety.
+//
+// compact_segment stages the rewritten image as `<segment>.cmp`, fsyncs it,
+// and atomically renames it over the old file. The sweep below simulates a
+// SIGKILL at every byte offset of that staging write: a truncated tmp file is
+// left next to the intact old segment, and recovery must land on exactly one
+// intact copy of every live record — the old one, since the rename never
+// happened. A second test covers the post-rename state (new image in place,
+// index sidecar stale).
+// ---------------------------------------------------------------------------
+
+/// Copies every regular file of flat directory @p src into @p dst.
+void copy_flat(const std::string& src, const std::string& dst) {
+  for (const auto& entry : std::filesystem::directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    std::filesystem::copy_file(entry.path(),
+                               std::filesystem::path(dst) / entry.path().filename(),
+                               std::filesystem::copy_options::overwrite_existing);
+  }
+}
+
+/// A multi-segment store where one sealed segment has a quarantined record.
+struct GappyStore {
+  std::vector<std::uint64_t> live;  ///< sequences that read back
+  std::vector<std::uint64_t> lost;  ///< quarantined sequences
+  std::uint64_t next_sequence = 0;
+  std::string victim_path;          ///< the gappy sealed segment
+  std::uint64_t victim_id = 0;
+};
+
+GappyStore build_gappy_store(const std::string& dir) {
+  GappyStore out;
+  build_store(dir, 40);
+  const auto segs = segment_files(dir);
+  // Corrupt the middle record of the second segment (sealed, mid-chain).
+  out.victim_path = segs[1];
+  const auto recs = parse_segment_records(out.victim_path);
+  EXPECT_GE(recs.size(), 3u);
+  auto image = slurp(out.victim_path);
+  image[recs[recs.size() / 2].offset + kRecordHeaderSize + 1] ^= 0x40;
+  spit(out.victim_path, image, image.size());
+  std::filesystem::remove(dir + "/index.lzsx");
+
+  RecoveryReport report;
+  LogStore log(dir, sweep_options(), &report);
+  EXPECT_FALSE(report.gaps.empty());
+  out.next_sequence = log.next_sequence();
+  for (std::uint64_t seq = 1; seq < out.next_sequence; ++seq) {
+    try {
+      (void)log.read(seq);
+      out.live.push_back(seq);
+    } catch (const StoreError&) {
+      out.lost.push_back(seq);
+    }
+  }
+  EXPECT_FALSE(out.lost.empty());
+  for (const SegmentInfo& info : log.segment_infos()) {
+    if (info.sealed && info.garbage_bytes > 0) out.victim_id = info.id;
+  }
+  EXPECT_NE(out.victim_id, 0u);
+  log.flush();  // publish the index that knows about the gap
+  return out;
+}
+
+/// Reopens @p dir and asserts the exact live/lost split of @p g survives.
+void check_gappy_state(const std::string& dir, const GappyStore& g, const char* ctx) {
+  RecoveryReport report;
+  LogStore log(dir, sweep_options(), &report);
+  EXPECT_EQ(log.next_sequence(), g.next_sequence) << ctx;
+  for (const std::uint64_t seq : g.live) {
+    EXPECT_EQ(log.read(seq), record_payload(seq)) << ctx << " seq " << seq;
+  }
+  for (const std::uint64_t seq : g.lost) {
+    EXPECT_THROW((void)log.read(seq), StoreError) << ctx << " seq " << seq;
+  }
+}
+
+/// The every-byte-offset compaction-crash sweep, optionally with a fault
+/// point armed across each reopen.
+void run_compaction_crash_sweep(const char* fault_point) {
+  TempDir dir;
+  const GappyStore g = build_gappy_store(dir.path);
+  const auto index_image = slurp(dir.path + "/index.lzsx");
+
+  // Capture the image compaction would write, by compacting a scratch copy.
+  std::vector<std::uint8_t> compacted;
+  {
+    TempDir scratch;
+    copy_flat(dir.path, scratch.path);
+    LogStore log(scratch.path, sweep_options());
+    const CompactionReport rep = log.compact_segment(g.victim_id);
+    EXPECT_EQ(rep.records, parse_segment_records(g.victim_path).size() - 1);
+    EXPECT_LT(rep.bytes_after, rep.bytes_before);
+    compacted = slurp(scratch.path + "/" +
+                      std::filesystem::path(g.victim_path).filename().string());
+    check_gappy_state(scratch.path, g, "scratch after compaction");
+  }
+
+  // Crash while staging: for every length of the tmp file, the old segment
+  // is still in place and recovery must see the exact pre-compaction state.
+  const std::string tmp = g.victim_path + ".cmp";
+  for (std::uint64_t cut = 0; cut <= compacted.size(); ++cut) {
+    spit(tmp, compacted, cut);
+    spit(dir.path + "/index.lzsx", index_image, index_image.size());
+    if (fault_point != nullptr) {
+      fault::Spec spec;
+      spec.action = fault::Action::kFire;
+      spec.max_triggers = 1;
+      spec.seed = cut + 1;
+      fault::ScopedFault guard(fault_point, spec);
+      check_gappy_state(dir.path, g, "tmp cut");
+    } else {
+      check_gappy_state(dir.path, g, "tmp cut");
+    }
+  }
+}
+
+TEST(StoreCompaction, TmpTruncationEveryByteOffsetSweep) {
+  run_compaction_crash_sweep(nullptr);
+}
+
+TEST(StoreCompaction, TmpTruncationSweepWithShortWriteFaultArmed) {
+  run_compaction_crash_sweep("store.file.short_write");
+}
+
+TEST(StoreCompaction, TmpTruncationSweepWithIndexRenameFaultArmed) {
+  run_compaction_crash_sweep("store.index.rename");
+}
+
+TEST(StoreCompaction, CrashAfterRenameRecoversNewImage) {
+  // The other side of the atomic rename: the new image IS the segment, the
+  // index sidecar is stale. Reopen must land on the compacted copy — same
+  // live records, same quarantined sequences (now tombstoned), no dupes.
+  TempDir dir;
+  const GappyStore g = build_gappy_store(dir.path);
+  std::vector<std::uint8_t> compacted;
+  {
+    TempDir scratch;
+    copy_flat(dir.path, scratch.path);
+    LogStore log(scratch.path, sweep_options());
+    (void)log.compact_segment(g.victim_id);
+    compacted = slurp(scratch.path + "/" +
+                      std::filesystem::path(g.victim_path).filename().string());
+  }
+  // Simulated crash immediately after rename: new image in place, old index.
+  spit(g.victim_path, compacted, compacted.size());
+  check_gappy_state(dir.path, g, "post-rename");
+
+  // And with the index gone entirely (rebuild walks the tombstones).
+  std::filesystem::remove(dir.path + "/index.lzsx");
+  check_gappy_state(dir.path, g, "post-rename rebuild");
+}
+
+TEST(StoreCompaction, RenameFaultAbortsAndRetrySucceeds) {
+  TempDir dir;
+  const GappyStore g = build_gappy_store(dir.path);
+  LogStore log(dir.path, sweep_options());
+  {
+    fault::Spec spec;
+    spec.action = fault::Action::kFire;
+    spec.max_triggers = 1;
+    fault::ScopedFault guard("store.compact.rename", spec);
+    EXPECT_THROW((void)log.compact_segment(g.victim_id), IoError);
+  }
+  // The failed attempt left the store untouched and cleaned its tmp file.
+  EXPECT_FALSE(std::filesystem::exists(g.victim_path + ".cmp"));
+  for (const std::uint64_t seq : g.live) EXPECT_EQ(log.read(seq), record_payload(seq));
+  // Retry with the fault gone: the same compaction lands.
+  const CompactionReport rep = log.compact_segment(g.victim_id);
+  EXPECT_GT(rep.reclaimed(), 0u);
+  for (const std::uint64_t seq : g.live) EXPECT_EQ(log.read(seq), record_payload(seq));
+  for (const std::uint64_t seq : g.lost) EXPECT_THROW((void)log.read(seq), StoreError);
+}
+
+TEST(StoreCompaction, CrashPointThrowAbortsCleanly) {
+  // kThrow on store.compact.crash models dying in the staged-but-not-renamed
+  // window; the in-process form must abort without touching the segment.
+  TempDir dir;
+  const GappyStore g = build_gappy_store(dir.path);
+  LogStore log(dir.path, sweep_options());
+  {
+    fault::Spec spec;
+    spec.action = fault::Action::kThrow;
+    spec.max_triggers = 1;
+    fault::ScopedFault guard("store.compact.crash", spec);
+    EXPECT_THROW((void)log.compact_segment(g.victim_id), fault::InjectedFault);
+  }
+  EXPECT_FALSE(std::filesystem::exists(g.victim_path + ".cmp"));
+  const CompactionReport rep = log.compact_segment(g.victim_id);
+  EXPECT_GT(rep.reclaimed(), 0u);
+  check_gappy_state(dir.path, g, "after aborted-then-retried compaction");
+}
+
+TEST(StoreCompaction, RecompressesRawRecordsAndKeepsTombstones) {
+  // Records appended with compression off are stored RAW; compaction re-runs
+  // them through deflate and keeps the smaller form. Quarantined sequences
+  // stay addressable as gaps (tombstones), and the offline verifier treats
+  // the compacted segment as clean.
+  TempDir dir;
+  StoreOptions raw_opt = sweep_options();
+  raw_opt.compress = false;
+  {
+    LogStore log(dir.path, raw_opt);
+    // Highly compressible payloads so the deflate pass genuinely shrinks.
+    for (std::uint64_t seq = 1; seq <= 40; ++seq)
+      log.append(std::vector<std::uint8_t>(120, static_cast<std::uint8_t>('a' + seq % 7)));
+    log.flush();
+  }
+  const auto segs = segment_files(dir.path);
+  ASSERT_GT(segs.size(), 2u);
+  // Quarantine one record in segment 2.
+  const auto recs = parse_segment_records(segs[1]);
+  auto image = slurp(segs[1]);
+  image[recs[1].offset + kRecordHeaderSize + 1] ^= 0x40;
+  spit(segs[1], image, image.size());
+  std::filesystem::remove(dir.path + "/index.lzsx");
+
+  StoreOptions opt = sweep_options();  // compress back on
+  LogStore log(dir.path, opt);
+  std::uint64_t victim_id = 0;
+  for (const SegmentInfo& info : log.segment_infos()) {
+    if (info.sealed && info.garbage_bytes > 0) victim_id = info.id;
+  }
+  ASSERT_NE(victim_id, 0u);
+  const CompactionReport rep = log.compact_segment(victim_id);
+  EXPECT_GT(rep.recompressed, 0u);
+  EXPECT_LT(rep.bytes_after, rep.bytes_before);
+
+  const std::uint64_t lost_seq = recs[1].sequence;
+  for (std::uint64_t seq = 1; seq <= 40; ++seq) {
+    if (seq == lost_seq) {
+      try {
+        (void)log.read(seq);
+        FAIL() << "quarantined seq " << seq << " readable after compaction";
+      } catch (const StoreError& e) {
+        EXPECT_EQ(e.kind(), StoreError::Kind::kGap);
+      }
+    } else {
+      EXPECT_EQ(log.read(seq),
+                std::vector<std::uint8_t>(120, static_cast<std::uint8_t>('a' + seq % 7)));
+    }
+  }
+  log.flush();
+
+  // Offline verify: the tombstone is damage already accounted, not new.
+  const auto verify = LogStore::verify(dir.path);
+  EXPECT_TRUE(verify.ok());
+}
+
 }  // namespace
 }  // namespace lzss::store

@@ -6,6 +6,14 @@
 //                              {"service":{...},"metrics":[...]} JSON)
 //         | log-append <file> (prints the durable sequence number)
 //         | log-read <seq>    (prints/-o the stored record)
+//         | scrub [seg-id]    (online integrity walk over the server's sealed
+//                              segments — all of them, or one by id; prints
+//                              the JSON tally; exit 1 when damage was found)
+//         | verify <file>     (checksum-only container verification: the
+//                              server decodes but sends no payload back;
+//                              prints the JSON verdict; exit 1 when corrupt)
+//         | verify-seq <first[:count]>  (verify stored records first..+count
+//                              without reading them back; default count 1)
 //     --host <h>     server host (default 127.0.0.1)
 //     --port <p>     server port (default 5555)
 //     --raw          raw-LZSS container instead of zlib
@@ -55,7 +63,8 @@ int usage() {
                "usage: lzss_client [--host h] [--port p] [--raw] [--preset id] [-o out]\n"
                "                   [--no-verify] [--retries n] [--retry-base-ms m]\n"
                "                   compress|compress-blocked|decompress|ping|stats [file]\n"
-               "                   | log-append <file> | log-read <seq>\n");
+               "                   | log-append <file> | log-read <seq> | scrub [seg-id]\n"
+               "                   | verify <file> | verify-seq <first[:count]>\n");
   return 2;
 }
 
@@ -99,7 +108,8 @@ int main(int argc, char** argv) {
     }
   }
   const bool needs_file = op == "compress" || op == "compress-blocked" ||
-                          op == "decompress" || op == "log-append" || op == "log-read";
+                          op == "decompress" || op == "log-append" || op == "log-read" ||
+                          op == "verify" || op == "verify-seq";
   if (op.empty() || (needs_file && file.empty()) || port > 65535 || preset > 255)
     return usage();
 
@@ -125,6 +135,28 @@ int main(int argc, char** argv) {
       const std::uint64_t seq = static_cast<std::uint64_t>(std::atoll(file.c_str()));
       for (int s = 0; s < 8; ++s)
         req.payload.push_back(static_cast<std::uint8_t>(seq >> (8 * s)));
+    } else if (op == "scrub") {
+      req.opcode = server::Opcode::kScrub;
+      if (!file.empty()) {
+        const std::uint64_t id = static_cast<std::uint64_t>(std::atoll(file.c_str()));
+        for (int s = 0; s < 8; ++s)
+          req.payload.push_back(static_cast<std::uint8_t>(id >> (8 * s)));
+      }
+    } else if (op == "verify") {
+      req.opcode = server::Opcode::kVerify;
+      req.payload = read_file(file);
+    } else if (op == "verify-seq") {
+      req.opcode = server::Opcode::kVerify;
+      req.flags |= server::kFlagVerifyStore;
+      std::uint64_t first = 0, count = 1;
+      const std::size_t colon = file.find(':');
+      first = static_cast<std::uint64_t>(std::atoll(file.substr(0, colon).c_str()));
+      if (colon != std::string::npos)
+        count = static_cast<std::uint64_t>(std::atoll(file.c_str() + colon + 1));
+      for (int s = 0; s < 8; ++s)
+        req.payload.push_back(static_cast<std::uint8_t>(first >> (8 * s)));
+      for (int s = 0; s < 8; ++s)
+        req.payload.push_back(static_cast<std::uint8_t>(count >> (8 * s)));
     } else if (op == "ping") {
       req.opcode = server::Opcode::kPing;
     } else if (op == "stats") {
@@ -177,6 +209,19 @@ int main(int argc, char** argv) {
         std::printf("\n");
       }
       return 0;
+    }
+    if (op == "scrub" || op == "verify" || op == "verify-seq") {
+      // The payload is the JSON verdict. Exit status mirrors it: a verdict
+      // that says the data is damaged fails the command even though the
+      // *request* succeeded (OK + "clean":false).
+      if (!out_path.empty()) {
+        write_file(out_path, resp.payload);
+      } else {
+        std::fwrite(resp.payload.data(), 1, resp.payload.size(), stdout);
+        std::printf("\n");
+      }
+      const std::string text(resp.payload.begin(), resp.payload.end());
+      return text.find("\"clean\":true") != std::string::npos ? 0 : 1;
     }
     if (op == "log-append") {
       if (resp.payload.size() != 8 || resp.adler != checksum::adler32(req.payload)) {

@@ -14,6 +14,13 @@
 //   lzss_store recover <dir>           run recovery (truncate the torn tail,
 //                                      rebuild the index sidecar), print the
 //                                      report; exits 1 when gaps remain
+//   lzss_store compact <dir>           crash-safely rewrite gappy sealed
+//                                      segments without their quarantined
+//                                      bytes (RAW records recompressed)
+//     --seg <id>                              compact one segment by id
+//   lzss_store retain <dir>            delete whole sealed segments, oldest
+//                                      first, until the budget holds
+//     --max-bytes <b> --max-records <n> --max-age-s <s>
 //
 // On-disk format: docs/STORE.md.
 #include <cinttypes>
@@ -36,7 +43,10 @@ int usage() {
                "usage: lzss_store append <dir> [file] [--fsync policy] [--segment-kb k]\n"
                "       lzss_store cat <dir> [--seq n]\n"
                "       lzss_store verify <dir>\n"
-               "       lzss_store recover <dir>\n");
+               "       lzss_store recover <dir>\n"
+               "       lzss_store compact <dir> [--seg id]\n"
+               "       lzss_store retain <dir> [--max-bytes b] [--max-records n]"
+               " [--max-age-s s]\n");
   return 2;
 }
 
@@ -95,6 +105,52 @@ int cmd_recover(const std::string& dir) {
   return report.gaps.empty() ? 0 : 1;
 }
 
+int cmd_compact(const std::string& dir, std::uint64_t seg, bool have_seg) {
+  store::StoreOptions opt;
+  store::LogStore log(dir, opt);
+  std::vector<std::uint64_t> victims;
+  if (have_seg) {
+    victims.push_back(seg);
+  } else {
+    for (const store::SegmentInfo& info : log.segment_infos())
+      if (info.sealed && info.garbage_bytes > 0) victims.push_back(info.id);
+  }
+  if (victims.empty()) {
+    std::printf("nothing to compact\n");
+    return 0;
+  }
+  int rc = 0;
+  for (const std::uint64_t id : victims) {
+    try {
+      const store::CompactionReport r = log.compact_segment(id);
+      std::printf("segment %" PRIu64 ": %" PRIu64 " -> %" PRIu64 " bytes (%" PRIu64
+                  " records, %" PRIu64 " recompressed, %" PRIu64 " reclaimed)\n",
+                  r.segment_id, r.bytes_before, r.bytes_after, r.records, r.recompressed,
+                  r.reclaimed());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "segment %" PRIu64 ": %s\n", id, e.what());
+      rc = 1;
+    }
+  }
+  log.flush();  // persist the updated index sidecar
+  return rc;
+}
+
+int cmd_retain(const std::string& dir, const store::RetentionPolicy& policy) {
+  if (policy.max_bytes == 0 && policy.max_records == 0 && policy.max_age_seconds == 0) {
+    std::fprintf(stderr, "retain: give at least one of --max-bytes/--max-records/--max-age-s\n");
+    return 2;
+  }
+  store::StoreOptions opt;
+  store::LogStore log(dir, opt);
+  const store::RetentionReport r = log.apply_retention(policy);
+  log.flush();
+  std::printf("retained out %" PRIu64 " segments (%" PRIu64 " bytes, %" PRIu64
+              " records); first surviving seq %" PRIu64 "\n",
+              r.segments_deleted, r.bytes_deleted, r.records_deleted, r.first_sequence);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,6 +161,9 @@ int main(int argc, char** argv) {
   std::string file;
   std::uint64_t seq = 0;
   bool have_seq = false;
+  std::uint64_t seg = 0;
+  bool have_seg = false;
+  lzss::store::RetentionPolicy policy;
   lzss::store::StoreOptions opt;
   opt.fsync_policy = lzss::store::FsyncPolicy::kEveryRecord;
 
@@ -123,6 +182,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--seq" && (v = next()) != nullptr) {
       seq = static_cast<std::uint64_t>(std::atoll(v));
       have_seq = true;
+    } else if (arg == "--seg" && (v = next()) != nullptr) {
+      seg = static_cast<std::uint64_t>(std::atoll(v));
+      have_seg = true;
+    } else if (arg == "--max-bytes" && (v = next()) != nullptr) {
+      policy.max_bytes = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--max-records" && (v = next()) != nullptr) {
+      policy.max_records = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--max-age-s" && (v = next()) != nullptr) {
+      policy.max_age_seconds = static_cast<std::uint64_t>(std::atoll(v));
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else if (file.empty()) {
@@ -137,6 +205,8 @@ int main(int argc, char** argv) {
     if (cmd == "cat") return cmd_cat(dir, seq, have_seq);
     if (cmd == "verify") return cmd_verify(dir);
     if (cmd == "recover") return cmd_recover(dir);
+    if (cmd == "compact") return cmd_compact(dir, seg, have_seg);
+    if (cmd == "retain") return cmd_retain(dir, policy);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lzss_store: %s\n", e.what());

@@ -22,6 +22,20 @@
 //                               (default every-record: an acked append
 //                               survives power loss)
 //     --store-segment-kb <k>    segment rotation threshold (default 4096)
+//     --compact-trigger-garbage-pct <p>  background compaction: rewrite a
+//                               sealed segment once quarantined garbage
+//                               reaches p%% of its extent (0 = off, default)
+//     --retain-max-bytes <b>    retention: delete oldest sealed segments
+//                               while the archive exceeds b bytes (0 = off)
+//     --retain-max-records <n>  ... or n records (0 = off)
+//     --retain-max-age-s <s>    ... or the oldest segment is older than s
+//                               seconds (0 = off)
+//     --scrub-interval-s <s>    start an online integrity walk over sealed
+//                               segments every s seconds (0 = off)
+//     --maintenance-tick-ms <t> maintenance loop period (default 1000)
+//     --arm-fault <pt>=<act>    arm a fault point at startup for crash drills:
+//                               act = throw | fire | kill | corrupt |
+//                               delay:<ms> (docs/FAULTS.md; repeatable)
 //     --metrics-dump            print the full metrics registry (Prometheus
 //                               text exposition) on shutdown
 //     --trace-jsonl <path>      write the trace-span ring to <path> as JSONL
@@ -37,11 +51,13 @@
 #include <string>
 
 #include "estimator/presets.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "server/service.hpp"
 #include "server/tcp.hpp"
 #include "store/log_store.hpp"
+#include "store/maintenance.hpp"
 
 namespace {
 
@@ -57,8 +73,44 @@ int usage() {
                "             [--large-engines n] [--threshold-kb k] [--block-kb k]\n"
                "             [--request-timeout-ms t] [--hung-worker-ms t]\n"
                "             [--store-dir dir] [--store-fsync policy] [--store-segment-kb k]\n"
+               "             [--compact-trigger-garbage-pct p] [--retain-max-bytes b]\n"
+               "             [--retain-max-records n] [--retain-max-age-s s]\n"
+               "             [--scrub-interval-s s] [--maintenance-tick-ms t]\n"
+               "             [--arm-fault point=action[:ms]]\n"
                "             [--metrics-dump] [--trace-jsonl path]\n");
   return 2;
+}
+
+/// Parses "point=action[:ms]" and arms the point (probability 1, unlimited
+/// triggers) — the crash-drill hook the smoke tests use to stage a fault in a
+/// *live* daemon they are about to SIGKILL.
+bool arm_fault_from_spec(const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  const std::string point = spec.substr(0, eq);
+  std::string action = spec.substr(eq + 1);
+  std::uint32_t ms = 0;
+  if (const std::size_t colon = action.find(':'); colon != std::string::npos) {
+    ms = static_cast<std::uint32_t>(std::atoi(action.c_str() + colon + 1));
+    action = action.substr(0, colon);
+  }
+  lzss::fault::Spec fs;
+  if (action == "throw") {
+    fs.action = lzss::fault::Action::kThrow;
+  } else if (action == "fire") {
+    fs.action = lzss::fault::Action::kFire;
+  } else if (action == "kill") {
+    fs.action = lzss::fault::Action::kKillWorker;
+  } else if (action == "corrupt") {
+    fs.action = lzss::fault::Action::kCorrupt;
+  } else if (action == "delay") {
+    fs.action = lzss::fault::Action::kDelay;
+    fs.delay_ms = ms;
+  } else {
+    return false;
+  }
+  lzss::fault::arm(point, fs);
+  return true;
 }
 
 }  // namespace
@@ -72,6 +124,7 @@ int main(int argc, char** argv) {
   std::string store_dir;
   store::StoreOptions store_opt;
   store_opt.fsync_policy = store::FsyncPolicy::kEveryRecord;
+  store::MaintenanceConfig maint_cfg;
   bool metrics_dump = false;
   std::string trace_path;
 
@@ -107,6 +160,20 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--store-segment-kb" && (v = next()) != nullptr) {
       store_opt.segment_bytes = static_cast<std::size_t>(std::atoi(v)) * 1024;
+    } else if (arg == "--compact-trigger-garbage-pct" && (v = next()) != nullptr) {
+      maint_cfg.compact_trigger_garbage_pct = std::atof(v);
+    } else if (arg == "--retain-max-bytes" && (v = next()) != nullptr) {
+      maint_cfg.retain_max_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--retain-max-records" && (v = next()) != nullptr) {
+      maint_cfg.retain_max_records = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--retain-max-age-s" && (v = next()) != nullptr) {
+      maint_cfg.retain_max_age_s = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--scrub-interval-s" && (v = next()) != nullptr) {
+      maint_cfg.scrub_interval_s = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--maintenance-tick-ms" && (v = next()) != nullptr) {
+      maint_cfg.tick_interval_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--arm-fault" && (v = next()) != nullptr) {
+      if (!arm_fault_from_spec(v)) return usage();
     } else if (arg == "--metrics-dump") {
       metrics_dump = true;
     } else if (arg == "--trace-jsonl" && (v = next()) != nullptr) {
@@ -131,6 +198,9 @@ int main(int argc, char** argv) {
     // Service::~Service (queued LOG_APPENDs may still touch the store).
     std::unique_ptr<store::LogStore> log_store;
     server::Service service(cfg);
+    // Declared after the service: the maintenance thread stops (and its last
+    // in-flight compaction/scrub finishes) before the store goes away.
+    std::unique_ptr<store::Maintenance> maintenance;
 
     if (!store_dir.empty()) {
       store::RecoveryReport recovery;
@@ -140,6 +210,16 @@ int main(int argc, char** argv) {
       std::printf("store %s (fsync %s): %s", store_dir.c_str(),
                   store::fsync_policy_name(store_opt.fsync_policy),
                   recovery.render().c_str());
+      if (maint_cfg.enabled()) {
+        maintenance = std::make_unique<store::Maintenance>(*log_store, maint_cfg);
+        maintenance->start();
+        std::printf("maintenance: compact>=%.1f%% garbage, retain<=%" PRIu64
+                    "B/%" PRIu64 "rec/%" PRIu64 "s, scrub every %" PRIu64
+                    "s, tick %" PRIu64 "ms\n",
+                    maint_cfg.compact_trigger_garbage_pct, maint_cfg.retain_max_bytes,
+                    maint_cfg.retain_max_records, maint_cfg.retain_max_age_s,
+                    maint_cfg.scrub_interval_s, maint_cfg.tick_interval_ms);
+      }
     }
 
     server::TcpServer tcp(service, static_cast<std::uint16_t>(port));
@@ -156,6 +236,16 @@ int main(int argc, char** argv) {
 
     const auto stats = service.snapshot();
     std::printf("lzssd shutting down\n%s", stats.render().c_str());
+    if (maintenance) {
+      maintenance->stop();
+      const auto ms = maintenance->stats();
+      std::printf("maintenance: %" PRIu64 " ticks, %" PRIu64 " compactions (%" PRIu64
+                  " B reclaimed, %" PRIu64 " recompressed), %" PRIu64
+                  " segments retained out, %" PRIu64 " scrubbed (%" PRIu64
+                  " errors), %" PRIu64 " op failures\n",
+                  ms.ticks, ms.compactions, ms.bytes_reclaimed, ms.records_recompressed,
+                  ms.retention_segments, ms.scrubbed_segments, ms.scrub_errors, ms.errors);
+    }
     if (log_store) {
       const auto ss = log_store->stats();
       std::printf("store: %" PRIu64 " appends, %" PRIu64 " fsyncs, %" PRIu64 " -> %" PRIu64
