@@ -14,6 +14,10 @@
 // A fifth behind `--maintenance`: LOG_APPEND goodput with the background
 // compaction + scrub thread running against a gappy archive vs without —
 // the interference cost of self-healing, as a ratio.
+// A sixth (also in the default artifact, standalone behind `--overload`):
+// served-vs-shed goodput and the latency tail of *admitted* requests when
+// the real TCP front end is driven past capacity with the brownout gate
+// armed — what overload control buys at 1-4x oversubscription.
 //
 // Besides the human tables, the default run writes BENCH_server.json
 // (override with `--json <path>`): the sweep rows plus a full STATS-opcode
@@ -23,11 +27,14 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -157,6 +164,182 @@ BlockedResult run_blocked(server::Service& service, const std::vector<std::uint8
   r.decompress_gb_s = secs > 0 ? static_cast<double>(corpus.size()) / 1e9 / secs : 0;
   r.ok = true;
   return r;
+}
+
+struct OverloadResult {
+  double goodput_mb_s = 0;  ///< MB/s of *served* request bytes (shed excluded)
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;      ///< BUSY answers: queue-full plus brownout gate
+  std::uint64_t transport = 0; ///< dropped connections (reconnected and moved on)
+  double p50_ms = 0;           ///< client-observed latency of served requests
+  double p99_ms = 0;
+  bool stats_ok = false;  ///< a STATS probe fired mid-overload must succeed
+  std::uint64_t brownout_shed = 0;
+  std::uint64_t brownouts = 0;
+};
+
+/// Closed-loop overload over the *real* TCP transport: a small worker pool
+/// behind a shallow queue and an armed brownout gate, driven by
+/// `oversub x workers` loadgen threads. The contract measured: served
+/// requests keep a flat latency tail because the excess is shed at the frame
+/// header (BUSY) instead of queueing, and the control plane (STATS) stays
+/// answerable throughout.
+OverloadResult run_overload(const std::vector<std::uint8_t>& corpus, unsigned oversub,
+                            std::size_t chunk, int requests_per_thread) {
+  server::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_depth = 8;
+  server::Service service(cfg);
+  server::TcpServerConfig tcfg;
+  tcfg.max_conns = 64;
+  tcfg.brownout_queue_wait_us = 20'000;  // 20 ms queue-wait p99 trips the gate
+  tcfg.drain_deadline_ms = 2000;
+  server::TcpServer tcp(service, /*port=*/0, tcfg);
+  std::thread server_thread([&] { tcp.run(); });
+  const std::uint16_t port = tcp.port();
+
+  const unsigned threads = cfg.workers * oversub;
+  std::atomic<std::uint64_t> ok{0}, shed{0}, transport{0}, ok_bytes{0};
+  std::mutex lat_mutex;
+  std::vector<double> lat_ms;
+  std::atomic<bool> probe_ok{false};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      std::unique_ptr<server::TcpClient> client;
+      for (int i = 0; i < requests_per_thread; ++i) {
+        const std::size_t off = ((static_cast<std::size_t>(t) * 7919 +
+                                  static_cast<std::size_t>(i) * 104729) *
+                                 chunk) %
+                                (corpus.size() - chunk);
+        server::RequestFrame req;
+        req.id = static_cast<std::uint64_t>(t) << 32 | static_cast<std::uint32_t>(i);
+        req.opcode = server::Opcode::kCompress;
+        req.payload.assign(corpus.begin() + static_cast<std::ptrdiff_t>(off),
+                           corpus.begin() + static_cast<std::ptrdiff_t>(off + chunk));
+        try {
+          if (!client)
+            client = std::make_unique<server::TcpClient>("127.0.0.1", port);
+          const auto s0 = std::chrono::steady_clock::now();
+          const auto resp = client->call(req);
+          const double ms =
+              std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - s0)
+                  .count();
+          if (resp.status == server::Status::kOk) {
+            ok.fetch_add(1);
+            ok_bytes.fetch_add(chunk);
+            const std::lock_guard<std::mutex> lock(lat_mutex);
+            lat_ms.push_back(ms);
+          } else if (resp.status == server::Status::kBusy) {
+            shed.fetch_add(1);
+          }
+        } catch (const std::exception&) {
+          transport.fetch_add(1);
+          client.reset();
+        }
+      }
+    });
+  }
+
+  // Control-plane probe while the loadgen is still hammering: STATS must be
+  // admitted (never a bulky opcode) and answered even mid-brownout.
+  std::thread prober([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    try {
+      server::TcpClient stats_client("127.0.0.1", port);
+      server::RequestFrame sreq;
+      sreq.id = 0x57A75;
+      sreq.opcode = server::Opcode::kStats;
+      const auto resp = stats_client.call(sreq);
+      probe_ok.store(resp.status == server::Status::kOk && !resp.payload.empty());
+    } catch (const std::exception&) {
+      probe_ok.store(false);
+    }
+  });
+
+  for (auto& th : pool) th.join();
+  prober.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  OverloadResult r;
+  r.ok = ok.load();
+  r.shed = shed.load();
+  r.transport = transport.load();
+  r.goodput_mb_s = secs > 0 ? static_cast<double>(ok_bytes.load()) / 1e6 / secs : 0;
+  r.stats_ok = probe_ok.load();
+  r.brownout_shed =
+      service.metrics().counter("server_frames_shed_total", {{"reason", "brownout"}}).value();
+  r.brownouts = service.metrics().counter("server_brownout_entered_total").value();
+  std::sort(lat_ms.begin(), lat_ms.end());
+  if (!lat_ms.empty()) {
+    r.p50_ms = lat_ms[lat_ms.size() / 2];
+    r.p99_ms = lat_ms[std::min(lat_ms.size() - 1, (lat_ms.size() * 99) / 100)];
+  }
+
+  tcp.stop();
+  server_thread.join();
+  return r;
+}
+
+/// Prints the overload table and returns the rows as a JSON array, so the
+/// same sweep feeds both the default artifact and the standalone
+/// `--overload` run.
+std::string overload_sweep(const std::vector<std::uint8_t>& corpus) {
+  const std::size_t chunk = 64 * 1024;
+  std::printf(
+      "\n-- overload: 64 KiB compress at Nx capacity over real TCP (2 engines, queue 8,\n"
+      "   brownout gate armed at 20 ms queue-wait p99; shed = BUSY at the frame header) --\n");
+  std::printf("%-8s %9s %13s %9s %9s %9s %9s %10s %9s\n", "oversub", "threads", "goodput MB/s",
+              "served", "shed", "p50 ms", "p99 ms", "stats ok", "brownout");
+  std::string json = "[";
+  char jbuf[320];
+  bool first = true;
+  for (const unsigned oversub : {1u, 2u, 4u}) {
+    const auto r = run_overload(corpus, oversub, chunk, /*requests_per_thread=*/24);
+    char cell[16];
+    std::snprintf(cell, sizeof(cell), "%ux", oversub);
+    std::printf("%-8s %9u %13.2f %9llu %9llu %9.2f %9.2f %10s %9llu\n", cell, 2 * oversub,
+                r.goodput_mb_s, static_cast<unsigned long long>(r.ok),
+                static_cast<unsigned long long>(r.shed), r.p50_ms, r.p99_ms,
+                r.stats_ok ? "yes" : "NO",
+                static_cast<unsigned long long>(r.brownout_shed));
+    std::snprintf(jbuf, sizeof(jbuf),
+                  "%s{\"oversub\":%u,\"threads\":%u,\"goodput_mb_s\":%.3f,\"served\":%llu,"
+                  "\"shed\":%llu,\"transport_errors\":%llu,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+                  "\"stats_ok\":%s,\"brownout_shed\":%llu,\"brownouts\":%llu}",
+                  first ? "" : ",", oversub, 2 * oversub, r.goodput_mb_s,
+                  static_cast<unsigned long long>(r.ok),
+                  static_cast<unsigned long long>(r.shed),
+                  static_cast<unsigned long long>(r.transport), r.p50_ms, r.p99_ms,
+                  r.stats_ok ? "true" : "false",
+                  static_cast<unsigned long long>(r.brownout_shed),
+                  static_cast<unsigned long long>(r.brownouts));
+    json += jbuf;
+    first = false;
+  }
+  json += "]";
+  return json;
+}
+
+/// `--overload`: just the overload sweep, written as its own JSON artifact.
+void print_overload_tables() {
+  bench::print_title("EXTENSION — OVERLOAD CONTROL AT THE TCP FRONT END",
+                     "closed-loop 64 KiB compress at 1-4x capacity, brownout gate armed");
+  const std::size_t bytes = std::max<std::size_t>(bench::sample_bytes(2), 1 << 20);
+  const auto& corpus = bench::cached_corpus("wiki", bytes);
+  std::string json = "{\"bench\":\"server_overload\",\"chunk_bytes\":65536,\"overload_sweep\":";
+  json += overload_sweep(corpus);
+  json += "}\n";
+  std::FILE* jf = std::fopen(g_json_path.c_str(), "wb");
+  if (jf != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), jf);
+    std::fclose(jf);
+    std::printf("\nwrote %s\n", g_json_path.c_str());
+  }
 }
 
 void print_tables() {
@@ -306,6 +489,11 @@ void print_tables() {
     }
   }
   json += "]";
+
+  // Overload control over the real TCP transport: served-vs-shed goodput and
+  // the latency tail of admitted requests at 1-4x capacity.
+  json += ",\"overload_sweep\":";
+  json += overload_sweep(corpus);
 
   // The STATS payload is already JSON ({"service":...,"metrics":[...]}) —
   // embed it verbatim.
@@ -584,12 +772,15 @@ int main(int argc, char** argv) {
   // tables; `--json <path>` moves the machine-readable artifact.
   bool durable = false;
   bool maintenance = false;
+  bool overload = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--durable") == 0) {
       durable = true;
     } else if (std::strcmp(argv[i], "--maintenance") == 0) {
       maintenance = true;
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      overload = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       g_json_path = argv[++i];
     } else {
@@ -597,7 +788,9 @@ int main(int argc, char** argv) {
     }
   }
   argc = out;
-  return lzss::bench::run_bench_main(
-      argc, argv,
-      maintenance ? print_maintenance_tables : durable ? print_durable_tables : print_tables);
+  return lzss::bench::run_bench_main(argc, argv,
+                                     overload      ? print_overload_tables
+                                     : maintenance ? print_maintenance_tables
+                                     : durable     ? print_durable_tables
+                                                   : print_tables);
 }

@@ -147,6 +147,9 @@ std::span<const char* const> all_points() noexcept {
       "server.session.egress",      // Session response serialization (wire bytes)
       "server.tcp.short_write",     // TcpServer::flush_writable (1-byte writes)
       "server.tcp.abort",           // TcpServer read/write (connection drop)
+      "server.tcp.slow_reader",     // TcpServer::handle_readable (1 byte per poll round)
+      "server.tcp.stalled_writer",  // TcpServer::flush_writable (injected EAGAIN, no progress)
+      "server.tcp.accept_fail",     // TcpServer accept loop (EMFILE-style failure)
       "deflate.inflate.corrupt",    // zlib_decompress input (bit corruption)
       "container.block.corrupt",    // LZBC decode_block input (bit corruption)
       "container.reassemble.delay", // block fan-out, before the parent claims

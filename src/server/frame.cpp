@@ -113,6 +113,14 @@ namespace detail {
 
 bool FrameAccumulator::feed(std::span<const std::uint8_t> bytes) {
   if (error_ != ParseError::kNone) return false;
+  if (skip_remaining_ > 0) {
+    // A gate-rejected frame's payload is still streaming in: discard it
+    // without buffering so a shed 64 MiB COMPRESS costs no memory.
+    const std::size_t drop = std::min(skip_remaining_, bytes.size());
+    skip_remaining_ -= drop;
+    bytes = bytes.subspan(drop);
+    if (bytes.empty()) return true;
+  }
   buf_.insert(buf_.end(), bytes.begin(), bytes.end());
   validate_prefix();
   return error_ == ParseError::kNone;
@@ -143,7 +151,7 @@ std::uint32_t FrameAccumulator::payload_length() const noexcept {
   return get_le32(buf_.data() + header_size_ - 4);
 }
 
-bool FrameAccumulator::frame_ready() {
+bool FrameAccumulator::header_ready() {
   if (error_ != ParseError::kNone || buf_.size() < header_size_) return false;
   if (!header_checked_) {
     const ParseError e = validate_header(std::span(buf_).first(header_size_));
@@ -157,7 +165,22 @@ bool FrameAccumulator::frame_ready() {
     }
     header_checked_ = true;
   }
+  return true;
+}
+
+bool FrameAccumulator::frame_ready() {
+  if (!header_ready()) return false;
   return buf_.size() >= header_size_ + payload_length();
+}
+
+void FrameAccumulator::skip_payload() {
+  const std::size_t total = header_size_ + payload_length();
+  const std::size_t have = std::min(buf_.size(), total);
+  skip_remaining_ = total - have;
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(have));
+  header_checked_ = false;
+  validated_ = 0;
+  validate_prefix();  // whatever follows the skipped frame starts a new one
 }
 
 std::vector<std::uint8_t> FrameAccumulator::consume_frame() {
@@ -182,8 +205,24 @@ ParseError RequestParser::validate_header(std::span<const std::uint8_t> header) 
 }
 
 std::optional<RequestFrame> RequestParser::next() {
+  if (gate_ && !gate_passed_ && header_ready()) {
+    // Admission decision at the header, before the payload is buffered.
+    const auto hdr = header_bytes();
+    RequestFrame f;
+    f.opcode = static_cast<Opcode>(hdr[5]);
+    f.flags = get_le16(hdr.data() + 6);
+    f.id = get_le64(hdr.data() + 8);
+    const std::uint32_t len = payload_length();
+    if (!gate_(f, len)) {
+      skip_payload();
+      f.shed = true;
+      return f;
+    }
+    gate_passed_ = true;
+  }
   if (!frame_ready()) return std::nullopt;
   const auto bytes = consume_frame();
+  gate_passed_ = false;
   RequestFrame f;
   f.opcode = static_cast<Opcode>(bytes[5]);
   f.flags = get_le16(bytes.data() + 6);

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -101,6 +102,11 @@ struct RequestFrame {
   std::uint64_t id = 0;
   Opcode opcode = Opcode::kPing;
   std::uint16_t flags = 0;
+  /// Set by RequestParser when an admission gate rejected the frame at the
+  /// header: the payload was discarded without buffering and `payload` is
+  /// empty. The transport answers BUSY instead of dispatching. Never set on
+  /// frames that reach the service.
+  bool shed = false;
   std::vector<std::uint8_t> payload;
 };
 
@@ -139,6 +145,9 @@ class FrameAccumulator {
 
   [[nodiscard]] ParseError error() const noexcept { return error_; }
   [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size(); }
+  /// Payload bytes of a skipped (gate-rejected) frame still expected on the
+  /// wire; they are discarded as they arrive, never buffered.
+  [[nodiscard]] std::size_t skip_remaining() const noexcept { return skip_remaining_; }
 
  protected:
   /// Header-field validation hook; called once per frame when the full
@@ -146,8 +155,24 @@ class FrameAccumulator {
   [[nodiscard]] virtual ParseError validate_header(std::span<const std::uint8_t> header) const = 0;
   virtual ~FrameAccumulator() = default;
 
+  /// True when the pending frame's full header is buffered and validated —
+  /// the payload may still be in flight. This is the admission-gate hook:
+  /// decide accept/shed here, before payload bytes are ever buffered.
+  [[nodiscard]] bool header_ready();
+
+  /// Drops the pending frame without buffering its payload: the buffered
+  /// header (and any payload prefix) is erased, and the not-yet-arrived
+  /// remainder of the payload is discarded byte-for-byte by future feed()
+  /// calls. Only valid after header_ready().
+  void skip_payload();
+
   /// Consumes the ready frame's bytes; only valid after frame_ready().
   [[nodiscard]] std::vector<std::uint8_t> consume_frame();
+
+  /// The buffered header bytes; only valid after header_ready().
+  [[nodiscard]] std::span<const std::uint8_t> header_bytes() const noexcept {
+    return {buf_.data(), header_size_};
+  }
 
   [[nodiscard]] std::uint32_t payload_length() const noexcept;
 
@@ -159,6 +184,7 @@ class FrameAccumulator {
   std::size_t max_payload_;
   std::vector<std::uint8_t> buf_;
   std::size_t validated_ = 0;       ///< prefix bytes already checked
+  std::size_t skip_remaining_ = 0;  ///< bytes to discard before buffering resumes
   bool header_checked_ = false;     ///< validate_header ran for the pending frame
   ParseError error_ = ParseError::kNone;
 };
@@ -169,11 +195,26 @@ class FrameAccumulator {
 class RequestParser final : public detail::FrameAccumulator {
  public:
   explicit RequestParser(std::size_t max_payload = kMaxPayload) noexcept;
+
+  /// Admission gate, consulted once per frame as soon as the 20-byte header
+  /// is buffered — before any payload byte is. `header` carries the decoded
+  /// id/opcode/flags (payload empty); `payload_len` is the frame's declared
+  /// length. Return true to admit (the payload is then buffered normally),
+  /// false to shed: the payload is discarded as it streams in and next()
+  /// yields the frame once with `shed = true` so the transport can answer
+  /// BUSY. The gate runs on the transport thread.
+  using Gate = std::function<bool(const RequestFrame& header, std::uint32_t payload_len)>;
+  void set_gate(Gate gate) { gate_ = std::move(gate); }
+
   /// Extracts the next complete frame, or nullopt (need more bytes / error).
   [[nodiscard]] std::optional<RequestFrame> next();
 
  protected:
   [[nodiscard]] ParseError validate_header(std::span<const std::uint8_t> header) const override;
+
+ private:
+  Gate gate_;
+  bool gate_passed_ = false;  ///< the pending frame was admitted by the gate
 };
 
 /// Incremental response parser (client side).

@@ -155,6 +155,11 @@ class Service {
   /// The registry this service reports into (its own unless one was shared
   /// through ServiceConfig::registry).
   [[nodiscard]] obs::Registry& metrics() const noexcept { return *registry_; }
+  /// The enqueue→dispatch wait histogram. The TCP front end reads a
+  /// windowed p99 of this to drive brownout shedding (docs/SERVER.md).
+  [[nodiscard]] obs::Histogram& queue_wait_histogram() const noexcept {
+    return *queue_wait_us_;
+  }
   [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
 
   /// Attaches a durable log store (not owned; must outlive the service).

@@ -8,6 +8,18 @@ void Session::on_bytes(std::span<const std::uint8_t> bytes) {
   if (closed_) return;
   parser_.feed(bytes);
   while (auto frame = parser_.next()) {
+    if (frame->shed) {
+      // The admission gate refused the frame at its header; the payload is
+      // being discarded unbuffered. BUSY is the existing retryable answer —
+      // well-behaved clients back off exactly as for a full queue.
+      ++frames_shed_;
+      ResponseFrame busy;
+      busy.id = frame->id;
+      busy.flags = frame->flags;
+      busy.status = Status::kBusy;
+      enqueue_response(busy);
+      continue;
+    }
     ++requests_seen_;
     handler_(std::move(*frame));
   }
@@ -27,6 +39,7 @@ void Session::enqueue_response(const ResponseFrame& response) {
   // Wire-level corruption point: flips bits in the serialized frame, which
   // is what a faulty link (or a buggy peer) hands the client-side parser.
   fault::corrupt("server.session.egress", bytes);
+  responses_enqueued_.fetch_add(1, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(out_mutex_);
   outbox_.insert(outbox_.end(), bytes.begin(), bytes.end());
 }

@@ -10,6 +10,7 @@
 // transport should flush the outbox and drop the connection.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -32,6 +33,12 @@ class Session {
   /// Must happen before the first on_bytes().
   void set_handler(RequestHandler handler) { handler_ = std::move(handler); }
 
+  /// Installs an admission gate (see RequestParser::Gate): consulted per
+  /// frame at the header, before the payload buffers. Gate-rejected frames
+  /// are answered BUSY here instead of reaching the handler. Must happen
+  /// before the first on_bytes().
+  void set_gate(RequestParser::Gate gate) { parser_.set_gate(std::move(gate)); }
+
   /// Feeds transport bytes; invokes the handler once per complete frame.
   /// Call from the transport thread only.
   void on_bytes(std::span<const std::uint8_t> bytes);
@@ -51,6 +58,17 @@ class Session {
 
   /// Requests parsed so far (for observability / tests).
   [[nodiscard]] std::uint64_t requests_seen() const noexcept { return requests_seen_; }
+  /// Frames the admission gate rejected (each answered BUSY).
+  [[nodiscard]] std::uint64_t frames_shed() const noexcept { return frames_shed_; }
+  /// Responses serialized into the outbox so far. Safe from any thread;
+  /// `requests_seen() + frames_shed() - responses_enqueued()` is the
+  /// connection's outstanding-request count (transport thread only).
+  [[nodiscard]] std::uint64_t responses_enqueued() const noexcept {
+    return responses_enqueued_.load(std::memory_order_relaxed);
+  }
+  /// Bytes buffered for the partially-received inbound frame (transport
+  /// thread only) — the slow-loris read-progress signal.
+  [[nodiscard]] std::size_t inbound_buffered() const noexcept { return parser_.buffered(); }
 
  private:
   std::uint64_t id_;
@@ -58,6 +76,8 @@ class Session {
   RequestParser parser_;
   bool closed_ = false;
   std::uint64_t requests_seen_ = 0;
+  std::uint64_t frames_shed_ = 0;
+  std::atomic<std::uint64_t> responses_enqueued_{0};
 
   mutable std::mutex out_mutex_;
   std::vector<std::uint8_t> outbox_;

@@ -11,6 +11,11 @@
 // fallback, and channel stall tolerance.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -306,6 +311,13 @@ fault::Spec sweep_spec(const std::string& point, int iter) {
   } else if (point == "server.tcp.short_write" || point == "server.tcp.abort") {
     spec.action = fault::Action::kFire;
     spec.probability = point == "server.tcp.abort" ? 0.15 : 0.5;
+  } else if (point == "server.tcp.slow_reader" || point == "server.tcp.stalled_writer" ||
+             point == "server.tcp.accept_fail") {
+    // Lifecycle faults must stay sub-certain: a permanently stalled writer
+    // or failing accept loop with no eviction timeouts configured would
+    // wedge the episode instead of slowing it down.
+    spec.action = fault::Action::kFire;
+    spec.probability = point == "server.tcp.slow_reader" ? 0.5 : 0.3;
   } else if (point == "server.session.egress" || point == "deflate.inflate.corrupt" ||
              point == "container.block.corrupt") {
     spec.action = fault::Action::kCorrupt;
@@ -341,7 +353,7 @@ fault::Spec sweep_spec(const std::string& point, int iter) {
 // health check on the same instance.
 TEST(Chaos, SweepEveryRegisteredPoint) {
   const auto points = fault::all_points();
-  ASSERT_GE(points.size(), 20u);
+  ASSERT_GE(points.size(), 23u);
   const auto corpus = wl::make_corpus("mixed", 64 * 1024);
   std::vector<std::uint8_t> zlib_body, lzbc_body;
   {
@@ -367,7 +379,9 @@ TEST(Chaos, SweepEveryRegisteredPoint) {
     const std::string point = points[static_cast<std::size_t>(iter) % points.size()];
     SCOPED_TRACE("iteration " + std::to_string(iter) + " point " + point);
 
-    if (point == "server.tcp.short_write" || point == "server.tcp.abort") {
+    if (point == "server.tcp.short_write" || point == "server.tcp.abort" ||
+        point == "server.tcp.slow_reader" || point == "server.tcp.stalled_writer" ||
+        point == "server.tcp.accept_fail") {
       // Runs its own server+service and health-checks over the wire.
       run_tcp_episode(point, sweep_spec(point, iter), corpus,
                       static_cast<std::uint64_t>(iter));
@@ -740,6 +754,224 @@ TEST(Chaos, SeededEpisodesAreReproducible) {
   EXPECT_EQ(first, second);
   EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
   EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+/// Blocking loopback connect for misbehaving-client roles (idle, slow-loris).
+int chaos_raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::uint64_t chaos_counter(Service& service, const char* name, const char* reason) {
+  return service.metrics().counter(name, {{"reason", reason}}).value();
+}
+
+// Eviction storm: misbehaving connections (idle holders and a slow-loris
+// header trickler) share the server with well-behaved compressing clients.
+// Contract: the lifecycle layer evicts the abusers on its timeouts while the
+// honest traffic keeps completing, and the server stays healthy after.
+TEST(Chaos, EvictionStormEvictsAbusersWhileHonestTrafficCompletes) {
+  const auto corpus = wl::make_corpus("mixed", 64 * 1024);
+  Service service(chaos_config());
+  server::TcpServerConfig tcfg;
+  tcfg.idle_timeout_ms = 150;
+  tcfg.read_progress_timeout_ms = 150;
+  tcfg.write_stall_timeout_ms = 1000;
+  tcfg.max_write_buf_bytes = 4 * 1024 * 1024;
+  tcfg.max_conns = 32;
+  server::TcpServer tcp(service, /*port=*/0, tcfg);
+  std::thread server_thread([&] { tcp.run(); });
+  const std::uint16_t port = tcp.port();
+
+  // Abusers: two idle holders and two slow-loris sockets that trickle a
+  // partial header and then stop making progress.
+  std::vector<int> abusers;
+  for (int i = 0; i < 2; ++i) abusers.push_back(chaos_raw_connect(port));
+  for (int i = 0; i < 2; ++i) {
+    const int fd = chaos_raw_connect(port);
+    if (fd >= 0) {
+      const char prefix[4] = {'L', 'Z', 'R', 'Q'};
+      (void)::send(fd, prefix, sizeof(prefix), MSG_NOSIGNAL);
+    }
+    abusers.push_back(fd);
+  }
+
+  std::atomic<int> honest_ok{0};
+  std::vector<std::thread> honest;
+  for (unsigned t = 0; t < 2; ++t) {
+    honest.emplace_back([&, t] {
+      rng::Xoshiro256 rng(415 + t);
+      std::unique_ptr<server::TcpClient> client;
+      for (int i = 0; i < 6; ++i) {
+        const std::size_t chunk = 512 + rng.next_below(1024);
+        const std::size_t off = rng.next_below(corpus.size() - chunk);
+        const std::vector<std::uint8_t> data(
+            corpus.begin() + static_cast<std::ptrdiff_t>(off),
+            corpus.begin() + static_cast<std::ptrdiff_t>(off + chunk));
+        try {
+          if (!client) client = std::make_unique<server::TcpClient>("127.0.0.1", port);
+          const auto resp = client->call(compress_request(
+              static_cast<std::uint64_t>(t) * 100 + static_cast<std::uint64_t>(i), data));
+          if (resp.status == Status::kOk &&
+              deflate::zlib_decompress(resp.payload) == data) {
+            honest_ok.fetch_add(1);
+          }
+        } catch (const std::exception&) {
+          client.reset();
+        }
+        std::this_thread::sleep_for(30ms);
+      }
+    });
+  }
+  for (auto& th : honest) th.join();
+
+  // All four abusers must be evicted with typed reasons within the episode.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  auto evicted = [&] {
+    return chaos_counter(service, "server_conns_evicted_total", "idle") +
+           chaos_counter(service, "server_conns_evicted_total", "slow_read");
+  };
+  while (evicted() < 4 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_GE(chaos_counter(service, "server_conns_evicted_total", "idle"), 2u);
+  EXPECT_GE(chaos_counter(service, "server_conns_evicted_total", "slow_read"), 2u);
+  EXPECT_GE(honest_ok.load(), 1);
+
+  // Post-storm health check over the wire on a fresh connection.
+  {
+    server::TcpClient client("127.0.0.1", port);
+    RequestFrame ping;
+    ping.id = 0xFEED;
+    ping.opcode = Opcode::kPing;
+    ASSERT_EQ(client.call(ping).status, Status::kOk);
+    const std::vector<std::uint8_t> data(corpus.begin(), corpus.begin() + 4096);
+    const auto resp = client.call(compress_request(0xC0FFEE, data));
+    ASSERT_EQ(resp.status, Status::kOk);
+    ASSERT_EQ(deflate::zlib_decompress(resp.payload), data);
+  }
+
+  for (const int fd : abusers) {
+    if (fd >= 0) ::close(fd);
+  }
+  tcp.stop();
+  server_thread.join();
+}
+
+// Brownout episode: slow workers push queue wait past the threshold; the
+// server must shed bulky opcodes with BUSY at the frame header while STATS
+// keeps answering, then exit brownout and serve bulky work again once the
+// pressure stops.
+TEST(Chaos, BrownoutShedsBulkyAnswersStatsAndRecovers) {
+  const auto corpus = wl::make_corpus("mixed", 64 * 1024);
+  ServiceConfig cfg = chaos_config();
+  cfg.workers = 1;
+  cfg.queue_depth = 32;
+  Service service(cfg);
+  server::TcpServerConfig tcfg;
+  tcfg.brownout_queue_wait_us = 1000;  // 1 ms: trivially exceeded by the delay fault
+  server::TcpServer tcp(service, /*port=*/0, tcfg);
+  std::thread server_thread([&] { tcp.run(); });
+  const std::uint16_t port = tcp.port();
+
+  bool saw_brownout_busy = false;
+  {
+    fault::Spec slow;
+    slow.action = fault::Action::kDelay;
+    slow.delay_ms = 30;
+    slow.probability = 1.0;
+    const fault::ScopedFault guard("server.worker.pre_compress", slow);
+
+    std::atomic<bool> stop_pressure{false};
+    std::thread pressure([&] {
+      rng::Xoshiro256 rng(991);
+      std::unique_ptr<server::TcpClient> client;
+      std::uint64_t id = 1;
+      while (!stop_pressure.load()) {
+        try {
+          if (!client) client = std::make_unique<server::TcpClient>("127.0.0.1", port);
+          const std::size_t off = rng.next_below(corpus.size() - 2048);
+          (void)client->call(compress_request(
+              id++, {corpus.begin() + static_cast<std::ptrdiff_t>(off),
+                     corpus.begin() + static_cast<std::ptrdiff_t>(off + 2048)}));
+        } catch (const std::exception&) {
+          client.reset();
+        }
+      }
+    });
+
+    // Probe until a bulky request is shed with BUSY by the brownout gate.
+    const auto deadline = std::chrono::steady_clock::now() + 15s;
+    std::unique_ptr<server::TcpClient> probe;
+    std::uint64_t probe_id = 0x9000;
+    while (std::chrono::steady_clock::now() < deadline) {
+      try {
+        if (!probe) probe = std::make_unique<server::TcpClient>("127.0.0.1", port);
+        const auto resp = probe->call(compress_request(
+            probe_id++, {corpus.begin(), corpus.begin() + 1024}));
+        if (resp.status == Status::kBusy &&
+            chaos_counter(service, "server_frames_shed_total", "brownout") >= 1) {
+          saw_brownout_busy = true;
+          break;
+        }
+      } catch (const std::exception&) {
+        probe.reset();
+      }
+      std::this_thread::sleep_for(10ms);
+    }
+    EXPECT_TRUE(saw_brownout_busy);
+
+    // Control plane stays answered while the brownout gate is shedding.
+    if (saw_brownout_busy) {
+      server::TcpClient stats_client("127.0.0.1", port);
+      RequestFrame stats;
+      stats.id = 0x57A75;
+      stats.opcode = Opcode::kStats;
+      const auto resp = stats_client.call(stats);
+      EXPECT_EQ(resp.status, Status::kOk);
+      EXPECT_FALSE(resp.payload.empty());
+    }
+    if (saw_brownout_busy) {
+      EXPECT_GE(service.metrics().counter("server_brownout_entered_total").value(), 1u);
+    }
+
+    stop_pressure.store(true);
+    pressure.join();
+  }
+
+  // Pressure gone, fault disarmed: brownout must clear and bulky work must
+  // be admitted again.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  bool recovered = false;
+  std::unique_ptr<server::TcpClient> client;
+  std::uint64_t id = 0xA000;
+  const std::vector<std::uint8_t> data(corpus.begin(), corpus.begin() + 4096);
+  while (std::chrono::steady_clock::now() < deadline) {
+    try {
+      if (!client) client = std::make_unique<server::TcpClient>("127.0.0.1", port);
+      const auto resp = client->call(compress_request(id++, data));
+      if (resp.status == Status::kOk && deflate::zlib_decompress(resp.payload) == data) {
+        recovered = true;
+        break;
+      }
+    } catch (const std::exception&) {
+      client.reset();
+    }
+    std::this_thread::sleep_for(20ms);
+  }
+  EXPECT_TRUE(recovered);
+
+  tcp.stop();
+  server_thread.join();
 }
 
 TEST(Chaos, DisarmedPointsAreInert) {

@@ -195,6 +195,110 @@ TEST(ServerFrame, SecondFrameValidatedAfterFirstConsumed) {
   EXPECT_EQ(p.error(), ParseError::kBadMagic);
 }
 
+TEST(ServerFrame, GateShedsAtHeaderWithoutBufferingPayload) {
+  RequestFrame big;
+  big.id = 42;
+  big.opcode = Opcode::kCompress;
+  big.payload.assign(100'000, 0xAB);
+  const auto wire = encode_request(big);
+
+  RequestParser p;
+  std::uint32_t gated_len = 0;
+  p.set_gate([&](const RequestFrame& header, std::uint32_t len) {
+    EXPECT_EQ(header.id, 42u);
+    EXPECT_EQ(header.opcode, Opcode::kCompress);
+    gated_len = len;
+    return false;  // shed everything
+  });
+
+  // Feed exactly the header: the shed frame surfaces immediately, id intact,
+  // payload empty.
+  EXPECT_TRUE(p.feed(std::span(wire).first(kRequestHeaderSize)));
+  const auto shed = p.next();
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_TRUE(shed->shed);
+  EXPECT_EQ(shed->id, 42u);
+  EXPECT_TRUE(shed->payload.empty());
+  EXPECT_EQ(gated_len, 100'000u);
+
+  // The payload streams in afterwards and is discarded, never buffered.
+  std::size_t pos = kRequestHeaderSize;
+  while (pos < wire.size()) {
+    const std::size_t n = std::min<std::size_t>(8192, wire.size() - pos);
+    EXPECT_TRUE(p.feed(std::span(wire).subspan(pos, n)));
+    EXPECT_EQ(p.buffered(), 0u);
+    pos += n;
+  }
+  EXPECT_EQ(p.skip_remaining(), 0u);
+
+  // The next frame on the stream parses normally once the gate admits.
+  p.set_gate([](const RequestFrame&, std::uint32_t) { return true; });
+  RequestFrame pingf;
+  pingf.id = 43;
+  pingf.opcode = Opcode::kPing;
+  EXPECT_TRUE(p.feed(encode_request(pingf)));
+  const auto ok = p.next();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_FALSE(ok->shed);
+  EXPECT_EQ(ok->id, 43u);
+}
+
+TEST(ServerFrame, GateDecidesOncePerFrameAcrossSplitPayload) {
+  RequestFrame req;
+  req.id = 7;
+  req.opcode = Opcode::kDecompress;
+  req.payload.assign(4096, 0x5A);
+  const auto wire = encode_request(req);
+
+  RequestParser p;
+  int gate_calls = 0;
+  p.set_gate([&](const RequestFrame&, std::uint32_t) {
+    ++gate_calls;
+    return true;
+  });
+  // Byte-at-a-time: the gate must fire exactly once (at the header), and the
+  // admitted frame arrives whole.
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_TRUE(p.feed(std::span(wire).subspan(i, 1)));
+    if (i + 1 < wire.size()) {
+      EXPECT_FALSE(p.next().has_value());
+    }
+  }
+  const auto frame = p.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_FALSE(frame->shed);
+  EXPECT_EQ(frame->payload, req.payload);
+  EXPECT_EQ(gate_calls, 1);
+}
+
+TEST(ServerSession, GateRejectionAnswersBusyAndKeepsSessionUsable) {
+  int handled = 0;
+  Session s(1, [&](RequestFrame&&) { ++handled; });
+  bool admit = false;
+  s.set_gate([&](const RequestFrame&, std::uint32_t) { return admit; });
+
+  RequestFrame big;
+  big.id = 9;
+  big.opcode = Opcode::kCompress;
+  big.payload.assign(32 * 1024, 1);
+  s.on_bytes(encode_request(big));
+  EXPECT_EQ(handled, 0);
+  EXPECT_EQ(s.frames_shed(), 1u);
+  EXPECT_FALSE(s.closed());
+
+  ResponseParser rp;
+  rp.feed(s.take_outgoing());
+  const auto busy = rp.next();
+  ASSERT_TRUE(busy.has_value());
+  EXPECT_EQ(busy->status, Status::kBusy);
+  EXPECT_EQ(busy->id, 9u);
+
+  admit = true;
+  s.on_bytes(encode_request(big));
+  EXPECT_EQ(handled, 1);
+  EXPECT_EQ(s.requests_seen(), 1u);
+}
+
 TEST(ServerSession, ParseErrorProducesBadRequestAndCloses) {
   int handled = 0;
   Session s(1, [&](RequestFrame&&) { ++handled; });

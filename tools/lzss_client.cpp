@@ -24,6 +24,11 @@
 //                         transport error (default 4; 0 disables retry)
 //     --retry-base-ms <m> first backoff step, doubled per retry w/ jitter
 //
+// Exit codes: 0 success, 1 failure (server error answer, verification
+// mismatch), 2 usage, 3 connection error after all retries (connect refused,
+// ECONNRESET, or the server closed mid-response — i.e. shed/evicted/down,
+// distinguishable by scripts from a definitive server answer).
+//
 // After a compress the client verifies end to end: it inflates the returned
 // container locally, byte-compares against the original file, and checks the
 // server-computed Adler-32 — the same guarantee the paper's zlib
@@ -183,6 +188,15 @@ int main(int argc, char** argv) {
         if (!server::retryable_status(resp.status) || last) break;
         std::fprintf(stderr, "server answered %s, retry %u/%u\n",
                      server::status_name(resp.status), attempt + 1, retries);
+      } catch (const server::TransportError& e) {
+        // Typed connection-level failure: the server may have shed or
+        // evicted us under load — reconnect and retry with the same backoff
+        // BUSY gets. Exhausted retries surface as exit code 3 below.
+        client.reset();
+        if (last) throw;
+        std::fprintf(stderr, "connection error [%s] (%s), retry %u/%u\n",
+                     server::transport_error_kind_name(e.kind()), e.what(), attempt + 1,
+                     retries);
       } catch (const std::exception& e) {
         client.reset();
         if (last) throw;
@@ -287,6 +301,10 @@ int main(int argc, char** argv) {
                           static_cast<double>(resp.payload.size()),
                 kind, compressing && verify ? ", round-trip verified" : "");
     return 0;
+  } catch (const server::TransportError& e) {
+    std::fprintf(stderr, "lzss_client: connection error [%s]: %s\n",
+                 server::transport_error_kind_name(e.kind()), e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lzss_client: %s\n", e.what());
     return 1;

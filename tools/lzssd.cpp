@@ -33,6 +33,25 @@
 //     --scrub-interval-s <s>    start an online integrity walk over sealed
 //                               segments every s seconds (0 = off)
 //     --maintenance-tick-ms <t> maintenance loop period (default 1000)
+//     --max-conns <n>           open-connection ceiling; extra connects are
+//                               shed at accept time (0 = unlimited, default)
+//     --idle-timeout-ms <t>     evict connections idle this long (0 = never)
+//     --read-timeout-ms <t>     evict when a started frame makes no parse
+//                               progress for t ms — slow-loris defense
+//                               (0 = never)
+//     --write-stall-ms <t>      evict when pending response bytes see no send
+//                               progress for t ms (0 = never)
+//     --max-write-buf-kb <k>    hard cap on per-connection buffered response
+//                               bytes; breaching evicts (0 = unlimited)
+//     --inflight-budget-mb <m>  global cap on admitted-but-unfinished request
+//                               payload bytes; excess bulky frames answer
+//                               BUSY at the header (0 = unlimited)
+//     --brownout-queue-wait-ms <t>  shed bulky opcodes while the recent
+//                               queue-wait p99 exceeds t ms; STATS/SCRUB/
+//                               VERIFY keep answering (0 = off)
+//     --drain-deadline-ms <t>   on SIGINT/SIGTERM keep flushing in-flight
+//                               responses up to t ms (default 2000; 0 =
+//                               immediate shutdown)
 //     --arm-fault <pt>=<act>    arm a fault point at startup for crash drills:
 //                               act = throw | fire | kill | corrupt |
 //                               delay:<ms> (docs/FAULTS.md; repeatable)
@@ -76,6 +95,10 @@ int usage() {
                "             [--compact-trigger-garbage-pct p] [--retain-max-bytes b]\n"
                "             [--retain-max-records n] [--retain-max-age-s s]\n"
                "             [--scrub-interval-s s] [--maintenance-tick-ms t]\n"
+               "             [--max-conns n] [--idle-timeout-ms t] [--read-timeout-ms t]\n"
+               "             [--write-stall-ms t] [--max-write-buf-kb k]\n"
+               "             [--inflight-budget-mb m] [--brownout-queue-wait-ms t]\n"
+               "             [--drain-deadline-ms t]\n"
                "             [--arm-fault point=action[:ms]]\n"
                "             [--metrics-dump] [--trace-jsonl path]\n");
   return 2;
@@ -125,6 +148,8 @@ int main(int argc, char** argv) {
   store::StoreOptions store_opt;
   store_opt.fsync_policy = store::FsyncPolicy::kEveryRecord;
   store::MaintenanceConfig maint_cfg;
+  server::TcpServerConfig tcp_cfg;
+  tcp_cfg.drain_deadline_ms = 2000;  // daemon default: bounded graceful drain
   bool metrics_dump = false;
   std::string trace_path;
 
@@ -172,6 +197,23 @@ int main(int argc, char** argv) {
       maint_cfg.scrub_interval_s = std::strtoull(v, nullptr, 10);
     } else if (arg == "--maintenance-tick-ms" && (v = next()) != nullptr) {
       maint_cfg.tick_interval_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-conns" && (v = next()) != nullptr) {
+      tcp_cfg.max_conns = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--idle-timeout-ms" && (v = next()) != nullptr) {
+      tcp_cfg.idle_timeout_ms = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--read-timeout-ms" && (v = next()) != nullptr) {
+      tcp_cfg.read_progress_timeout_ms = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--write-stall-ms" && (v = next()) != nullptr) {
+      tcp_cfg.write_stall_timeout_ms = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--max-write-buf-kb" && (v = next()) != nullptr) {
+      tcp_cfg.max_write_buf_bytes = static_cast<std::size_t>(std::strtoull(v, nullptr, 10)) * 1024;
+    } else if (arg == "--inflight-budget-mb" && (v = next()) != nullptr) {
+      tcp_cfg.max_inflight_bytes =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10)) * 1024 * 1024;
+    } else if (arg == "--brownout-queue-wait-ms" && (v = next()) != nullptr) {
+      tcp_cfg.brownout_queue_wait_us = std::strtoull(v, nullptr, 10) * 1000;
+    } else if (arg == "--drain-deadline-ms" && (v = next()) != nullptr) {
+      tcp_cfg.drain_deadline_ms = static_cast<std::uint32_t>(std::atoi(v));
     } else if (arg == "--arm-fault" && (v = next()) != nullptr) {
       if (!arm_fault_from_spec(v)) return usage();
     } else if (arg == "--metrics-dump") {
@@ -222,7 +264,7 @@ int main(int argc, char** argv) {
       }
     }
 
-    server::TcpServer tcp(service, static_cast<std::uint16_t>(port));
+    server::TcpServer tcp(service, static_cast<std::uint16_t>(port), tcp_cfg);
     g_server = &tcp;
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
@@ -230,6 +272,13 @@ int main(int argc, char** argv) {
     std::printf("lzssd listening on port %u (%u engines, queue depth %zu, preset %s)\n",
                 static_cast<unsigned>(tcp.port()), cfg.workers, cfg.queue_depth,
                 preset.c_str());
+    std::printf("overload: max-conns %zu, idle %u ms, read %u ms, write-stall %u ms, "
+                "write-buf %zu B, inflight %zu B, brownout p99 %" PRIu64
+                " us, drain %u ms (0 = off)\n",
+                tcp_cfg.max_conns, tcp_cfg.idle_timeout_ms, tcp_cfg.read_progress_timeout_ms,
+                tcp_cfg.write_stall_timeout_ms, tcp_cfg.max_write_buf_bytes,
+                tcp_cfg.max_inflight_bytes, tcp_cfg.brownout_queue_wait_us,
+                tcp_cfg.drain_deadline_ms);
     std::fflush(stdout);
 
     tcp.run();
