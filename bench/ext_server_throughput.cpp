@@ -18,6 +18,10 @@
 // served-vs-shed goodput and the latency tail of *admitted* requests when
 // the real TCP front end is driven past capacity with the brownout gate
 // armed — what overload control buys at 1-4x oversubscription.
+// A seventh (also in the default artifact, standalone behind
+// `--trace-overhead`): aggregate compress throughput with request tracing
+// off, sampled at the default 1/16, and always-on — what the span plumbing
+// costs at the wire, as an overhead percentage against the untraced run.
 //
 // Besides the human tables, the default run writes BENCH_server.json
 // (override with `--json <path>`): the sweep rows plus a full STATS-opcode
@@ -41,6 +45,7 @@
 
 #include "common/prng.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "server/retry.hpp"
 #include "server/service.hpp"
 #include "server/tcp.hpp"
@@ -285,6 +290,76 @@ OverloadResult run_overload(const std::vector<std::uint8_t>& corpus, unsigned ov
   return r;
 }
 
+/// Prints the tracing A/B/C table and returns the rows as a JSON array. The
+/// measured contract (docs/OBSERVABILITY.md): the span plumbing is cheap
+/// enough to leave on — always-on tracing must stay within a few percent of
+/// the untraced run, and the default 1/16 sampling within noise.
+std::string trace_overhead_sweep(const std::vector<std::uint8_t>& corpus) {
+  const std::size_t chunk = 64 * 1024;
+  std::printf(
+      "\n-- tracing overhead: 64 KiB compress, 2 engines, 4 loadgen threads\n"
+      "   (off vs sampled 1/16 vs always-on; overhead vs the untraced run) --\n");
+  std::printf("%-14s %13s %9s %9s %10s\n", "tracing", "host MB/s", "ok", "spans",
+              "overhead");
+  std::string json = "[";
+  char jbuf[192];
+  double base = 0;
+  struct Mode {
+    const char* name;
+    const char* key;
+    unsigned sample;
+    bool ring;
+  };
+  const Mode modes[] = {{"off", "off", 0, false},
+                        {"sampled 1/16", "sampled", 16, true},
+                        {"always-on", "always", 1, true}};
+  bool first = true;
+  for (const Mode& m : modes) {
+    obs::TraceRing ring(8192);
+    server::ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.queue_depth = 64;
+    cfg.trace = m.ring ? &ring : nullptr;
+    cfg.trace_sample = m.sample;
+    server::Service service(cfg);
+    const auto r = run_load(service, corpus, /*threads=*/4, chunk,
+                            /*requests_per_thread=*/24);
+    if (base == 0) base = r.mb_per_s;  // first row is the untraced baseline
+    const double overhead_pct = base > 0 ? (1.0 - r.mb_per_s / base) * 100.0 : 0;
+    std::printf("%-14s %13.2f %9llu %9llu %9.1f%%\n", m.name, r.mb_per_s,
+                static_cast<unsigned long long>(r.ok),
+                static_cast<unsigned long long>(ring.recorded()), overhead_pct);
+    std::snprintf(jbuf, sizeof(jbuf),
+                  "%s{\"mode\":\"%s\",\"trace_sample\":%u,\"mb_per_s\":%.3f,"
+                  "\"ok\":%llu,\"spans\":%llu,\"overhead_pct\":%.2f}",
+                  first ? "" : ",", m.key, m.sample, r.mb_per_s,
+                  static_cast<unsigned long long>(r.ok),
+                  static_cast<unsigned long long>(ring.recorded()), overhead_pct);
+    json += jbuf;
+    first = false;
+  }
+  json += "]";
+  return json;
+}
+
+/// `--trace-overhead`: just the tracing A/B/C, written as its own artifact.
+void print_trace_overhead_tables() {
+  bench::print_title("EXTENSION — REQUEST-TRACING OVERHEAD AT THE WIRE",
+                     "closed-loop 64 KiB compress: untraced vs sampled vs always-on");
+  const std::size_t bytes = std::max<std::size_t>(bench::sample_bytes(2), 1 << 20);
+  const auto& corpus = bench::cached_corpus("wiki", bytes);
+  std::string json = "{\"bench\":\"server_trace_overhead\",\"chunk_bytes\":65536,"
+                     "\"trace_overhead\":";
+  json += trace_overhead_sweep(corpus);
+  json += "}\n";
+  std::FILE* jf = std::fopen(g_json_path.c_str(), "wb");
+  if (jf != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), jf);
+    std::fclose(jf);
+    std::printf("\nwrote %s\n", g_json_path.c_str());
+  }
+}
+
 /// Prints the overload table and returns the rows as a JSON array, so the
 /// same sweep feeds both the default artifact and the standalone
 /// `--overload` run.
@@ -494,6 +569,10 @@ void print_tables() {
   // the latency tail of admitted requests at 1-4x capacity.
   json += ",\"overload_sweep\":";
   json += overload_sweep(corpus);
+
+  // What the span plumbing costs: tracing off / sampled 1/16 / always-on.
+  json += ",\"trace_overhead\":";
+  json += trace_overhead_sweep(corpus);
 
   // The STATS payload is already JSON ({"service":...,"metrics":[...]}) —
   // embed it verbatim.
@@ -773,6 +852,7 @@ int main(int argc, char** argv) {
   bool durable = false;
   bool maintenance = false;
   bool overload = false;
+  bool trace_overhead = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--durable") == 0) {
@@ -781,6 +861,8 @@ int main(int argc, char** argv) {
       maintenance = true;
     } else if (std::strcmp(argv[i], "--overload") == 0) {
       overload = true;
+    } else if (std::strcmp(argv[i], "--trace-overhead") == 0) {
+      trace_overhead = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       g_json_path = argv[++i];
     } else {
@@ -789,8 +871,9 @@ int main(int argc, char** argv) {
   }
   argc = out;
   return lzss::bench::run_bench_main(argc, argv,
-                                     overload      ? print_overload_tables
-                                     : maintenance ? print_maintenance_tables
-                                     : durable     ? print_durable_tables
-                                                   : print_tables);
+                                     trace_overhead ? print_trace_overhead_tables
+                                     : overload     ? print_overload_tables
+                                     : maintenance  ? print_maintenance_tables
+                                     : durable      ? print_durable_tables
+                                                    : print_tables);
 }

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text exposition against this repo's metric conventions.
+
+The conventions (docs/OBSERVABILITY.md "Naming"):
+
+  * counters end in `_total`
+  * histograms end in a unit suffix: `_us` (microseconds) or `_bytes`
+  * gauges never claim to be counters (no `_total`); a unit suffix like
+    `_bytes` is fine — it names what is measured, not how it accumulates
+  * label KEYS come from a fixed vocabulary so dashboards never chase a
+    renamed dimension: kind, op, opcode, point, reason, state, status
+  * label VALUES are printable, non-empty, and free of raw control bytes
+    (the renderer escapes them; a raw newline here means the escaper broke)
+  * exemplars (`# {trace_id="<16 hex>"} <value>`) appear only on histogram
+    `_bucket` lines and carry a well-formed 16-hex-digit trace id
+
+Usage:
+    metrics_lint.py <exposition.txt>     lint a saved scrape
+    metrics_lint.py -                    lint stdin (pipe from curl)
+
+Exit status: 0 clean, 1 violations (each printed to stderr), 2 usage/IO.
+"""
+
+import re
+import sys
+
+LABEL_VOCABULARY = {"kind", "op", "opcode", "point", "reason", "state", "status"}
+COUNTER_SUFFIX = "_total"
+HISTOGRAM_SUFFIXES = ("_us", "_bytes")
+
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$")
+HELP_RE = re.compile(r"^# HELP ")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ #]+)"
+    r"(?: # \{trace_id=\"(?P<exemplar>[0-9a-f]+)\"\} (?P<exvalue>[0-9]+))?$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def base_family(name, families):
+    """Map a histogram series name (_bucket/_sum/_count) to its family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(text):
+    errors = []
+    families = {}  # name -> type
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        m = TYPE_RE.match(line)
+        if m:
+            families[m.group(1)] = m.group(2)
+            continue
+        if HELP_RE.match(line) or line.startswith("#"):
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+
+        name = m.group("name")
+        family = base_family(name, families)
+        kind = families.get(family)
+        if kind is None:
+            errors.append(f"line {lineno}: sample {name!r} has no # TYPE declaration")
+            continue
+
+        if kind == "counter" and not family.endswith(COUNTER_SUFFIX):
+            errors.append(f"line {lineno}: counter {family!r} must end in {COUNTER_SUFFIX!r}")
+        if kind == "histogram" and not family.endswith(HISTOGRAM_SUFFIXES):
+            errors.append(
+                f"line {lineno}: histogram {family!r} must end in a unit suffix "
+                f"{'/'.join(HISTOGRAM_SUFFIXES)}"
+            )
+        if kind == "gauge" and family.endswith(COUNTER_SUFFIX):
+            errors.append(f"line {lineno}: gauge {family!r} wears the counter suffix")
+
+        raw_labels = m.group("labels") or ""
+        consumed = 0
+        for lm in LABEL_RE.finditer(raw_labels):
+            consumed = lm.end()
+            key, value = lm.group(1), lm.group(2)
+            if key == "le" and name.endswith("_bucket"):
+                continue  # histogram bucket boundary, not a dimension
+            if key not in LABEL_VOCABULARY:
+                errors.append(
+                    f"line {lineno}: label key {key!r} on {name!r} is outside the "
+                    f"fixed vocabulary {sorted(LABEL_VOCABULARY)}"
+                )
+            if value == "":
+                errors.append(f"line {lineno}: empty value for label {key!r} on {name!r}")
+            if any(ord(c) < 0x20 for c in value):
+                errors.append(
+                    f"line {lineno}: raw control byte in label value for {key!r} on {name!r}"
+                )
+        leftover = raw_labels[consumed:].strip().lstrip(",").strip()
+        if leftover:
+            errors.append(f"line {lineno}: malformed label fragment {leftover!r} on {name!r}")
+
+        if m.group("exemplar") is not None:
+            if kind != "histogram" or not name.endswith("_bucket"):
+                errors.append(f"line {lineno}: exemplar on non-bucket sample {name!r}")
+            elif len(m.group("exemplar")) != 16:
+                errors.append(
+                    f"line {lineno}: exemplar trace id {m.group('exemplar')!r} is not 16 hex digits"
+                )
+
+    if not families:
+        errors.append("no # TYPE lines found: input is not a Prometheus exposition")
+    return errors
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        text = sys.stdin.read() if argv[1] == "-" else open(argv[1], encoding="utf-8").read()
+    except OSError as e:
+        print(f"metrics_lint: {e}", file=sys.stderr)
+        return 2
+
+    errors = lint(text)
+    for e in errors:
+        print(f"metrics_lint: {e}", file=sys.stderr)
+    if errors:
+        print(f"metrics_lint: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    families = sum(1 for l in text.splitlines() if TYPE_RE.match(l))
+    print(f"metrics_lint: OK ({families} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,148 @@
+#include "obs/event_log.hpp"
+
+#include <chrono>
+#include <cinttypes>
+
+#include "obs/metrics.hpp"
+
+namespace lzss::obs {
+
+const char* event_level_name(EventLevel level) noexcept {
+  switch (level) {
+    case EventLevel::kDebug: return "debug";
+    case EventLevel::kInfo: return "info";
+    case EventLevel::kWarn: return "warn";
+    case EventLevel::kError: return "error";
+  }
+  return "?";
+}
+
+EventLog::Field EventLog::num(std::string_view key, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return Field{key, buf, /*raw=*/true};
+}
+
+EventLog::Field EventLog::str(std::string_view key, std::string_view v) {
+  return Field{key, std::string(v), /*raw=*/false};
+}
+
+EventLog::EventLog(std::size_t ring_capacity)
+    : capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
+
+EventLog::~EventLog() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool EventLog::open_jsonl(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ae");
+  if (f == nullptr) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = f;
+  return true;
+}
+
+void EventLog::emit(EventLevel level, std::string_view component,
+                    std::string_view event, std::initializer_list<Field> fields) {
+  if (level < min_level_) return;
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const std::uint64_t ts_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+
+  std::uint64_t dropped_prior = 0;
+  if (rate_ != 0) {
+    std::string key;
+    key.reserve(component.size() + 1 + event.size());
+    key.append(component);
+    key += ':';
+    key.append(event);
+    Bucket& b = buckets_[key];
+    const std::uint64_t window_s = ts_us / 1000000;
+    if (b.window_s != window_s) {
+      b.window_s = window_s;
+      b.admitted = 0;
+    }
+    if (b.admitted >= rate_ * 2) {  // burst allowance: 2x sustained rate
+      ++b.dropped;
+      ++dropped_;
+      return;
+    }
+    ++b.admitted;
+    dropped_prior = b.dropped;
+    b.dropped = 0;
+  }
+
+  std::string line;
+  line.reserve(128);
+  line += "{\"ts_us\":";
+  {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, ts_us);
+    line += buf;
+  }
+  line += ",\"level\":\"";
+  line += event_level_name(level);
+  line += "\",\"component\":\"";
+  append_json_escaped(line, component);
+  line += "\",\"event\":\"";
+  append_json_escaped(line, event);
+  line += '"';
+  for (const Field& f : fields) {
+    line += ",\"";
+    append_json_escaped(line, f.key);
+    line += "\":";
+    if (f.raw) {
+      line += f.value;
+    } else {
+      line += '"';
+      append_json_escaped(line, f.value);
+      line += '"';
+    }
+  }
+  if (dropped_prior != 0) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), ",\"dropped_prior\":%" PRIu64, dropped_prior);
+    line += buf;
+  }
+  line += '}';
+
+  ++emitted_;
+  ring_.push_back(line);
+  while (ring_.size() > capacity_) ring_.pop_front();
+  if (file_ != nullptr) {
+    std::fputs(line.c_str(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);  // events are rare; durability beats batching here
+  }
+}
+
+std::vector<std::string> EventLog::recent() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::string EventLog::recent_jsonl() const {
+  std::string out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::string& line : ring_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::uint64_t EventLog::emitted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return emitted_;
+}
+
+std::uint64_t EventLog::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace lzss::obs

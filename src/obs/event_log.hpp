@@ -1,0 +1,91 @@
+// Structured, leveled, rate-limited event log.
+//
+// Metrics answer "how many"; traces answer "where did this request's time
+// go"; events answer "what just happened" — discrete state changes that are
+// too rare for a counter to explain and too important to lose: connection
+// evictions, brownout transitions, compaction/scrub verdicts, watchdog
+// respawns. Each event is one JSON object rendered at emit time into a
+// bounded in-memory ring (served by `GET /events`) and, when attached,
+// appended to a JSONL file (`lzssd --events-jsonl`).
+//
+// Emission is mutex'd and allocation-light; events are rare by construction
+// (a token bucket per component:event key caps sustained rate, so an
+// eviction storm or a flapping brownout can't melt the disk or the ring).
+// Dropped events are counted and surfaced on the next admitted event of the
+// same key as a `"dropped_prior"` field.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <cstdio>
+
+namespace lzss::obs {
+
+enum class EventLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+[[nodiscard]] const char* event_level_name(EventLevel level) noexcept;
+
+class EventLog {
+ public:
+  /// One extra key/value rendered into the event object. `raw` emits the
+  /// value unquoted (for numbers); otherwise it is JSON-string-escaped.
+  struct Field {
+    std::string_view key;
+    std::string value;
+    bool raw = false;
+  };
+  static Field num(std::string_view key, std::int64_t v);
+  static Field str(std::string_view key, std::string_view v);
+
+  explicit EventLog(std::size_t ring_capacity = 1024);
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Append events to @p path (created if missing). Returns false (and logs
+  /// nothing) if the file cannot be opened.
+  bool open_jsonl(const std::string& path);
+
+  void set_min_level(EventLevel level) noexcept { min_level_ = level; }
+  /// Per component:event sustained admission rate (events/second); bursts up
+  /// to 2x the rate are admitted. 0 disables rate limiting.
+  void set_rate_limit(std::uint32_t per_key_per_s) noexcept { rate_ = per_key_per_s; }
+
+  void emit(EventLevel level, std::string_view component, std::string_view event,
+            std::initializer_list<Field> fields = {});
+
+  /// Most recent ring contents, oldest first (each entry is one JSON line
+  /// without the trailing newline).
+  [[nodiscard]] std::vector<std::string> recent() const;
+  /// Ring contents as one JSONL blob (the `GET /events` body).
+  [[nodiscard]] std::string recent_jsonl() const;
+
+  [[nodiscard]] std::uint64_t emitted() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  struct Bucket {
+    std::uint64_t window_s = 0;
+    std::uint32_t admitted = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::deque<std::string> ring_;
+  std::size_t capacity_;
+  std::map<std::string, Bucket, std::less<>> buckets_;
+  std::FILE* file_ = nullptr;
+  EventLevel min_level_ = EventLevel::kDebug;
+  std::uint32_t rate_ = 50;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace lzss::obs

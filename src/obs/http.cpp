@@ -1,0 +1,162 @@
+#include "obs/http.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace lzss::obs {
+
+namespace {
+
+void close_quiet(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+bool send_all(int fd, const char* data, std::size_t len) noexcept {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpSidecar::HttpSidecar(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("obs::HttpSidecar: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    close_quiet(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("obs::HttpSidecar: bind/listen failed: ") +
+                             std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen) == 0)
+    port_ = ntohs(bound.sin_port);
+  if (::pipe2(wake_pipe_, O_CLOEXEC) != 0) {
+    close_quiet(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("obs::HttpSidecar: pipe2() failed");
+  }
+}
+
+HttpSidecar::~HttpSidecar() {
+  stop();
+  close_quiet(listen_fd_);
+  close_quiet(wake_pipe_[0]);
+  close_quiet(wake_pipe_[1]);
+}
+
+void HttpSidecar::handle(std::string path, std::string content_type,
+                         std::function<std::string()> body) {
+  endpoints_.push_back({std::move(path), std::move(content_type), std::move(body)});
+}
+
+void HttpSidecar::start() {
+  if (running_) return;
+  running_ = true;
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void HttpSidecar::stop() noexcept {
+  if (!running_) return;
+  running_ = false;
+  const char b = 'q';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t HttpSidecar::requests_served() const noexcept {
+  return served_.load(std::memory_order_relaxed);
+}
+
+void HttpSidecar::serve_loop() {
+  while (running_) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;  // stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    // Scrapes are rare and tiny: serve inline on this thread with a short
+    // receive timeout so one wedged scraper can't pin the sidecar forever.
+    timeval tv{2, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    serve_one(fd);
+    close_quiet(fd);
+  }
+}
+
+void HttpSidecar::serve_one(int fd) {
+  std::string req;
+  char buf[1024];
+  while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos &&
+         req.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (req.find('\n') != std::string::npos) break;  // request line arrived
+      return;
+    }
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+
+  const std::size_t line_end = req.find_first_of("\r\n");
+  const std::string line = req.substr(0, line_end);
+  std::string status = "404 Not Found";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body = "not found\n";
+  if (line.rfind("GET ", 0) != 0) {
+    status = "405 Method Not Allowed";
+    body = "GET only\n";
+  } else {
+    const std::size_t path_end = line.find(' ', 4);
+    std::string path = line.substr(4, path_end == std::string::npos ? std::string::npos
+                                                                    : path_end - 4);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    for (const Endpoint& ep : endpoints_) {
+      if (ep.path == path) {
+        status = "200 OK";
+        content_type = ep.content_type;
+        body = ep.body();
+        break;
+      }
+    }
+  }
+
+  std::string resp = "HTTP/1.0 " + status +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  resp += body;
+  if (send_all(fd, resp.data(), resp.size())) served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace lzss::obs

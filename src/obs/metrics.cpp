@@ -19,6 +19,38 @@ std::size_t shard_slot() noexcept {
 
 }  // namespace detail
 
+void append_json_escaped(std::string& out, std::string_view v) {
+  for (const char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+}
+
+void append_prometheus_escaped(std::string& out, std::string_view v) {
+  for (const char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+}
+
 // --- Histogram --------------------------------------------------------------
 
 std::size_t Histogram::bucket_index(std::uint64_t v) noexcept {
@@ -100,7 +132,7 @@ void append_label_set(std::string& out, const Labels& labels) {
     first = false;
     out += k;
     out += "=\"";
-    out += v;
+    append_prometheus_escaped(out, v);
     out += '"';
   }
   out += '}';
@@ -191,6 +223,9 @@ Snapshot Registry::snapshot() const {
             if (m.counts[i] != 0) last = i + 1;
           s.counts.assign(m.counts.begin(),
                           m.counts.begin() + static_cast<std::ptrdiff_t>(last));
+          const auto ex = e.histogram->exemplar();
+          s.exemplar_value = ex.value;
+          s.exemplar_trace_id = ex.trace_id;
           break;
         }
       }
@@ -278,6 +313,15 @@ std::string Snapshot::to_prometheus() const {
       append_label_set(out, inf);
       out += ' ';
       append_u64(out, s.count);
+      if (s.exemplar_trace_id != 0) {
+        // OpenMetrics-style exemplar: links this series to a concrete trace
+        // retrievable from GET /trace (or /trace/slow).
+        char ex[64];
+        std::snprintf(ex, sizeof(ex), " # {trace_id=\"%016" PRIx64 "\"} ",
+                      s.exemplar_trace_id);
+        out += ex;
+        append_u64(out, s.exemplar_value);
+      }
       out += '\n';
       out += s.name;
       out += "_sum";
@@ -313,7 +357,7 @@ std::string Snapshot::metrics_json_array() const {
     if (!first) out += ',';
     first = false;
     out += "{\"name\":\"";
-    out += s.name;
+    append_json_escaped(out, s.name);
     out += "\"";
     if (!s.labels.empty()) {
       out += ",\"labels\":{";
@@ -322,9 +366,9 @@ std::string Snapshot::metrics_json_array() const {
         if (!lf) out += ',';
         lf = false;
         out += '"';
-        out += k;
+        append_json_escaped(out, k);
         out += "\":\"";
-        out += v;
+        append_json_escaped(out, v);
         out += '"';
       }
       out += '}';
@@ -352,6 +396,14 @@ std::string Snapshot::metrics_json_array() const {
         append_u64(out, s.p90);
         out += ",\"p99\":";
         append_u64(out, s.p99);
+        if (s.exemplar_trace_id != 0) {
+          char ex[96];
+          std::snprintf(ex, sizeof(ex),
+                        ",\"exemplar\":{\"trace_id\":\"%016" PRIx64 "\",\"value\":%" PRIu64
+                        "}",
+                        s.exemplar_trace_id, s.exemplar_value);
+          out += ex;
+        }
         break;
     }
     out += '}';

@@ -47,6 +47,14 @@ namespace lzss::obs {
 /// Label set attached to an instrument, e.g. {{"opcode", "compress"}}.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
+/// Append @p v to @p out with JSON string escaping (backslash, quote, and
+/// control characters). Shared by the JSON renderer and the event log.
+void append_json_escaped(std::string& out, std::string_view v);
+
+/// Append @p v to @p out with Prometheus label-value escaping (the exposition
+/// format requires `\\`, `\"`, and `\n` inside quoted label values).
+void append_prometheus_escaped(std::string& out, std::string_view v);
+
 namespace detail {
 
 /// Stable per-thread shard slot: assigned once per thread, round-robin, so
@@ -110,6 +118,15 @@ class Histogram {
     s.sum.fetch_add(v, std::memory_order_relaxed);
   }
 
+  /// Attach an exemplar: a concrete traced observation that renders next to
+  /// the histogram so a quantile spike links to a span tree. Last-write-wins
+  /// (two relaxed stores — a torn pair under contention is acceptable for a
+  /// debugging affordance). trace_id must be nonzero to render.
+  void record_exemplar(std::uint64_t v, std::uint64_t trace_id) noexcept {
+    ex_value_.store(v, std::memory_order_relaxed);
+    ex_trace_.store(trace_id, std::memory_order_relaxed);
+  }
+
   /// Shard-merged view; quantiles report the containing bucket's upper bound.
   struct Merged {
     std::array<std::uint64_t, kBuckets> counts{};
@@ -118,6 +135,15 @@ class Histogram {
     [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
   };
   [[nodiscard]] Merged merged() const noexcept;
+
+  struct Exemplar {
+    std::uint64_t value = 0;
+    std::uint64_t trace_id = 0;  ///< 0 = no exemplar recorded yet
+  };
+  [[nodiscard]] Exemplar exemplar() const noexcept {
+    return {ex_value_.load(std::memory_order_relaxed),
+            ex_trace_.load(std::memory_order_relaxed)};
+  }
 
   [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) noexcept;
   /// Largest value that lands in bucket @p i (inclusive).
@@ -129,6 +155,8 @@ class Histogram {
     std::atomic<std::uint64_t> sum{0};
   };
   std::array<Shard, detail::kShards> shards_;
+  std::atomic<std::uint64_t> ex_value_{0};
+  std::atomic<std::uint64_t> ex_trace_{0};
 };
 
 enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
@@ -148,6 +176,9 @@ struct Sample {
   std::uint64_t p50 = 0;
   std::uint64_t p90 = 0;
   std::uint64_t p99 = 0;
+  // Exemplar (histograms only; trace_id == 0 means none).
+  std::uint64_t exemplar_value = 0;
+  std::uint64_t exemplar_trace_id = 0;
 };
 
 /// Point-in-time scrape of a registry: the instrument samples plus whatever

@@ -42,28 +42,32 @@ std::uint64_t get_le64(const std::uint8_t* p) noexcept {
 }  // namespace
 
 std::vector<std::uint8_t> encode_request(const RequestFrame& frame) {
+  const std::size_t ext = trace_extension_size(frame.flags);
   std::vector<std::uint8_t> out;
-  out.reserve(kRequestHeaderSize + frame.payload.size());
+  out.reserve(kRequestHeaderSize + ext + frame.payload.size());
   for (const std::uint8_t b : kRequestMagic) out.push_back(b);
   out.push_back(kProtocolVersion);
   out.push_back(static_cast<std::uint8_t>(frame.opcode));
   put_le16(out, frame.flags);
   put_le64(out, frame.id);
-  put_le32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  put_le32(out, static_cast<std::uint32_t>(ext + frame.payload.size()));
+  if (ext != 0) put_le64(out, frame.trace_id);
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
   return out;
 }
 
 std::vector<std::uint8_t> encode_response(const ResponseFrame& frame) {
+  const std::size_t ext = trace_extension_size(frame.flags);
   std::vector<std::uint8_t> out;
-  out.reserve(kResponseHeaderSize + frame.payload.size());
+  out.reserve(kResponseHeaderSize + ext + frame.payload.size());
   for (const std::uint8_t b : kResponseMagic) out.push_back(b);
   out.push_back(kProtocolVersion);
   out.push_back(static_cast<std::uint8_t>(frame.status));
   put_le16(out, frame.flags);
   put_le64(out, frame.id);
   put_le32(out, frame.adler);
-  put_le32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  put_le32(out, static_cast<std::uint32_t>(ext + frame.payload.size()));
+  if (ext != 0) put_le64(out, frame.trace_id);
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
   return out;
 }
@@ -105,6 +109,7 @@ const char* parse_error_name(ParseError e) noexcept {
     case ParseError::kBadOpcode: return "bad opcode";
     case ParseError::kBadStatus: return "bad status";
     case ParseError::kOversize: return "oversize payload";
+    case ParseError::kBadTrace: return "short trace extension";
   }
   return "?";
 }
@@ -201,6 +206,9 @@ RequestParser::RequestParser(std::size_t max_payload) noexcept
 ParseError RequestParser::validate_header(std::span<const std::uint8_t> header) const {
   if (header[5] > static_cast<std::uint8_t>(Opcode::kVerify))
     return ParseError::kBadOpcode;
+  const std::uint16_t flags = get_le16(header.data() + 6);
+  if (get_le32(header.data() + 16) < trace_extension_size(flags))
+    return ParseError::kBadTrace;
   return ParseError::kNone;
 }
 
@@ -227,7 +235,10 @@ std::optional<RequestFrame> RequestParser::next() {
   f.opcode = static_cast<Opcode>(bytes[5]);
   f.flags = get_le16(bytes.data() + 6);
   f.id = get_le64(bytes.data() + 8);
-  f.payload.assign(bytes.begin() + kRequestHeaderSize, bytes.end());
+  const std::size_t ext = trace_extension_size(f.flags);  // length >= ext (validated)
+  if (ext != 0) f.trace_id = get_le64(bytes.data() + kRequestHeaderSize);
+  f.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(kRequestHeaderSize + ext),
+                   bytes.end());
   return f;
 }
 
@@ -237,6 +248,9 @@ ResponseParser::ResponseParser(std::size_t max_payload) noexcept
 ParseError ResponseParser::validate_header(std::span<const std::uint8_t> header) const {
   if (header[5] > static_cast<std::uint8_t>(Status::kDeadlineExceeded))
     return ParseError::kBadStatus;
+  const std::uint16_t flags = get_le16(header.data() + 6);
+  if (get_le32(header.data() + 20) < trace_extension_size(flags))
+    return ParseError::kBadTrace;
   return ParseError::kNone;
 }
 
@@ -248,7 +262,10 @@ std::optional<ResponseFrame> ResponseParser::next() {
   f.flags = get_le16(bytes.data() + 6);
   f.id = get_le64(bytes.data() + 8);
   f.adler = get_le32(bytes.data() + 16);
-  f.payload.assign(bytes.begin() + kResponseHeaderSize, bytes.end());
+  const std::size_t ext = trace_extension_size(f.flags);  // length >= ext (validated)
+  if (ext != 0) f.trace_id = get_le64(bytes.data() + kResponseHeaderSize);
+  f.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(kResponseHeaderSize + ext),
+                   bytes.end());
   return f;
 }
 

@@ -16,11 +16,16 @@
 //                                      24  payload
 //
 // Flags: bit 0 selects the compressed container (0 = zlib/RFC 1950,
-// 1 = raw LZSS "LZS1"); bits 8..15 carry a preset id (0 = the service
-// default, 1..N = estimator presets in standard_presets() order). The
-// response's adler field is the Adler-32 of the *uncompressed* data: the
-// original input for COMPRESS, the reconstructed output for DECOMPRESS —
-// so a client can verify a round trip without inflating.
+// 1 = raw LZSS "LZS1"); bit 2 (kFlagTraced) marks a traced frame — the
+// payload is prefixed with an 8-byte LE trace id, stripped by the parser
+// into RequestFrame/ResponseFrame::trace_id (`length` counts the prefix).
+// Old peers never set the bit, so they are unaffected; the server echoes
+// the bit and the id so a client can print its own request's trace.
+// Bits 8..15 carry a preset id (0 = the service default, 1..N = estimator
+// presets in standard_presets() order). The response's adler field is the
+// Adler-32 of the *uncompressed* data: the original input for COMPRESS,
+// the reconstructed output for DECOMPRESS — so a client can verify a
+// round trip without inflating.
 //
 // Parsing is incremental and strict: bad magic, unknown version/opcode/
 // status, and lengths beyond kMaxPayload poison the parser (a typed
@@ -82,6 +87,7 @@ enum class ParseError : std::uint8_t {
   kBadOpcode,
   kBadStatus,
   kOversize,
+  kBadTrace,  ///< kFlagTraced set but the payload is too short for the id
 };
 
 /// Container selector in flags bit 0.
@@ -89,6 +95,14 @@ inline constexpr std::uint16_t kFlagRawContainer = 0x0001;
 /// VERIFY target selector in flags bit 1: 0 = the request payload is a
 /// container to checksum, 1 = the payload names a stored record range.
 inline constexpr std::uint16_t kFlagVerifyStore = 0x0002;
+/// Trace-context extension in flags bit 2: the payload carries an 8-byte LE
+/// trace id prefix (stripped at parse time into the frame's trace_id).
+inline constexpr std::uint16_t kFlagTraced = 0x0004;
+
+/// Wire bytes the trace extension prepends to the payload.
+[[nodiscard]] constexpr std::size_t trace_extension_size(std::uint16_t flags) noexcept {
+  return (flags & kFlagTraced) != 0 ? 8 : 0;
+}
 
 [[nodiscard]] constexpr std::uint16_t flags_with_preset(std::uint16_t flags,
                                                         std::uint8_t preset_id) noexcept {
@@ -107,6 +121,10 @@ struct RequestFrame {
   /// empty. The transport answers BUSY instead of dispatching. Never set on
   /// frames that reach the service.
   bool shed = false;
+  /// Trace id carried by the kFlagTraced extension (0 = none). Not part of
+  /// `payload`; the parser strips the wire prefix. On gate-shed frames the
+  /// payload (and therefore the id) was never buffered, so this stays 0.
+  std::uint64_t trace_id = 0;
   std::vector<std::uint8_t> payload;
 };
 
@@ -115,6 +133,8 @@ struct ResponseFrame {
   Status status = Status::kOk;
   std::uint16_t flags = 0;
   std::uint32_t adler = 0;
+  /// Echoed trace id (kFlagTraced extension; 0 = none).
+  std::uint64_t trace_id = 0;
   std::vector<std::uint8_t> payload;
 };
 

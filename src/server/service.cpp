@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <limits>
+#include <thread>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -21,6 +23,7 @@
 #include "fault/fault.hpp"
 #include "hw/metrics.hpp"
 #include "lzss/raw_container.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/multi_engine.hpp"
@@ -156,6 +159,7 @@ Service::Service(ServiceConfig config) : cfg_(std::move(config)) {
     registry_ = owned_registry_.get();
   }
   trace_ = cfg_.trace;
+  events_ = cfg_.events;
   bind_metrics();
   {
     const std::lock_guard<std::mutex> lock(workers_mutex_);
@@ -211,6 +215,10 @@ void Service::stop() {
     queue_.clear();
     queue_depth_g_->set(0);
   }
+  if (events_ != nullptr && !leftovers.empty()) {
+    events_->emit(obs::EventLevel::kWarn, "service", "drain_rescue",
+                  {obs::EventLog::num("jobs", static_cast<std::int64_t>(leftovers.size()))});
+  }
   for (auto& j : leftovers) {
     ResponseFrame resp;
     resp.status = Status::kInternal;
@@ -218,9 +226,27 @@ void Service::stop() {
   }
 }
 
+Service::RequestTrace Service::begin_trace(const RequestFrame& request) noexcept {
+  RequestTrace rt;
+  if (trace_ == nullptr) return rt;
+  std::uint64_t id = request.trace_id;  // a client-sent id always wins
+  if (id == 0) {
+    if (cfg_.trace_sample == 0 ||
+        trace_seq_.fetch_add(1, std::memory_order_relaxed) % cfg_.trace_sample != 0)
+      return rt;
+    id = obs::next_trace_id();
+  }
+  rt.ctx = obs::TraceContext{id, 0};
+  rt.root_span = obs::next_span_id();
+  rt.start_us = obs::TraceRing::now_us();
+  rt.wall_us = obs::TraceRing::wall_now_us();
+  return rt;
+}
+
 void Service::submit(RequestFrame&& request, Completion done) {
   const Opcode op = request.opcode;
   const auto t0 = std::chrono::steady_clock::now();
+  const RequestTrace rt = begin_trace(request);
 
   if (op == Opcode::kPing || op == Opcode::kStats) {
     // Control plane: answered inline so health checks and observability keep
@@ -232,7 +258,7 @@ void Service::submit(RequestFrame&& request, Completion done) {
       const std::string text = stats_json();
       resp.payload.assign(text.begin(), text.end());
     }
-    finish(op, request, resp, t0, done);
+    finish(op, request, resp, t0, rt, done);
     return;
   }
 
@@ -243,7 +269,7 @@ void Service::submit(RequestFrame&& request, Completion done) {
     resp.id = request.id;
     resp.flags = request.flags;
     resp.status = Status::kInternal;
-    finish(op, request, resp, t0, done);
+    finish(op, request, resp, t0, rt, done);
     return;
   }
 
@@ -254,6 +280,7 @@ void Service::submit(RequestFrame&& request, Completion done) {
       job->request = std::move(request);
       job->done = std::move(done);
       job->enqueued_at = t0;
+      job->trace = rt;
       queue_.push_back(std::move(job));
       queue_high_water_ = std::max<std::uint64_t>(queue_high_water_, queue_.size());
       queue_depth_g_->set(static_cast<std::int64_t>(queue_.size()));
@@ -271,7 +298,7 @@ void Service::submit(RequestFrame&& request, Completion done) {
   busy.id = request.id;
   busy.flags = request.flags;
   busy.status = Status::kBusy;
-  finish(op, request, busy, t0, done);
+  finish(op, request, busy, t0, rt, done);
 }
 
 bool Service::expired(const Job& job, std::chrono::steady_clock::time_point now) const noexcept {
@@ -321,6 +348,12 @@ void Service::worker_loop(Worker* self) {
     const bool internal = static_cast<bool>(job->block_work);
     workers_busy_g_->add(1);
     {
+      // Re-root this thread under the request's trace so the opcode span —
+      // and everything nested (block fan-out, store append/fsync, engine
+      // work) — parents into the request tree. Inactive contexts are
+      // harmless: spans still record, just flat.
+      const obs::TraceScope trace_scope(
+          obs::TraceContext{job->trace.ctx.trace_id, job->trace.root_span});
       obs::Span span(trace_, internal ? "container_block_job"
                                       : opcode_name(job->request.opcode));
       try {
@@ -407,6 +440,7 @@ void Service::watchdog_loop() {
     //    after the lock is released.
     std::vector<std::pair<JobPtr, Status>> orphans;
     std::vector<std::thread> to_join;
+    std::size_t dead_respawns = 0, hung_respawns = 0;
     {
       const std::lock_guard<std::mutex> lock(workers_mutex_);
       // Iterate by index over the pre-sweep size: spawn_worker_locked()
@@ -421,6 +455,7 @@ void Service::watchdog_loop() {
           w->current.reset();
           respawns_c_->add(1);
           ++respawns;
+          ++dead_respawns;
         } else if (hung != 0 && !w->exited.load() && !w->poisoned.load() && w->current &&
                    now - w->busy_since > milliseconds(hung)) {
           // Stuck past the threshold: answer its request now, poison it so it
@@ -429,6 +464,7 @@ void Service::watchdog_loop() {
           w->poisoned.store(true);
           respawns_c_->add(1);
           ++respawns;
+          ++hung_respawns;
         }
         if (w->exited.load() && !w->current && w->thread.joinable()) {
           to_join.push_back(std::move(w->thread));
@@ -440,6 +476,16 @@ void Service::watchdog_loop() {
       for (std::size_t i = 0; i < respawns; ++i) spawn_worker_locked();
     }
     for (auto& t : to_join) t.join();
+    if (events_ != nullptr) {
+      if (dead_respawns != 0)
+        events_->emit(obs::EventLevel::kError, "service", "worker_respawned",
+                      {obs::EventLog::str("reason", "dead"),
+                       obs::EventLog::num("count", static_cast<std::int64_t>(dead_respawns))});
+      if (hung_respawns != 0)
+        events_->emit(obs::EventLevel::kWarn, "service", "worker_respawned",
+                      {obs::EventLog::str("reason", "hung"),
+                       obs::EventLog::num("count", static_cast<std::int64_t>(hung_respawns))});
+    }
     for (auto& [job, status] : orphans) {
       ResponseFrame resp;
       resp.status = status;
@@ -459,7 +505,8 @@ void Service::deliver(const JobPtr& job, ResponseFrame&& response) {
   response.id = job->request.id;
   response.flags = job->request.flags;
   if (response.status == Status::kDeadlineExceeded) deadline_c_->add(1);
-  finish(job->request.opcode, job->request, response, job->enqueued_at, job->done);
+  finish(job->request.opcode, job->request, response, job->enqueued_at, job->trace,
+         job->done);
 }
 
 ResponseFrame Service::process(RequestFrame& request, hw::Compressor& compressor) {
@@ -850,14 +897,22 @@ ResponseFrame Service::do_compress_blocked(const RequestFrame& request, const hw
   // The per-block body; runs on the parent worker and on helper workers
   // concurrently (records[i] slots are disjoint). It never throws:
   // encode_block degrades to a stored record internally, so one bad block
-  // can only cost ratio, never the request.
+  // can only cost ratio, never the request. The parent's trace context is
+  // captured here (under the opcode span) and re-installed on whichever
+  // thread runs the block, so helper-side spans join the request tree.
+  const obs::TraceContext fanout_ctx = obs::current_trace();
   const container::BlockWork work = [&](std::size_t i, hw::Compressor* engine) {
     const auto t0 = std::chrono::steady_clock::now();
+    const obs::TraceScope trace_scope(fanout_ctx);
     obs::Span span(trace_, "container_block");
     const std::size_t begin = i * block_bytes;
     const std::size_t len = std::min(block_bytes, input.size() - begin);
-    auto result = container::encode_block(cfg, use_worker_engine ? engine : nullptr,
-                                          input.subspan(begin, len));
+    auto result = [&] {
+      obs::Span eng(trace_, "engine.encode");
+      eng.set_args(static_cast<std::int64_t>(len));
+      return container::encode_block(cfg, use_worker_engine ? engine : nullptr,
+                                     input.subspan(begin, len));
+    }();
     if (result.census_valid) hw::export_cycle_stats(*registry_, result.census);
     if (result.stored) block_fallbacks_c_->add(1);
     records[i] = std::move(result.record);
@@ -910,15 +965,19 @@ ResponseFrame Service::do_decompress_blocked(const RequestFrame& request) {
   std::vector<std::uint8_t> output(static_cast<std::size_t>(view.raw_total));
   std::atomic<bool> block_failed{false};
 
+  const obs::TraceContext fanout_ctx = obs::current_trace();
   const container::BlockWork work = [&](std::size_t i, hw::Compressor*) {
     if (block_failed.load(std::memory_order_relaxed)) return;  // request already lost
     const auto t0 = std::chrono::steady_clock::now();
+    const obs::TraceScope trace_scope(fanout_ctx);
     obs::Span span(trace_, "container_block");
     const container::BlockView& b = view.blocks[i];
     bool ok = true;
     try {
       // Disjoint output slices: blocks from several workers land directly
       // in the preallocated payload, no reassembly copy.
+      obs::Span eng(trace_, "engine.decode");
+      eng.set_args(static_cast<std::int64_t>(b.raw_len));
       container::decode_block(b, std::span<std::uint8_t>(output).subspan(b.raw_offset, b.raw_len));
     } catch (const std::exception&) {
       // CRC mismatch, bad stream, or a per-block bomb: all corruption of
@@ -1025,7 +1084,8 @@ void Service::bind_metrics() {
 }
 
 void Service::finish(Opcode op, const RequestFrame& request, ResponseFrame& response,
-                     std::chrono::steady_clock::time_point t0, const Completion& done) {
+                     std::chrono::steady_clock::time_point t0, const RequestTrace& rt,
+                     const Completion& done) {
   try {
     fault::point("server.response.egress");
   } catch (...) {
@@ -1047,13 +1107,56 @@ void Service::finish(Opcode op, const RequestFrame& request, ResponseFrame& resp
   } else {
     m.errors->add(1);
   }
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  const std::uint64_t latency_us = static_cast<std::uint64_t>(std::max<long long>(micros, 0));
   if (response.status != Status::kBusy) {
     m.bytes_in->add(request.payload.size());
     m.bytes_out->add(response.payload.size());
-    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
-    m.latency_us->record(static_cast<std::uint64_t>(std::max<long long>(micros, 0)));
+    m.latency_us->record(latency_us);
+  }
+  // Echo the trace id so the client can print (and fetch) its own trace;
+  // encode_response only puts it on the wire when the echoed flags carry
+  // kFlagTraced, so untraced peers see byte-identical responses.
+  response.trace_id = rt.ctx.active() ? rt.ctx.trace_id : request.trace_id;
+  if (trace_ != nullptr && rt.ctx.active()) {
+    // Close the request-root span. Child spans (opcode, block fan-out,
+    // store, engine) are recorded by their own destructors before the
+    // response is delivered, so the tree is complete in the ring by now.
+    obs::TraceEvent root;
+    root.trace_id = rt.ctx.trace_id;
+    root.span_id = rt.root_span;
+    root.parent_id = 0;
+    root.start_us = rt.start_us;
+    root.end_us = obs::TraceRing::now_us();
+    root.wall_us = rt.wall_us;
+    root.tid = static_cast<std::uint32_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    std::snprintf(root.name, sizeof(root.name), "request.%s", opcode_name(op));
+    std::snprintf(root.tag, sizeof(root.tag), "%s", status_name(response.status));
+    root.a0 = static_cast<std::int64_t>(request.payload.size());
+    root.a1 = static_cast<std::int64_t>(response.payload.size());
+    trace_->record(root);
+    if (response.status != Status::kBusy) {
+      m.latency_us->record_exemplar(latency_us, rt.ctx.trace_id);
+      // Flight recorder: copy the whole tree of a slow request into the
+      // keep-ring before the main ring's churn can overwrite it.
+      if (cfg_.slow_trace != nullptr && cfg_.slow_trace_us != 0 &&
+          latency_us >= cfg_.slow_trace_us) {
+        trace_->copy_trace(rt.ctx.trace_id, *cfg_.slow_trace);
+        if (events_ != nullptr) {
+          char idbuf[20];
+          std::snprintf(idbuf, sizeof(idbuf), "%016llx",
+                        static_cast<unsigned long long>(rt.ctx.trace_id));
+          events_->emit(obs::EventLevel::kWarn, "service", "slow_request",
+                        {obs::EventLog::str("opcode", opcode_name(op)),
+                         obs::EventLog::str("trace_id", idbuf),
+                         obs::EventLog::num("latency_us",
+                                            static_cast<std::int64_t>(latency_us))});
+        }
+      }
+    }
   }
   done(std::move(response));
 }

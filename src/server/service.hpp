@@ -62,14 +62,15 @@
 
 #include "hw/compressor.hpp"
 #include "hw/config.hpp"
+#include "obs/trace.hpp"
 #include "server/frame.hpp"
 
 namespace lzss::obs {
 class Counter;
+class EventLog;
 class Gauge;
 class Histogram;
 class Registry;
-class TraceRing;
 }  // namespace lzss::obs
 
 namespace lzss::store {
@@ -99,6 +100,18 @@ struct ServiceConfig {
   obs::Registry* registry = nullptr;
   /// Trace-span ring; null disables request tracing. Must outlive the service.
   obs::TraceRing* trace = nullptr;
+  /// Head-based trace-context sampling: every Nth request gets a trace id
+  /// (and therefore a request-root span + hierarchy). 1 = every request,
+  /// 0 = only requests whose client sent a trace id (kFlagTraced). A
+  /// client-supplied id always forces the trace regardless of sampling.
+  std::uint32_t trace_sample = 16;
+  /// Slow-request flight recorder: traced requests whose latency reaches
+  /// slow_trace_us get their whole span tree copied into this keep-ring
+  /// (lzssd serves it at GET /trace/slow). Null or 0 disables.
+  obs::TraceRing* slow_trace = nullptr;
+  std::uint64_t slow_trace_us = 0;
+  /// Structured event sink (watchdog respawns, drain rescues); null = off.
+  obs::EventLog* events = nullptr;
   hw::HwConfig hw = hw::HwConfig::speed_optimized();
 
   void validate() const;  ///< throws std::invalid_argument when inconsistent
@@ -175,6 +188,16 @@ class Service {
   void stop();
 
  private:
+  /// Per-request trace state, resolved once in submit() (sampling decision,
+  /// client-forced ids) and carried to finish() wherever the response is
+  /// produced. Inactive (trace_id 0) requests still run exactly as before.
+  struct RequestTrace {
+    obs::TraceContext ctx;         ///< trace id + root span as parent
+    std::uint64_t root_span = 0;   ///< span id of the "request" root span
+    std::uint64_t start_us = 0;    ///< steady (TraceRing::now_us) at arrival
+    std::uint64_t wall_us = 0;     ///< wall-clock epoch µs at arrival
+  };
+
   /// One in-flight request. Shared between the owning worker and the
   /// watchdog; whoever wins the answered flag delivers the response.
   /// When `block_work` is set the job is an internal container sub-job: it
@@ -187,6 +210,7 @@ class Service {
     Completion done;
     std::function<void(hw::Compressor&)> block_work;
     std::chrono::steady_clock::time_point enqueued_at;
+    RequestTrace trace;
     std::atomic<bool> answered{false};
   };
   using JobPtr = std::shared_ptr<Job>;
@@ -219,9 +243,13 @@ class Service {
   [[nodiscard]] ResponseFrame do_log_read(const RequestFrame& request);
   [[nodiscard]] ResponseFrame do_scrub(const RequestFrame& request);
   [[nodiscard]] ResponseFrame do_verify(const RequestFrame& request);
-  /// Records counters/latency and invokes the completion (inline path).
+  /// Sampling / client-forced trace resolution; called once per request.
+  [[nodiscard]] RequestTrace begin_trace(const RequestFrame& request) noexcept;
+  /// Records counters/latency, closes the request-root span, feeds the
+  /// slow-trace keep-ring and exemplars, and invokes the completion.
   void finish(Opcode op, const RequestFrame& request, ResponseFrame& response,
-              std::chrono::steady_clock::time_point t0, const Completion& done);
+              std::chrono::steady_clock::time_point t0, const RequestTrace& rt,
+              const Completion& done);
   /// Claims @p job (answered CAS) and finishes it; drops silently when the
   /// job was already answered by the other contender.
   void deliver(const JobPtr& job, ResponseFrame&& response);
@@ -260,6 +288,8 @@ class Service {
   std::unique_ptr<obs::Registry> owned_registry_;
   obs::Registry* registry_ = nullptr;
   obs::TraceRing* trace_ = nullptr;
+  obs::EventLog* events_ = nullptr;
+  std::atomic<std::uint64_t> trace_seq_{0};  ///< head-based sampling counter
   std::array<OpInstruments, kOpcodeCount> opm_{};
   obs::Histogram* queue_wait_us_ = nullptr;   ///< enqueue -> dispatch
   obs::Gauge* queue_depth_g_ = nullptr;       ///< live queue occupancy

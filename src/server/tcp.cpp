@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "fault/fault.hpp"
+#include "obs/event_log.hpp"
 
 namespace lzss::server {
 
@@ -146,6 +147,21 @@ void TcpServer::wake() noexcept {
   [[maybe_unused]] const auto n = ::write(wake_pipe_[1], &b, 1);
 }
 
+void TcpServer::emit_conn_event(const char* event, const char* reason, std::int64_t count) {
+  if (config_.events == nullptr) return;
+  config_.events->emit(obs::EventLevel::kWarn, "tcp", event,
+                       {obs::EventLog::str("reason", reason), obs::EventLog::num("count", count)});
+}
+
+const char* TcpServer::evict_reason_name(const obs::Counter* reason) const noexcept {
+  if (reason == evicted_idle_c_) return "idle";
+  if (reason == evicted_slow_read_c_) return "slow_read";
+  if (reason == evicted_write_stall_c_) return "write_stall";
+  if (reason == evicted_write_overflow_c_) return "write_overflow";
+  if (reason == evicted_drain_c_) return "drain_deadline";
+  return "?";
+}
+
 bool TcpServer::admit_frame(Conn& conn, const RequestFrame& header, std::uint32_t payload_len) {
   if (is_bulky(header.opcode)) {
     if (brownout_active_) {
@@ -189,6 +205,7 @@ void TcpServer::accept_ready(Clock::time_point now) {
           if (shed >= 0) {
             ::close(shed);
             shed_fd_exhausted_c_->add(1);
+            emit_conn_event("conn_shed", "fd_exhausted");
           }
           reserve_fd_ = ::open("/dev/null", O_RDONLY);
         }
@@ -204,6 +221,7 @@ void TcpServer::accept_ready(Clock::time_point now) {
     if (config_.max_conns != 0 && conns_.size() >= config_.max_conns) {
       ::close(cfd);
       shed_max_conns_c_->add(1);
+      emit_conn_event("conn_shed", "max_conns");
       continue;
     }
 
@@ -224,7 +242,10 @@ void TcpServer::accept_ready(Clock::time_point now) {
       return admit_frame(*cp, header, payload_len);
     });
     conn.session->set_handler([this, weak, cp](RequestFrame&& frame) {
-      const std::size_t len = frame.payload.size();
+      // The gate admitted the wire payload length, which counts the 8-byte
+      // trace-id prefix; the parser has since stripped it into trace_id, so
+      // add it back or the inflight gauge leaks per traced request.
+      const std::size_t len = frame.payload.size() + trace_extension_size(frame.flags);
       cp->admitted_pending -= std::min(cp->admitted_pending, len);
       inflight_requests_g_->add(1);
       service_.submit(std::move(frame), [this, weak, len](ResponseFrame&& resp) {
@@ -369,6 +390,15 @@ void TcpServer::refresh_brownout(Clock::time_point now) {
     brownout_active_ = hot;
     brownout_g_->set(hot ? 1 : 0);
     if (hot) brownout_entered_c_->add(1);
+    if (config_.events != nullptr) {
+      config_.events->emit(
+          hot ? obs::EventLevel::kWarn : obs::EventLevel::kInfo, "tcp",
+          hot ? "brownout_entered" : "brownout_exited",
+          {obs::EventLog::num("queue_wait_p99_us", static_cast<std::int64_t>(
+                                                       count > 0 ? delta.quantile(0.99) : 0)),
+           obs::EventLog::num("threshold_us",
+                              static_cast<std::int64_t>(config_.brownout_queue_wait_us))});
+    }
   }
 }
 
@@ -423,6 +453,7 @@ void TcpServer::run() {
     }
     for (const auto& [fd, reason] : to_evict) {
       reason->add(1);
+      emit_conn_event("conn_evicted", evict_reason_name(reason));
       close_conn(fd);
     }
 
@@ -469,6 +500,7 @@ void TcpServer::run() {
       if ((fds[i].revents & POLLOUT) != 0 || !conn.write_buf.empty()) {
         if (!pump_outbox(conn, after)) {
           evicted_write_overflow_c_->add(1);
+          emit_conn_event("conn_evicted", "write_overflow");
           dead = true;
         } else if (!flush_writable(fd, conn, after)) {
           dead = true;
@@ -493,6 +525,7 @@ void TcpServer::drain() {
     for (auto& [fd, conn] : conns_) {
       if (!pump_outbox(conn, now)) {
         evicted_write_overflow_c_->add(1);
+        emit_conn_event("conn_evicted", "write_overflow");
         to_close.push_back(fd);
         continue;
       }
@@ -545,9 +578,14 @@ void TcpServer::drain() {
   }
   // Deadline expired with responses still owed: a stalled peer does not get
   // to hold shutdown hostage.
+  std::int64_t stragglers = 0;
   for (auto& [fd, conn] : conns_) {
-    if (!conn.write_buf.empty() || conn.session->has_outgoing()) evicted_drain_c_->add(1);
+    if (!conn.write_buf.empty() || conn.session->has_outgoing()) {
+      evicted_drain_c_->add(1);
+      ++stragglers;
+    }
   }
+  if (stragglers > 0) emit_conn_event("conn_evicted", "drain_deadline", stragglers);
 }
 
 // --------------------------------------------------------------------------

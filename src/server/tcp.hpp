@@ -34,6 +34,10 @@
 #include "server/service.hpp"
 #include "server/session.hpp"
 
+namespace lzss::obs {
+class EventLog;
+}
+
 namespace lzss::server {
 
 /// Overload-control and connection-lifecycle knobs. Every field's zero value
@@ -81,6 +85,11 @@ struct TcpServerConfig {
   /// evicting stragglers (reason "drain_deadline"). 0 = legacy immediate
   /// shutdown (pending responses dropped).
   std::uint32_t drain_deadline_ms = 0;
+
+  /// Optional structured event sink (docs/OBSERVABILITY.md): connection
+  /// evictions, accept-time shedding, and brownout transitions are emitted
+  /// here in addition to their counters. Not owned; may be null.
+  obs::EventLog* events = nullptr;
 };
 
 class TcpServer {
@@ -152,6 +161,11 @@ class TcpServer {
   void refresh_brownout(std::chrono::steady_clock::time_point now);
   /// Post-stop bounded flush of pending responses.
   void drain();
+  /// Structured-event companion to the eviction/shed counters (no-op when
+  /// config_.events is null).
+  void emit_conn_event(const char* event, const char* reason, std::int64_t count = 1);
+  /// Maps an eviction counter back to its `reason` label for events.
+  [[nodiscard]] const char* evict_reason_name(const obs::Counter* reason) const noexcept;
   [[nodiscard]] int poll_timeout_ms() const noexcept;
   void close_conn(int fd);
   void wake() noexcept;

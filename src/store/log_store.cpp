@@ -635,6 +635,10 @@ void LogStore::write_index_locked() {
 }
 
 std::uint64_t LogStore::append(std::span<const std::uint8_t> bytes) {
+  // Parents under the calling worker's span via the thread-local context;
+  // the nested store.fsync span (when the policy syncs) hangs off this one.
+  obs::Span span(trace_, "store.append");
+  span.set_args(static_cast<std::int64_t>(bytes.size()));
   // The cap applies to the RAW size, not the stored payload: recovery's
   // parse_record_header rejects raw_length > kMaxRecordBytes as corruption,
   // so an oversized-but-compressible record must never be acked — it would

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/event_log.hpp"
+
 namespace lzss::store {
 
 Maintenance::Maintenance(LogStore& store, MaintenanceConfig config)
@@ -63,14 +65,27 @@ void Maintenance::run_retention() {
   policy.max_age_seconds = cfg_.retain_max_age_s;
   try {
     const RetentionReport report = store_.apply_retention(policy);
-    const std::lock_guard<std::mutex> lock(mutex_);
-    stats_.retention_segments += report.segments_deleted;
-    stats_.retention_bytes += report.bytes_deleted;
-  } catch (const std::exception&) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stats_.retention_segments += report.segments_deleted;
+      stats_.retention_bytes += report.bytes_deleted;
+    }
+    if (cfg_.events != nullptr && report.segments_deleted != 0) {
+      cfg_.events->emit(
+          obs::EventLevel::kInfo, "maintenance", "retention_trimmed",
+          {obs::EventLog::num("segments", static_cast<std::int64_t>(report.segments_deleted)),
+           obs::EventLog::num("bytes", static_cast<std::int64_t>(report.bytes_deleted))});
+    }
+  } catch (const std::exception& e) {
     // A failed unlink aborts the pass; whatever was already trimmed stays
     // consistently gone and the next tick retries.
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.errors;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.errors;
+    }
+    if (cfg_.events != nullptr)
+      cfg_.events->emit(obs::EventLevel::kError, "maintenance", "retention_failed",
+                        {obs::EventLog::str("error", e.what())});
   }
 }
 
@@ -95,14 +110,29 @@ void Maintenance::run_compaction() {
     }
     if (victim == 0) return;
     const CompactionReport report = store_.compact_segment(victim);
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.compactions;
-    stats_.bytes_reclaimed += report.reclaimed();
-    stats_.records_recompressed += report.recompressed;
-  } catch (const std::exception&) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.compaction_failures;
-    ++stats_.errors;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.compactions;
+      stats_.bytes_reclaimed += report.reclaimed();
+      stats_.records_recompressed += report.recompressed;
+    }
+    if (cfg_.events != nullptr) {
+      cfg_.events->emit(
+          obs::EventLevel::kInfo, "maintenance", "segment_compacted",
+          {obs::EventLog::num("segment", static_cast<std::int64_t>(victim)),
+           obs::EventLog::num("reclaimed_bytes", static_cast<std::int64_t>(report.reclaimed())),
+           obs::EventLog::num("recompressed", static_cast<std::int64_t>(report.recompressed))});
+    }
+  } catch (const std::exception& e) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.compaction_failures;
+      ++stats_.errors;
+    }
+    if (cfg_.events != nullptr)
+      cfg_.events->emit(obs::EventLevel::kError, "maintenance", "compaction_failed",
+                        {obs::EventLog::num("segment", static_cast<std::int64_t>(victim)),
+                         obs::EventLog::str("error", e.what())});
   }
 }
 
@@ -132,9 +162,17 @@ void Maintenance::run_scrub() {
   }
   try {
     const ScrubReport report = store_.scrub_segment(id);
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.scrubbed_segments;
-    stats_.scrub_errors += report.errors;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.scrubbed_segments;
+      stats_.scrub_errors += report.errors;
+    }
+    // Clean scrubs are the steady state and stay silent; damage is the event.
+    if (cfg_.events != nullptr && report.errors != 0) {
+      cfg_.events->emit(obs::EventLevel::kWarn, "maintenance", "scrub_damage",
+                        {obs::EventLog::num("segment", static_cast<std::int64_t>(id)),
+                         obs::EventLog::num("errors", static_cast<std::int64_t>(report.errors))});
+    }
   } catch (const std::exception&) {
     // Retention can delete a segment between the id snapshot and the scrub
     // (kNotFound), or the id set shrank some other way; either way the walk

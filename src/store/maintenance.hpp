@@ -34,6 +34,10 @@
 
 #include "store/log_store.hpp"
 
+namespace lzss::obs {
+class EventLog;
+}
+
 namespace lzss::store {
 
 struct MaintenanceConfig {
@@ -49,6 +53,10 @@ struct MaintenanceConfig {
   std::uint64_t scrub_interval_s = 0;
   /// Tick period. Tests shrink it to milliseconds; production keeps ~1s.
   std::uint64_t tick_interval_ms = 1000;
+
+  /// Optional structured event sink: compaction / retention / scrub verdicts
+  /// land here as events (docs/OBSERVABILITY.md). Not owned; may be null.
+  obs::EventLog* events = nullptr;
 
   [[nodiscard]] bool enabled() const noexcept {
     return compact_trigger_garbage_pct > 0 || retain_max_bytes != 0 ||

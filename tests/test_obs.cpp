@@ -6,13 +6,20 @@
 #include "obs/trace.hpp"
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "hw/metrics.hpp"
+#include "obs/event_log.hpp"
+#include "obs/http.hpp"
 
 namespace lzss::obs {
 namespace {
@@ -366,6 +373,383 @@ TEST(ObsTrace, ConcurrentSpansAllLand) {
   for (auto& th : pool) th.join();
   EXPECT_EQ(ring.recorded(), kThreads * kPerThread);
   EXPECT_EQ(ring.events().size(), kThreads * kPerThread);
+}
+
+// --- Trace context propagation ----------------------------------------------
+
+TEST(ObsTraceContext, SpansNestViaThreadLocalContext) {
+  TraceRing ring(16);
+  const std::uint64_t trace_id = next_trace_id();
+  std::uint64_t outer_id = 0;
+  {
+    const TraceScope scope(TraceContext{trace_id, 0});
+    Span outer(&ring, "outer");
+    outer_id = outer.span_id();
+    { Span inner(&ring, "inner"); }
+  }
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 2u);  // inner completes (and records) first
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].trace_id, trace_id);
+  EXPECT_EQ(events[0].parent_id, outer_id);
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].trace_id, trace_id);
+  EXPECT_EQ(events[1].parent_id, 0u);
+  EXPECT_NE(events[0].span_id, events[1].span_id);
+}
+
+TEST(ObsTraceContext, ScopeRestoresPreviousContextOnExit) {
+  EXPECT_EQ(current_trace().trace_id, 0u);
+  {
+    const TraceScope outer(TraceContext{7, 70});
+    EXPECT_EQ(current_trace().trace_id, 7u);
+    EXPECT_EQ(current_trace().span_id, 70u);
+    {
+      const TraceScope inner(TraceContext{8, 80});
+      EXPECT_EQ(current_trace().trace_id, 8u);
+    }
+    EXPECT_EQ(current_trace().trace_id, 7u);
+    EXPECT_EQ(current_trace().span_id, 70u);
+  }
+  EXPECT_EQ(current_trace().trace_id, 0u);
+}
+
+TEST(ObsTraceContext, ContextCrossesThreadsViaCapture) {
+  TraceRing ring(16);
+  TraceContext captured;
+  {
+    const TraceScope scope(TraceContext{next_trace_id(), 42});
+    captured = current_trace();
+  }
+  std::thread far([&ring, captured] {
+    const TraceScope scope(captured);
+    Span span(&ring, "far_side");
+  });
+  far.join();
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, captured.trace_id);
+  EXPECT_EQ(events[0].parent_id, 42u);
+}
+
+TEST(ObsTraceContext, UntracedSpansStayFlat) {
+  TraceRing ring(16);
+  { Span span(&ring, "flat"); }
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 0u);
+  EXPECT_EQ(events[0].parent_id, 0u);
+}
+
+TEST(ObsTraceContext, FreshIdsAreNonzeroAndDistinct) {
+  const std::uint64_t a = next_trace_id();
+  const std::uint64_t b = next_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_NE(next_span_id(), next_span_id());
+}
+
+TEST(ObsTrace, CopyTraceMovesWholeTreeToKeepRing) {
+  TraceRing ring(64);
+  TraceRing keep(8);
+  const std::uint64_t traced = next_trace_id();
+  {
+    const TraceScope scope(TraceContext{traced, 0});
+    Span a(&ring, "a");
+    { Span b(&ring, "b"); }
+  }
+  { Span noise(&ring, "unrelated"); }
+  EXPECT_EQ(ring.copy_trace(traced, keep), 2u);
+  const auto kept = keep.events();
+  ASSERT_EQ(kept.size(), 2u);
+  for (const auto& e : kept) EXPECT_EQ(e.trace_id, traced);
+  EXPECT_EQ(ring.events_for(traced).size(), 2u);
+  EXPECT_EQ(ring.events_for(traced + 1).size(), 0u);
+}
+
+// --- Dual timebases (satellite: NTP-safe durations) -------------------------
+
+TEST(ObsTrace, SpansRecordBothSteadyAndWallClocks) {
+  // Durations come from the steady clock (monotonic: an NTP step cannot make
+  // them negative or huge); wall_us carries the epoch time for correlation
+  // with external logs. This is the regression pin: both must be present and
+  // on their own timebase.
+  const auto wall_before = std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::system_clock::now().time_since_epoch())
+                               .count();
+  TraceRing ring(4);
+  {
+    Span span(&ring, "timed");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto wall_after = std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::system_clock::now().time_since_epoch())
+                              .count();
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& e = events[0];
+  // Steady pair: ordered, measures the sleep, and is *relative to process
+  // start* — far smaller than any epoch timestamp.
+  EXPECT_GE(e.end_us, e.start_us);
+  EXPECT_GE(e.end_us - e.start_us, 1000u);
+  EXPECT_LT(e.start_us, static_cast<std::uint64_t>(wall_before));
+  // Wall stamp: a real epoch time bracketed by the test's own clock reads.
+  EXPECT_GE(e.wall_us, static_cast<std::uint64_t>(wall_before));
+  EXPECT_LE(e.wall_us, static_cast<std::uint64_t>(wall_after));
+  // And the JSONL renderer must expose both.
+  const std::string jsonl = ring.to_jsonl();
+  EXPECT_NE(jsonl.find("\"dur_us\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"wall_us\":"), std::string::npos);
+}
+
+TEST(ObsTrace, JsonlRendersIdsAsFixedWidthHex) {
+  TraceRing ring(4);
+  {
+    const TraceScope scope(TraceContext{0xabcdef0123456789ull, 0});
+    Span span(&ring, "hex");
+  }
+  const std::string jsonl = ring.to_jsonl();
+  EXPECT_NE(jsonl.find("\"trace_id\":\"abcdef0123456789\""), std::string::npos);
+}
+
+// --- Escaping (satellite: renderer hardening) --------------------------------
+
+TEST(ObsEscaping, PrometheusLabelValues) {
+  Registry r;
+  r.counter("esc_total", {{"path", "C:\\dir\"x\"\nend"}}).add(1);
+  const std::string text = r.snapshot().to_prometheus();
+  // Backslash, quote, and newline must come out escaped — a raw newline in a
+  // label value splits the sample line and corrupts the whole exposition.
+  EXPECT_NE(text.find("esc_total{path=\"C:\\\\dir\\\"x\\\"\\nend\"} 1"), std::string::npos);
+  EXPECT_EQ(text.find("C:\\dir\"x\"\nend"), std::string::npos);
+}
+
+TEST(ObsEscaping, JsonRendererEscapesLabelsAndNames) {
+  Registry r;
+  r.counter("weird_total", {{"k", "a\"b\\c\nd\te"}}).add(2);
+  const std::string json = r.snapshot().metrics_json_array();
+  EXPECT_NE(json.find("\"k\":\"a\\\"b\\\\c\\nd\\te\""), std::string::npos);
+  // No raw control characters may survive into the JSON output.
+  for (const char ch : json) EXPECT_GE(static_cast<unsigned char>(ch), 0x20u);
+}
+
+TEST(ObsEscaping, HelperFunctionsDirectly) {
+  std::string out;
+  append_prometheus_escaped(out, "a\\b\"c\nd");
+  EXPECT_EQ(out, "a\\\\b\\\"c\\nd");
+  out.clear();
+  append_json_escaped(out, std::string("nul\x01tab\there"));
+  EXPECT_EQ(out, "nul\\u0001tab\\there");
+}
+
+// --- Histogram exemplars ----------------------------------------------------
+
+TEST(ObsExemplar, LastTracedValueRendersInBothFormats) {
+  Registry r;
+  Histogram& h = r.histogram("lat_us", {{"op", "compress"}});
+  h.record(10);
+  h.record_exemplar(250, 0x00000000deadbeefull);
+  const auto snap = r.snapshot();
+  const Sample* s = snap.find("lat_us", "compress");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->exemplar_trace_id, 0xdeadbeefull);
+  EXPECT_EQ(s->exemplar_value, 250u);
+  const std::string text = snap.to_prometheus();
+  EXPECT_NE(text.find("# {trace_id=\"00000000deadbeef\"} 250"), std::string::npos);
+  const std::string json = snap.metrics_json_array();
+  EXPECT_NE(json.find("\"exemplar\":{\"trace_id\":\"00000000deadbeef\",\"value\":250}"),
+            std::string::npos);
+}
+
+TEST(ObsExemplar, AbsentExemplarRendersNothing) {
+  Registry r;
+  r.histogram("plain_us").record(5);
+  EXPECT_EQ(r.snapshot().to_prometheus().find("# {trace_id"), std::string::npos);
+  EXPECT_EQ(r.snapshot().metrics_json_array().find("exemplar"), std::string::npos);
+}
+
+// --- EventLog ---------------------------------------------------------------
+
+TEST(ObsEventLog, EmitRendersOneJsonObjectWithFields) {
+  EventLog log;
+  log.emit(EventLevel::kWarn, "tcp", "conn_evicted",
+           {EventLog::str("reason", "idle"), EventLog::num("count", 3)});
+  const auto recent = log.recent();
+  ASSERT_EQ(recent.size(), 1u);
+  const std::string& line = recent[0];
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(line.find("\"component\":\"tcp\""), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"conn_evicted\""), std::string::npos);
+  EXPECT_NE(line.find("\"reason\":\"idle\""), std::string::npos);
+  EXPECT_NE(line.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"ts_us\":"), std::string::npos);
+  EXPECT_EQ(log.emitted(), 1u);
+}
+
+TEST(ObsEventLog, StringFieldsAreJsonEscaped) {
+  EventLog log;
+  log.emit(EventLevel::kError, "store", "failed", {EventLog::str("error", "disk \"full\"\n")});
+  const auto recent = log.recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_NE(recent[0].find("\"error\":\"disk \\\"full\\\"\\n\""), std::string::npos);
+}
+
+TEST(ObsEventLog, RingIsBoundedOldestOut) {
+  EventLog log(4);
+  log.set_rate_limit(0);  // this test is about the ring, not the limiter
+  for (int i = 0; i < 10; ++i)
+    log.emit(EventLevel::kInfo, "t", "e", {EventLog::num("i", i)});
+  const auto recent = log.recent();
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_NE(recent[0].find("\"i\":6"), std::string::npos);
+  EXPECT_NE(recent[3].find("\"i\":9"), std::string::npos);
+}
+
+TEST(ObsEventLog, MinLevelFilters) {
+  EventLog log;
+  log.set_min_level(EventLevel::kWarn);
+  log.emit(EventLevel::kDebug, "t", "quiet");
+  log.emit(EventLevel::kInfo, "t", "quiet");
+  log.emit(EventLevel::kError, "t", "loud");
+  ASSERT_EQ(log.recent().size(), 1u);
+  EXPECT_NE(log.recent()[0].find("loud"), std::string::npos);
+}
+
+TEST(ObsEventLog, RateLimiterCapsPerKeyAndSurfacesDrops) {
+  EventLog log;
+  log.set_rate_limit(5);  // burst = 10 per key per second
+  for (int i = 0; i < 100; ++i)
+    log.emit(EventLevel::kWarn, "tcp", "storm", {EventLog::num("i", i)});
+  // A different key is not throttled by the storm.
+  log.emit(EventLevel::kWarn, "tcp", "other");
+  // Burst cap is 10/key/window; allow one window boundary inside the loop.
+  EXPECT_LE(log.recent().size(), 21u);
+  EXPECT_GT(log.dropped(), 0u);
+  EXPECT_NE(log.recent_jsonl().find("\"event\":\"other\""), std::string::npos);
+}
+
+TEST(ObsEventLog, JsonlFileAppendsAcrossOpens) {
+  const std::string path = ::testing::TempDir() + "obs_events_test.jsonl";
+  std::remove(path.c_str());
+  {
+    EventLog log;
+    ASSERT_TRUE(log.open_jsonl(path));
+    log.emit(EventLevel::kInfo, "t", "first");
+  }
+  {
+    EventLog log;
+    ASSERT_TRUE(log.open_jsonl(path));
+    log.emit(EventLevel::kInfo, "t", "second");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents(4096, '\0');
+  contents.resize(std::fread(contents.data(), 1, contents.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(contents.find("\"event\":\"first\""), std::string::npos);
+  EXPECT_NE(contents.find("\"event\":\"second\""), std::string::npos);
+  std::size_t lines = 0;
+  for (const char ch : contents)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, 2u);
+}
+
+// --- HTTP sidecar -----------------------------------------------------------
+
+namespace {
+
+/// Blocking one-shot GET against 127.0.0.1:port; returns the full response
+/// (status line + headers + body).
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  (void)::send(fd, req.data(), req.size(), 0);
+  std::string out;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) out.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return out;
+}
+
+}  // namespace
+
+TEST(ObsHttp, ServesRegisteredEndpoints) {
+  HttpSidecar http(0);
+  http.handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  int hits = 0;
+  http.handle("/metrics", "text/plain; version=0.0.4", [&hits] {
+    ++hits;
+    return std::string("x_total 1\n");
+  });
+  http.start();
+  ASSERT_NE(http.port(), 0);
+
+  const std::string health = http_get(http.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos);
+
+  const std::string metrics = http_get(http.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("x_total 1"), std::string::npos);
+  EXPECT_EQ(hits, 1);  // body callback runs per request, at request time
+
+  EXPECT_NE(http_get(http.port(), "/nope").find("404"), std::string::npos);
+  // Query strings are stripped before path matching (Prometheus adds them).
+  EXPECT_NE(http_get(http.port(), "/healthz?x=1").find("200 OK"), std::string::npos);
+  EXPECT_EQ(http.requests_served(), 4u);
+  http.stop();
+}
+
+TEST(ObsHttp, RejectsNonGet) {
+  HttpSidecar http(0);
+  http.handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  http.start();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(http.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string req = "POST /healthz HTTP/1.0\r\n\r\n";
+  (void)::send(fd, req.data(), req.size(), 0);
+  std::string out;
+  char buf[1024];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) out.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  EXPECT_NE(out.find("405"), std::string::npos);
+  http.stop();
+}
+
+TEST(ObsHttp, StopIsIdempotentAndRestartableInstanceFree) {
+  auto http = std::make_unique<HttpSidecar>(0);
+  http->handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  http->start();
+  const std::uint16_t port = http->port();
+  EXPECT_NE(http_get(port, "/healthz").find("200"), std::string::npos);
+  http->stop();
+  http->stop();  // second stop is a no-op
+  http.reset();
+  // The port is actually released: a fresh sidecar can bind somewhere new.
+  HttpSidecar again(0);
+  again.handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  again.start();
+  EXPECT_NE(http_get(again.port(), "/healthz").find("200"), std::string::npos);
+  again.stop();
 }
 
 }  // namespace

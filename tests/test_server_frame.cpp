@@ -343,5 +343,138 @@ TEST(ServerSession, ValidFramesReachTheHandlerInOrder) {
   EXPECT_FALSE(s.closed());
 }
 
+// --- kFlagTraced wire extension ---------------------------------------------
+
+TEST(ServerFrameTrace, RequestRoundTripCarriesTraceId) {
+  RequestFrame in = sample_request();
+  in.flags |= kFlagTraced;
+  in.trace_id = 0xA1B2C3D4E5F60718ull;
+  const auto wire = encode_request(in);
+  // The 8-byte id rides as a payload prefix and is counted by `length`.
+  ASSERT_EQ(wire.size(), kRequestHeaderSize + 8 + in.payload.size());
+  EXPECT_EQ(wire[16], in.payload.size() + 8);  // length LSB
+
+  RequestParser p;
+  EXPECT_TRUE(p.feed(wire));
+  const auto out = p.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->trace_id, in.trace_id);
+  EXPECT_EQ(out->payload, in.payload);  // prefix stripped
+  EXPECT_EQ(out->flags, in.flags);
+}
+
+TEST(ServerFrameTrace, ResponseRoundTripCarriesTraceId) {
+  ResponseFrame in = sample_response();
+  in.flags = kFlagTraced;
+  in.trace_id = 0x123456789ABCDEF0ull;
+  const auto wire = encode_response(in);
+  ASSERT_EQ(wire.size(), kResponseHeaderSize + 8 + in.payload.size());
+
+  ResponseParser p;
+  EXPECT_TRUE(p.feed(wire));
+  const auto out = p.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->trace_id, in.trace_id);
+  EXPECT_EQ(out->payload, in.payload);
+  EXPECT_EQ(out->adler, in.adler);
+}
+
+TEST(ServerFrameTrace, EmptyPayloadTracedPingRoundTrips) {
+  RequestFrame in;
+  in.opcode = Opcode::kPing;
+  in.flags = kFlagTraced;
+  in.trace_id = 42;
+  const auto wire = encode_request(in);
+  ASSERT_EQ(wire.size(), kRequestHeaderSize + 8);
+  RequestParser p;
+  EXPECT_TRUE(p.feed(wire));
+  const auto out = p.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->trace_id, 42u);
+  EXPECT_TRUE(out->payload.empty());
+}
+
+TEST(ServerFrameTrace, UntracedFramesAreByteIdenticalToLegacy) {
+  // An old client never sets the bit; the new encoder must produce exactly
+  // the pre-extension wire image for it.
+  const RequestFrame in = sample_request();
+  ASSERT_EQ(in.flags & kFlagTraced, 0);
+  const auto wire = encode_request(in);
+  EXPECT_EQ(wire.size(), kRequestHeaderSize + in.payload.size());
+  RequestParser p;
+  EXPECT_TRUE(p.feed(wire));
+  const auto out = p.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->trace_id, 0u);
+  EXPECT_EQ(out->payload, in.payload);
+}
+
+TEST(ServerFrameTrace, LengthShorterThanExtensionIsBadTrace) {
+  // Flags claim a trace id but length says fewer than 8 bytes follow: a
+  // malformed frame, rejected at the header (kBadTrace), never buffered.
+  RequestFrame in;
+  in.opcode = Opcode::kPing;
+  in.flags = kFlagTraced;
+  in.trace_id = 7;
+  auto wire = encode_request(in);
+  wire[16] = 4;  // length: 4 < trace_extension_size
+  wire.resize(kRequestHeaderSize + 4);
+  RequestParser p;
+  p.feed(wire);
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_EQ(p.error(), ParseError::kBadTrace);
+  EXPECT_STREQ(parse_error_name(p.error()), "short trace extension");
+}
+
+TEST(ServerFrameTrace, ResponseShortExtensionIsBadTrace) {
+  ResponseFrame in;
+  in.flags = kFlagTraced;
+  in.trace_id = 7;
+  auto wire = encode_response(in);
+  wire[20] = 0;  // length 0 < 8
+  wire.resize(kResponseHeaderSize);
+  ResponseParser p;
+  p.feed(wire);
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_EQ(p.error(), ParseError::kBadTrace);
+}
+
+TEST(ServerFrameTrace, ByteAtATimeTracedFrame) {
+  RequestFrame in = sample_request();
+  in.flags |= kFlagTraced;
+  in.trace_id = 0xFEEDFACE12345678ull;
+  const auto wire = encode_request(in);
+  RequestParser p;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    EXPECT_TRUE(p.feed(std::span(wire).subspan(i, 1)));
+    EXPECT_FALSE(p.next().has_value());
+  }
+  EXPECT_TRUE(p.feed(std::span(wire).last(1)));
+  const auto out = p.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->trace_id, in.trace_id);
+  EXPECT_EQ(out->payload, in.payload);
+}
+
+TEST(ServerFrameTrace, GateSeesWirePayloadLengthIncludingExtension) {
+  // The admission gate runs at the header, where only the wire length is
+  // known — it must see payload + 8 so inflight accounting matches what the
+  // transport later releases.
+  RequestFrame in = sample_request();
+  in.flags |= kFlagTraced;
+  in.trace_id = 99;
+  const auto wire = encode_request(in);
+  std::uint32_t gate_len = 0;
+  RequestParser p;
+  p.set_gate([&gate_len](const RequestFrame&, std::uint32_t len) {
+    gate_len = len;
+    return true;
+  });
+  EXPECT_TRUE(p.feed(wire));
+  ASSERT_TRUE(p.next().has_value());
+  EXPECT_EQ(gate_len, in.payload.size() + 8);
+  EXPECT_EQ(gate_len, in.payload.size() + trace_extension_size(in.flags));
+}
+
 }  // namespace
 }  // namespace lzss::server

@@ -13,6 +13,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <optional>
+#include <string_view>
 #include <thread>
 
 #include "common/checksum.hpp"
@@ -22,6 +23,7 @@
 #include "fault/fault.hpp"
 #include "lzss/raw_container.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "server/retry.hpp"
 #include "server/service.hpp"
 #include "server/tcp.hpp"
@@ -644,6 +646,189 @@ TEST(ServerTcp, EndToEndOverRealSockets) {
 
   server.stop();
   server_thread.join();
+}
+
+// --- Request-scoped tracing --------------------------------------------------
+
+TEST(ServerServiceTrace, ClientTraceIdIsEchoedAndTreeRecorded) {
+  obs::TraceRing ring(1024);
+  ServiceConfig cfg = small_config();
+  cfg.trace = &ring;
+  cfg.trace_sample = 0;  // only client-forced traces
+  Service service(cfg);
+  LoopbackClient client(service);
+
+  RequestFrame req = compress_request(5, wl::make_corpus("wiki", 8 * 1024));
+  req.flags |= kFlagTraced;
+  req.trace_id = 0x5EED5EED5EED5EEDull;
+  const auto resp = client.call(req);
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.trace_id, req.trace_id);
+
+  const auto tree = ring.events_for(req.trace_id);
+  ASSERT_GE(tree.size(), 2u);  // at least opcode span + request root
+  // Exactly one root, and every non-root parents onto a span in the tree.
+  std::size_t roots = 0;
+  for (const auto& e : tree) {
+    if (e.parent_id == 0) {
+      ++roots;
+      EXPECT_STREQ(e.name, "request.compress");
+      EXPECT_STREQ(e.tag, "OK");
+    } else {
+      bool found = false;
+      for (const auto& p : tree) found = found || p.span_id == e.parent_id;
+      EXPECT_TRUE(found) << e.name;
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+}
+
+TEST(ServerServiceTrace, SamplingAssignsIdsWithoutClientOptIn) {
+  obs::TraceRing ring(1024);
+  ServiceConfig cfg = small_config();
+  cfg.trace = &ring;
+  cfg.trace_sample = 1;  // trace everything
+  Service service(cfg);
+  LoopbackClient client(service);
+
+  const auto resp = client.call(compress_request(1, wl::make_corpus("wiki", 4096)));
+  ASSERT_EQ(resp.status, Status::kOk);
+  // The wire response carries no trace extension (the client never set
+  // kFlagTraced, and old clients must see byte-identical responses) ...
+  EXPECT_EQ(resp.trace_id, 0u);
+  // ... but the server still recorded a full tree under a self-assigned id.
+  std::uint64_t sampled_id = 0;
+  for (const auto& e : ring.events()) {
+    if (e.parent_id == 0 && std::string_view(e.name) == "request.compress")
+      sampled_id = e.trace_id;
+  }
+  ASSERT_NE(sampled_id, 0u);
+  EXPECT_GE(ring.events_for(sampled_id).size(), 2u);
+}
+
+TEST(ServerServiceTrace, UnsampledRequestsStayUntraced) {
+  obs::TraceRing ring(1024);
+  ServiceConfig cfg = small_config();
+  cfg.trace = &ring;
+  cfg.trace_sample = 0;
+  Service service(cfg);
+  LoopbackClient client(service);
+  const auto resp = client.call(compress_request(1, wl::make_corpus("wiki", 4096)));
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.trace_id, 0u);
+  // Spans still record (flat), but no request root exists.
+  for (const auto& e : ring.events()) EXPECT_EQ(e.trace_id, 0u);
+}
+
+TEST(ServerServiceTrace, BlockFanoutYieldsFourDeepTree) {
+  obs::TraceRing ring(4096);
+  ServiceConfig cfg = small_config();
+  cfg.trace = &ring;
+  cfg.trace_sample = 0;
+  cfg.block_bytes = 16 * 1024;  // several blocks from a small corpus
+  Service service(cfg);
+  LoopbackClient client(service);
+
+  RequestFrame req;
+  req.id = 9;
+  req.opcode = Opcode::kCompressBlocked;
+  req.flags = kFlagTraced;
+  req.trace_id = 0xB10CB10CB10CB10Cull;
+  req.payload = wl::make_corpus("mixed", 64 * 1024);
+  const auto resp = client.call(req);
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.trace_id, req.trace_id);
+
+  // Walk the tree: engine.encode -> container_block -> compress_blocked ->
+  // request.compress_blocked must chain to depth >= 4.
+  const auto tree = ring.events_for(req.trace_id);
+  std::size_t max_depth = 0;
+  for (const auto& e : tree) {
+    std::size_t depth = 1;
+    std::uint64_t parent = e.parent_id;
+    while (parent != 0) {
+      for (const auto& p : tree) {
+        if (p.span_id == parent) {
+          parent = p.parent_id;
+          ++depth;
+          goto next_hop;
+        }
+      }
+      break;  // parent not in ring (overwritten) — stop counting
+    next_hop:;
+    }
+    max_depth = std::max(max_depth, depth);
+  }
+  EXPECT_GE(max_depth, 4u) << tree.size() << " spans in tree";
+  bool saw_block = false, saw_engine = false;
+  for (const auto& e : tree) {
+    saw_block = saw_block || std::string_view(e.name) == "container_block";
+    saw_engine = saw_engine || std::string_view(e.name) == "engine.encode";
+  }
+  EXPECT_TRUE(saw_block);
+  EXPECT_TRUE(saw_engine);
+}
+
+TEST(ServerServiceTrace, SlowRequestsAreCopiedToKeepRing) {
+  obs::TraceRing ring(1024);
+  obs::TraceRing slow(64);
+  ServiceConfig cfg = small_config();
+  cfg.trace = &ring;
+  cfg.trace_sample = 0;
+  cfg.slow_trace = &slow;
+  cfg.slow_trace_us = 1;  // every traced request is "slow"
+  Service service(cfg);
+  LoopbackClient client(service);
+
+  RequestFrame req = compress_request(3, wl::make_corpus("wiki", 8 * 1024));
+  req.flags |= kFlagTraced;
+  req.trace_id = 0x510051005100510Full;
+  ASSERT_EQ(client.call(req).status, Status::kOk);
+
+  const auto kept = slow.events_for(req.trace_id);
+  ASSERT_GE(kept.size(), 2u);
+  // The keep-ring copy includes the request root (recorded before the copy).
+  bool has_root = false;
+  for (const auto& e : kept) has_root = has_root || e.parent_id == 0;
+  EXPECT_TRUE(has_root);
+
+  // Fast path untouched: a threshold of 0 disables the flight recorder.
+  obs::TraceRing slow2(64);
+  ServiceConfig cfg2 = small_config();
+  cfg2.trace = &ring;
+  cfg2.trace_sample = 0;
+  cfg2.slow_trace = &slow2;
+  cfg2.slow_trace_us = 0;
+  Service service2(cfg2);
+  LoopbackClient client2(service2);
+  RequestFrame req2 = compress_request(4, wl::make_corpus("wiki", 4096));
+  req2.flags |= kFlagTraced;
+  req2.trace_id = 0xAAAA5555AAAA5555ull;
+  ASSERT_EQ(client2.call(req2).status, Status::kOk);
+  EXPECT_TRUE(slow2.events().empty());
+}
+
+TEST(ServerServiceTrace, TracedRequestSetsHistogramExemplar) {
+  obs::Registry registry;
+  obs::TraceRing ring(1024);
+  ServiceConfig cfg = small_config();
+  cfg.registry = &registry;
+  cfg.trace = &ring;
+  cfg.trace_sample = 0;
+  Service service(cfg);
+  LoopbackClient client(service);
+
+  RequestFrame req = compress_request(8, wl::make_corpus("wiki", 4096));
+  req.flags |= kFlagTraced;
+  req.trace_id = 0xE7E7E7E7E7E7E7E7ull;
+  ASSERT_EQ(client.call(req).status, Status::kOk);
+
+  const auto snap = registry.snapshot();
+  const obs::Sample* s = snap.find("server_latency_us", "compress");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->exemplar_trace_id, req.trace_id);
+  const std::string text = snap.to_prometheus();
+  EXPECT_NE(text.find("# {trace_id=\"e7e7e7e7e7e7e7e7\"}"), std::string::npos);
 }
 
 }  // namespace

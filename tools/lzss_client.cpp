@@ -23,6 +23,10 @@
 //     --retries <n>       extra attempts after BUSY/DEADLINE_EXCEEDED or a
 //                         transport error (default 4; 0 disables retry)
 //     --retry-base-ms <m> first backoff step, doubled per retry w/ jitter
+//     --trace        attach a fresh trace id to the request (kFlagTraced wire
+//                    extension); the server traces it end to end and echoes
+//                    the id, printed as `trace <id>` on stderr — look it up
+//                    with `curl http://127.0.0.1:<http-port>/trace`
 //
 // Exit codes: 0 success, 1 failure (server error answer, verification
 // mismatch), 2 usage, 3 connection error after all retries (connect refused,
@@ -33,10 +37,12 @@
 // container locally, byte-compares against the original file, and checks the
 // server-computed Adler-32 — the same guarantee the paper's zlib
 // compatibility claim rests on, but over the wire.
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -66,7 +72,7 @@ void write_file(const std::string& path, const std::vector<std::uint8_t>& data) 
 int usage() {
   std::fprintf(stderr,
                "usage: lzss_client [--host h] [--port p] [--raw] [--preset id] [-o out]\n"
-               "                   [--no-verify] [--retries n] [--retry-base-ms m]\n"
+               "                   [--no-verify] [--retries n] [--retry-base-ms m] [--trace]\n"
                "                   compress|compress-blocked|decompress|ping|stats [file]\n"
                "                   | log-append <file> | log-read <seq> | scrub [seg-id]\n"
                "                   | verify <file> | verify-seq <first[:count]>\n");
@@ -82,7 +88,7 @@ int main(int argc, char** argv) {
   unsigned port = 5555;
   unsigned preset = 0;
   unsigned retries = 4, retry_base_ms = 50;
-  bool raw = false, verify = true;
+  bool raw = false, verify = true, trace = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -104,6 +110,8 @@ int main(int argc, char** argv) {
       raw = true;
     } else if (arg == "--no-verify") {
       verify = false;
+    } else if (arg == "--trace") {
+      trace = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else if (op.empty()) {
@@ -123,6 +131,15 @@ int main(int argc, char** argv) {
     req.id = 1;
     req.flags = server::flags_with_preset(raw ? server::kFlagRawContainer : 0,
                                           static_cast<std::uint8_t>(preset));
+    if (trace) {
+      // A client-chosen id always wins over server-side sampling, so this
+      // request is traced end to end regardless of the daemon's sample rate.
+      std::random_device rd;
+      do {
+        req.trace_id = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+      } while (req.trace_id == 0);
+      req.flags |= server::kFlagTraced;
+    }
     if (op == "compress") {
       req.opcode = server::Opcode::kCompress;
       req.payload = read_file(file);
@@ -204,6 +221,13 @@ int main(int argc, char** argv) {
                      retries);
       }
       backoff.sleep(attempt);
+    }
+
+    if (trace) {
+      // The server echoes the id it actually traced under (ours, unless the
+      // request was shed before its payload — then the echo is 0).
+      std::fprintf(stderr, "trace %016" PRIx64 "%s\n", resp.trace_id,
+                   resp.trace_id == req.trace_id ? "" : " (server-assigned)");
     }
 
     if (resp.status != server::Status::kOk) {

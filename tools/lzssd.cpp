@@ -56,21 +56,39 @@
 //                               act = throw | fire | kill | corrupt |
 //                               delay:<ms> (docs/FAULTS.md; repeatable)
 //     --metrics-dump            print the full metrics registry (Prometheus
-//                               text exposition) on shutdown
+//                               text exposition) on shutdown and on SIGUSR1
 //     --trace-jsonl <path>      write the trace-span ring to <path> as JSONL
-//                               on shutdown
+//                               on shutdown and on SIGUSR1
+//     --http-port <p>           serve live telemetry over HTTP on 127.0.0.1:p
+//                               (0 picks an ephemeral port, printed at start):
+//                               GET /metrics /trace /trace/slow /events
+//                               /healthz (docs/OBSERVABILITY.md)
+//     --trace-sample <n>        trace every n-th request end to end (default
+//                               16; 1 = every request, 0 = only requests that
+//                               carry a client trace id)
+//     --slow-trace-ms <t>       copy the span tree of any request slower than
+//                               t ms into the keep-ring served at /trace/slow
+//                               (0 = off, default)
+//     --events-jsonl <path>     append structured events (evictions, brownout
+//                               transitions, compaction/scrub verdicts,
+//                               watchdog respawns) to <path> as JSONL
 //
-// Wire protocol: docs/SERVER.md. Stop with SIGINT/SIGTERM (clean drain).
+// Wire protocol: docs/SERVER.md. Stop with SIGINT/SIGTERM (clean drain);
+// SIGUSR1 dumps telemetry from the live daemon without stopping it.
 #include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "estimator/presets.hpp"
 #include "fault/fault.hpp"
+#include "obs/event_log.hpp"
+#include "obs/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "server/service.hpp"
@@ -81,10 +99,13 @@
 namespace {
 
 lzss::server::TcpServer* g_server = nullptr;
+std::atomic<bool> g_dump_requested{false};
 
 void handle_signal(int) {
   if (g_server != nullptr) g_server->stop();
 }
+
+void handle_dump_signal(int) { g_dump_requested.store(true); }
 
 int usage() {
   std::fprintf(stderr,
@@ -100,7 +121,9 @@ int usage() {
                "             [--inflight-budget-mb m] [--brownout-queue-wait-ms t]\n"
                "             [--drain-deadline-ms t]\n"
                "             [--arm-fault point=action[:ms]]\n"
-               "             [--metrics-dump] [--trace-jsonl path]\n");
+               "             [--metrics-dump] [--trace-jsonl path]\n"
+               "             [--http-port p] [--trace-sample n] [--slow-trace-ms t]\n"
+               "             [--events-jsonl path]\n");
   return 2;
 }
 
@@ -152,6 +175,9 @@ int main(int argc, char** argv) {
   tcp_cfg.drain_deadline_ms = 2000;  // daemon default: bounded graceful drain
   bool metrics_dump = false;
   std::string trace_path;
+  int http_port = -1;  // -1 = sidecar off
+  unsigned slow_trace_ms = 0;
+  std::string events_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -220,11 +246,19 @@ int main(int argc, char** argv) {
       metrics_dump = true;
     } else if (arg == "--trace-jsonl" && (v = next()) != nullptr) {
       trace_path = v;
+    } else if (arg == "--http-port" && (v = next()) != nullptr) {
+      http_port = std::atoi(v);
+    } else if (arg == "--trace-sample" && (v = next()) != nullptr) {
+      cfg.trace_sample = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--slow-trace-ms" && (v = next()) != nullptr) {
+      slow_trace_ms = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--events-jsonl" && (v = next()) != nullptr) {
+      events_path = v;
     } else {
       return usage();
     }
   }
-  if (port > 65535) return usage();
+  if (port > 65535 || http_port > 65535) return usage();
 
   try {
     cfg.hw = est::preset_by_name(preset).config;
@@ -234,8 +268,19 @@ int main(int argc, char** argv) {
     // service so it outlives both.
     obs::Registry registry;
     obs::TraceRing trace(8192);
+    // Slow-request keep-ring: finish() copies the full span tree of any
+    // request over the threshold here, out of the main ring's churn.
+    obs::TraceRing slow_trace(1024);
+    obs::EventLog events;
+    if (!events_path.empty() && !events.open_jsonl(events_path))
+      std::fprintf(stderr, "lzssd: cannot append events to %s\n", events_path.c_str());
     cfg.registry = &registry;
     cfg.trace = &trace;
+    cfg.slow_trace = &slow_trace;
+    cfg.slow_trace_us = static_cast<std::uint64_t>(slow_trace_ms) * 1000;
+    cfg.events = &events;
+    tcp_cfg.events = &events;
+    maint_cfg.events = &events;
     // Declared before the service so it outlives the worker drain in
     // Service::~Service (queued LOG_APPENDs may still touch the store).
     std::unique_ptr<store::LogStore> log_store;
@@ -264,10 +309,60 @@ int main(int argc, char** argv) {
       }
     }
 
+    // The scrape plane: live telemetry without touching the data port.
+    // Declared after everything its handlers read (registry, rings, events)
+    // so destruction stops the sidecar thread first.
+    std::unique_ptr<obs::HttpSidecar> http;
+    if (http_port >= 0) {
+      http = std::make_unique<obs::HttpSidecar>(static_cast<std::uint16_t>(http_port));
+      http->handle("/metrics", "text/plain; version=0.0.4",
+                   [&registry] { return registry.snapshot().to_prometheus(); });
+      http->handle("/trace", "application/x-ndjson", [&trace] { return trace.to_jsonl(); });
+      http->handle("/trace/slow", "application/x-ndjson",
+                   [&slow_trace] { return slow_trace.to_jsonl(); });
+      http->handle("/events", "application/x-ndjson",
+                   [&events] { return events.recent_jsonl(); });
+      http->handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+      http->start();
+    }
+
     server::TcpServer tcp(service, static_cast<std::uint16_t>(port), tcp_cfg);
     g_server = &tcp;
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
+    std::signal(SIGUSR1, handle_dump_signal);
+
+    // Shared by the SIGUSR1 dump thread and the shutdown path: Prometheus
+    // text to stdout (--metrics-dump), trace ring to --trace-jsonl's path.
+    const auto dump_telemetry = [&] {
+      if (metrics_dump) {
+        const std::string text = registry.snapshot().to_prometheus();
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        std::fflush(stdout);
+      }
+      if (!trace_path.empty()) {
+        const std::string jsonl = trace.to_jsonl();
+        std::FILE* f = std::fopen(trace_path.c_str(), "wb");
+        if (f == nullptr) {
+          std::fprintf(stderr, "lzssd: cannot write %s\n", trace_path.c_str());
+        } else {
+          std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+          std::fclose(f);
+          std::printf("trace: %" PRIu64 " spans recorded, last %zu written to %s\n",
+                      trace.recorded(), trace.events().size(), trace_path.c_str());
+          std::fflush(stdout);
+        }
+      }
+    };
+    // Signal handlers must stay async-signal-safe, so SIGUSR1 only flips an
+    // atomic; this thread does the actual (allocating, locking) dump work.
+    std::atomic<bool> dump_stop{false};
+    std::thread dump_thread([&] {
+      while (!dump_stop.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        if (g_dump_requested.exchange(false)) dump_telemetry();
+      }
+    });
 
     std::printf("lzssd listening on port %u (%u engines, queue depth %zu, preset %s)\n",
                 static_cast<unsigned>(tcp.port()), cfg.workers, cfg.queue_depth,
@@ -279,9 +374,17 @@ int main(int argc, char** argv) {
                 tcp_cfg.write_stall_timeout_ms, tcp_cfg.max_write_buf_bytes,
                 tcp_cfg.max_inflight_bytes, tcp_cfg.brownout_queue_wait_us,
                 tcp_cfg.drain_deadline_ms);
+    if (http)
+      std::printf("telemetry on http://127.0.0.1:%u "
+                  "(/metrics /trace /trace/slow /events /healthz)\n",
+                  static_cast<unsigned>(http->port()));
+    std::printf("tracing: sample 1/%u, slow-trace %u ms (0 = off)\n", cfg.trace_sample,
+                slow_trace_ms);
     std::fflush(stdout);
 
     tcp.run();
+    dump_stop.store(true);
+    dump_thread.join();
 
     const auto stats = service.snapshot();
     std::printf("lzssd shutting down\n%s", stats.render().c_str());
@@ -301,22 +404,10 @@ int main(int argc, char** argv) {
                   " bytes, %" PRIu64 " segments\n",
                   ss.appends, ss.fsyncs, ss.bytes_in, ss.bytes_stored, ss.segments);
     }
-    if (metrics_dump) {
-      const std::string text = registry.snapshot().to_prometheus();
-      std::fwrite(text.data(), 1, text.size(), stdout);
-    }
-    if (!trace_path.empty()) {
-      const std::string jsonl = trace.to_jsonl();
-      std::FILE* f = std::fopen(trace_path.c_str(), "wb");
-      if (f == nullptr) {
-        std::fprintf(stderr, "lzssd: cannot write %s\n", trace_path.c_str());
-      } else {
-        std::fwrite(jsonl.data(), 1, jsonl.size(), f);
-        std::fclose(f);
-        std::printf("trace: %" PRIu64 " spans recorded, last %zu written to %s\n",
-                    trace.recorded(), trace.events().size(), trace_path.c_str());
-      }
-    }
+    if (events.emitted() != 0 || events.dropped() != 0)
+      std::printf("events: %" PRIu64 " emitted, %" PRIu64 " rate-limited\n", events.emitted(),
+                  events.dropped());
+    dump_telemetry();
     g_server = nullptr;
     return 0;
   } catch (const std::exception& e) {
