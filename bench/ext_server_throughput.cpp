@@ -22,6 +22,10 @@
 // `--trace-overhead`): aggregate compress throughput with request tracing
 // off, sampled at the default 1/16, and always-on — what the span plumbing
 // costs at the wire, as an overhead percentage against the untraced run.
+// An eighth (also in the default artifact, standalone behind
+// `--matchfinder`): ratio and MB/s of each software match-finder backend
+// (hash chain / suffix array / greedy) over every workload corpus, with the
+// match-length comparer pinned to scalar vs the best SIMD ISA on this host.
 //
 // Besides the human tables, the default run writes BENCH_server.json
 // (override with `--json <path>`): the sweep rows plus a full STATS-opcode
@@ -44,6 +48,9 @@
 #include <vector>
 
 #include "common/prng.hpp"
+#include "deflate/encoder.hpp"
+#include "lzss/mf_encoder.hpp"
+#include "lzss/simd_compare.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "server/retry.hpp"
@@ -417,6 +424,87 @@ void print_overload_tables() {
   }
 }
 
+/// Times one MatchFinderEncoder pass over @p data with the comparer pinned
+/// to @p isa; best-of-@p reps MB/s plus the token stream of the last pass.
+double time_encode(const core::MatchParams& p, const std::vector<std::uint8_t>& data,
+                   core::simd::CompareIsa isa, int reps, std::vector<core::Token>* tokens) {
+  core::simd::force_isa(isa);
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    core::MatchFinderEncoder enc(p);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto t = enc.encode(data);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    best = std::max(best, secs > 0 ? static_cast<double>(data.size()) / secs / 1e6 : 0.0);
+    if (tokens != nullptr && r == reps - 1) *tokens = std::move(t);
+  }
+  return best;
+}
+
+/// Prints the per-backend ratio/throughput matrix over every workload corpus,
+/// with the comparer pinned to scalar and to the best ISA this host has —
+/// the A/B that shows what the vector match-length comparer buys each
+/// backend. Returns the rows as a JSON array for the artifact.
+std::string matchfinder_sweep() {
+  const std::size_t bytes = 256 * 1024;
+  const int reps = 3;
+  const auto best = core::simd::best_isa();
+  std::printf(
+      "\n-- match-finder backends: 256 KiB one-shot encode per cell, best of %d\n"
+      "   (comparer pinned to scalar vs %s; ratio = fixed-Huffman bits / input) --\n",
+      reps, core::simd::isa_name(best));
+  std::printf("%-12s %-12s %8s %14s %14s %9s\n", "backend", "corpus", "ratio",
+              "scalar MB/s", "simd MB/s", "speedup");
+  std::string json = "[";
+  char jbuf[256];
+  bool first = true;
+  for (const auto kind : {core::MatchFinderKind::kHashChain, core::MatchFinderKind::kSuffixArray,
+                          core::MatchFinderKind::kGreedy}) {
+    core::MatchParams p = core::MatchParams::speed_optimized();
+    p.finder = kind;
+    for (const auto& name : wl::corpus_names()) {
+      const auto& data = bench::cached_corpus(name, bytes);
+      std::vector<core::Token> tokens;
+      const double scalar_mb_s =
+          time_encode(p, data, core::simd::CompareIsa::kScalar, reps, nullptr);
+      const double simd_mb_s = time_encode(p, data, best, reps, &tokens);
+      const double ratio = data.empty()
+                               ? 0.0
+                               : static_cast<double>((deflate::fixed_block_bits(tokens) + 7) / 8) /
+                                     static_cast<double>(data.size());
+      std::printf("%-12s %-12s %8.4f %14.2f %14.2f %8.2fx\n", core::finder_name(kind),
+                  name.c_str(), ratio, scalar_mb_s, simd_mb_s,
+                  scalar_mb_s > 0 ? simd_mb_s / scalar_mb_s : 0.0);
+      std::snprintf(jbuf, sizeof(jbuf),
+                    "%s{\"backend\":\"%s\",\"corpus\":\"%s\",\"ratio\":%.4f,"
+                    "\"scalar_mb_s\":%.2f,\"simd_mb_s\":%.2f,\"simd_isa\":\"%s\"}",
+                    first ? "" : ",", core::finder_name(kind), name.c_str(), ratio, scalar_mb_s,
+                    simd_mb_s, core::simd::isa_name(best));
+      json += jbuf;
+      first = false;
+    }
+  }
+  core::simd::force_isa(best);  // leave the process on the fast path
+  json += "]";
+  return json;
+}
+
+/// `--matchfinder`: just the backend sweep, written as its own JSON artifact.
+void print_matchfinder_tables() {
+  bench::print_title("EXTENSION — MATCH-FINDER BACKENDS x WORKLOADS",
+                     "ratio and MB/s per backend, scalar vs SIMD match-length comparer");
+  std::string json = "{\"bench\":\"server_matchfinder\",\"matchfinder_sweep\":";
+  json += matchfinder_sweep();
+  json += "}\n";
+  std::FILE* jf = std::fopen(g_json_path.c_str(), "wb");
+  if (jf != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), jf);
+    std::fclose(jf);
+    std::printf("\nwrote %s\n", g_json_path.c_str());
+  }
+}
+
 void print_tables() {
   bench::print_title("EXTENSION — COMPRESSION SERVICE UNDER LOAD (loopback transport)",
                      "N loadgen threads x 64 KiB compress requests, full wire path");
@@ -573,6 +661,10 @@ void print_tables() {
   // What the span plumbing costs: tracing off / sampled 1/16 / always-on.
   json += ",\"trace_overhead\":";
   json += trace_overhead_sweep(corpus);
+
+  // Software match-finder backends x workloads, scalar vs SIMD comparer.
+  json += ",\"matchfinder_sweep\":";
+  json += matchfinder_sweep();
 
   // The STATS payload is already JSON ({"service":...,"metrics":[...]}) —
   // embed it verbatim.
@@ -853,6 +945,7 @@ int main(int argc, char** argv) {
   bool maintenance = false;
   bool overload = false;
   bool trace_overhead = false;
+  bool matchfinder = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--durable") == 0) {
@@ -863,6 +956,8 @@ int main(int argc, char** argv) {
       overload = true;
     } else if (std::strcmp(argv[i], "--trace-overhead") == 0) {
       trace_overhead = true;
+    } else if (std::strcmp(argv[i], "--matchfinder") == 0) {
+      matchfinder = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       g_json_path = argv[++i];
     } else {
@@ -871,7 +966,8 @@ int main(int argc, char** argv) {
   }
   argc = out;
   return lzss::bench::run_bench_main(argc, argv,
-                                     trace_overhead ? print_trace_overhead_tables
+                                     matchfinder    ? print_matchfinder_tables
+                                     : trace_overhead ? print_trace_overhead_tables
                                      : overload     ? print_overload_tables
                                      : maintenance  ? print_maintenance_tables
                                      : durable      ? print_durable_tables

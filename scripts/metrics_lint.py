@@ -8,7 +8,7 @@ The conventions (docs/OBSERVABILITY.md "Naming"):
   * gauges never claim to be counters (no `_total`); a unit suffix like
     `_bytes` is fine — it names what is measured, not how it accumulates
   * label KEYS come from a fixed vocabulary so dashboards never chase a
-    renamed dimension: kind, op, opcode, point, reason, state, status
+    renamed dimension: backend, kind, op, opcode, point, reason, state, status
   * label VALUES are printable, non-empty, and free of raw control bytes
     (the renderer escapes them; a raw newline here means the escaper broke)
   * exemplars (`# {trace_id="<16 hex>"} <value>`) appear only on histogram
@@ -24,7 +24,7 @@ Exit status: 0 clean, 1 violations (each printed to stderr), 2 usage/IO.
 import re
 import sys
 
-LABEL_VOCABULARY = {"kind", "op", "opcode", "point", "reason", "state", "status"}
+LABEL_VOCABULARY = {"backend", "kind", "op", "opcode", "point", "reason", "state", "status"}
 COUNTER_SUFFIX = "_total"
 HISTOGRAM_SUFFIXES = ("_us", "_bytes")
 

@@ -1,0 +1,164 @@
+// Suffix-array MatchFinder backend.
+//
+// seed() builds, per block: a suffix array (prefix-doubling, O(n log^2 n)),
+// its inverse, and the Kasai LCP array (O(n), extension loop vectorized via
+// the SIMD comparer). find_longest_match() then needs no byte compares at
+// all: the longest previous match for position p is found by walking rank
+// neighbors of isa[p] in both directions, maintaining the running-minimum
+// LCP, and keeping the nearest earlier position whose running LCP beats the
+// best so far. The walk stops as soon as the running LCP can no longer
+// improve the answer, so per-position cost is bounded by a small step budget
+// while worst-case inputs (long runs, periodic data) that explode hash
+// chains cost the same as any other block — the trade Ferreira et al.
+// (arXiv:0912.5449) make for LZ factorization.
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "lzss/match_finder.hpp"
+#include "lzss/simd_compare.hpp"
+#include "lzss/token.hpp"
+
+namespace lzss::core {
+namespace {
+
+class SuffixArrayFinder final : public MatchFinder {
+ public:
+  explicit SuffixArrayFinder(const MatchParams& params) : params_(params) {}
+
+  [[nodiscard]] MatchFinderKind kind() const noexcept override {
+    return MatchFinderKind::kSuffixArray;
+  }
+
+  void seed(std::span<const std::uint8_t> block) override {
+    in_ = block;
+    build_suffix_array();
+    build_lcp();
+    ++stats_.seeds;
+  }
+
+  [[nodiscard]] MatchCandidate find_longest_match(std::uint64_t pos,
+                                                  std::uint32_t best_so_far) override {
+    const std::size_t n = in_.size();
+    assert(pos + kMinMatch <= n);
+    const std::uint32_t max_len =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(kMaxMatch, n - pos));
+    if (max_len < kMinMatch) return {};
+
+    const std::uint32_t nice = std::min<std::uint32_t>(params_.nice_length, max_len);
+    const std::uint64_t max_dist = params_.max_distance();
+    MatchCandidate best{};
+    std::uint32_t best_len = std::max(best_so_far, kMinMatch - 1);
+
+    // Walk rank neighbors; the LCP of sa[r] with a rank i is the running
+    // minimum of the lcp_ entries between them, so it only ever decreases —
+    // break as soon as it cannot beat best_len.
+    const std::uint32_t r = isa_[pos];
+    std::uint32_t running = ~0u;
+    for (std::uint32_t i = r, steps = 0; i > 0 && steps < kStepBudget; --i, ++steps) {
+      running = std::min(running, lcp_[i]);
+      if (running <= best_len) break;
+      ++stats_.probes;
+      const std::uint32_t cand = sa_[i - 1];
+      if (cand < pos && pos - cand <= max_dist) {
+        const std::uint32_t len = std::min(running, max_len);
+        if (len > best_len) {
+          best_len = len;
+          best = {len, static_cast<std::uint32_t>(pos - cand)};
+          if (len >= nice) return best;
+        }
+      }
+    }
+    running = ~0u;
+    for (std::uint32_t i = r + 1, steps = 0;
+         i < static_cast<std::uint32_t>(n) && steps < kStepBudget; ++i, ++steps) {
+      running = std::min(running, lcp_[i]);
+      if (running <= best_len) break;
+      ++stats_.probes;
+      const std::uint32_t cand = sa_[i];
+      if (cand < pos && pos - cand <= max_dist) {
+        const std::uint32_t len = std::min(running, max_len);
+        if (len > best_len) {
+          best_len = len;
+          best = {len, static_cast<std::uint32_t>(pos - cand)};
+          if (len >= nice) return best;
+        }
+      }
+    }
+    return best;
+  }
+
+  // The SA indexes every position up front; skipped positions need no work.
+  void advance(std::uint64_t, std::uint32_t) override {}
+
+ private:
+  // Per-direction neighbor budget. Ranks adjacent to isa[pos] share the
+  // longest prefixes, so the best candidate is almost always within a few
+  // steps; the budget only caps pathological blocks where many equal-prefix
+  // suffixes all fail the distance filter.
+  static constexpr std::uint32_t kStepBudget = 32;
+
+  void build_suffix_array() {
+    const std::size_t n = in_.size();
+    sa_.resize(n);
+    isa_.resize(n);
+    if (n == 0) return;
+    std::iota(sa_.begin(), sa_.end(), 0u);
+    std::vector<std::int64_t> rank(n), next(n);
+    for (std::size_t i = 0; i < n; ++i) rank[i] = in_[i];
+
+    for (std::size_t k = 1;; k *= 2) {
+      auto key = [&](std::uint32_t s) {
+        return std::pair<std::int64_t, std::int64_t>{rank[s],
+                                                     s + k < n ? rank[s + k] : -1};
+      };
+      std::sort(sa_.begin(), sa_.end(),
+                [&](std::uint32_t a, std::uint32_t b) { return key(a) < key(b); });
+      next[sa_[0]] = 0;
+      for (std::size_t i = 1; i < n; ++i) {
+        next[sa_[i]] = next[sa_[i - 1]] + (key(sa_[i - 1]) < key(sa_[i]) ? 1 : 0);
+      }
+      rank.swap(next);
+      if (rank[sa_[n - 1]] == static_cast<std::int64_t>(n - 1)) break;
+    }
+    for (std::size_t i = 0; i < n; ++i) isa_[sa_[i]] = static_cast<std::uint32_t>(i);
+  }
+
+  // Kasai: lcp_[i] = LCP(suffix sa_[i-1], suffix sa_[i]); lcp_[0] = 0.
+  void build_lcp() {
+    const std::size_t n = in_.size();
+    lcp_.assign(n, 0);
+    std::size_t h = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (isa_[i] == 0) {
+        h = 0;
+        continue;
+      }
+      const std::size_t j = sa_[isa_[i] - 1];
+      const std::size_t bound = n - std::max(i, j);
+      if (h < bound) {
+        const std::size_t ext =
+            simd::match_length(in_.data() + i + h, in_.data() + j + h, bound - h);
+        h += ext;
+        stats_.compare_bytes += ext;
+      }
+      lcp_[isa_[i]] = static_cast<std::uint32_t>(h);
+      if (h > 0) --h;
+    }
+  }
+
+  MatchParams params_;
+  std::span<const std::uint8_t> in_;
+  std::vector<std::uint32_t> sa_;   // rank -> position
+  std::vector<std::uint32_t> isa_;  // position -> rank
+  std::vector<std::uint32_t> lcp_;  // lcp_[i] = LCP(sa_[i-1], sa_[i])
+};
+
+}  // namespace
+
+std::unique_ptr<MatchFinder> make_suffix_array_finder(const MatchParams& params) {
+  return std::make_unique<SuffixArrayFinder>(params);
+}
+
+}  // namespace lzss::core

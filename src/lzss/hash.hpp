@@ -36,8 +36,13 @@ struct HashSpec {
         return h & mask();
       }
       case HashKind::kMultiplicative: {
+        // Canonical Fibonacci form: multiply, then keep the TOP `bits` bits.
+        // The shift alone already narrows to `bits` bits, so no mask — and
+        // the degenerate table sizes shift out of range instead of into UB.
         const std::uint32_t packed = (std::uint32_t{b0} << 16) | (std::uint32_t{b1} << 8) | b2;
-        return (packed * 2654435761u) >> (32 - bits) & mask();
+        const std::uint32_t mixed = packed * 2654435761u;
+        if (bits == 0) return 0;
+        return bits >= 32 ? mixed : mixed >> (32u - bits);
       }
     }
     return 0;  // unreachable

@@ -34,7 +34,7 @@ void IncrementalEncoder::slide_window() {
 void IncrementalEncoder::process(std::vector<Token>& out, std::uint32_t min_lookahead) {
   const std::uint32_t w = params_.window_size();
   while (strstart_ < buffered_ && buffered_ - strstart_ >= min_lookahead) {
-    if (strstart_ >= 2 * w - kMinLookahead) slide_window();
+    if (strstart_ >= slide_threshold()) slide_window();
     const std::uint32_t lookahead = buffered_ - strstart_;
 
     std::uint32_t best_len = 0, best_dist = 0;
@@ -85,9 +85,19 @@ void IncrementalEncoder::feed(std::span<const std::uint8_t> chunk, std::vector<T
     if (buffered_ == buf_.size()) {
       // With a full buffer, processing drains until the lookahead is below
       // MIN_LOOKAHEAD, which puts strstart_ past the slide threshold; the
-      // explicit slide then frees a whole window for the next copy.
+      // explicit slide then frees a whole window for the next copy. For
+      // windows smaller than MIN_LOOKAHEAD that drain can stop with
+      // strstart_ still inside the first window half, where sliding would
+      // underflow — drain to the end instead (process slides internally
+      // once strstart_ clears the threshold).
       process(out, kMinLookahead);
-      if (buffered_ == buf_.size()) slide_window();
+      if (buffered_ == buf_.size()) {
+        if (strstart_ >= params_.window_size()) {
+          slide_window();
+        } else {
+          process(out, 1);
+        }
+      }
     }
     const std::size_t n = std::min<std::size_t>(buf_.size() - buffered_, chunk.size() - i);
     std::memcpy(buf_.data() + buffered_, chunk.data() + i, n);

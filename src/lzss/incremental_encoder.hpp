@@ -47,8 +47,20 @@ class IncrementalEncoder {
   static constexpr std::uint32_t kNil = 0;          // position 0 sacrificed, like zlib
   static constexpr std::uint32_t kMinLookahead = 262;  // MAX_MATCH + MIN_MATCH + 1
 
+  /// Largest match distance the sliding pipeline may emit. zlib's W -
+  /// MIN_LOOKAHEAD, except that for windows of MIN_LOOKAHEAD bytes or fewer
+  /// (window_bits <= 8) that difference wraps below zero — the unsigned
+  /// underflow made the filter accept any distance, including ones too big
+  /// for the D field. Halving the window keeps such toy windows usable.
   [[nodiscard]] std::uint32_t max_dist() const noexcept {
-    return params_.window_size() - kMinLookahead;
+    const std::uint32_t w = params_.window_size();
+    return w > kMinLookahead ? w - kMinLookahead : w / 2;
+  }
+  /// Slide once strstart_ clears a full window plus the usable distance
+  /// range; equals zlib's 2W - MIN_LOOKAHEAD for normal windows but never
+  /// drops below W (sliding with strstart_ < W underflowed strstart_ -= W).
+  [[nodiscard]] std::uint32_t slide_threshold() const noexcept {
+    return params_.window_size() + max_dist();
   }
   void insert(std::uint32_t pos);
   void slide_window();

@@ -1,0 +1,118 @@
+#include "lzss/match_finder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "lzss/simd_compare.hpp"
+#include "lzss/token.hpp"
+
+namespace lzss::core {
+
+std::unique_ptr<MatchFinder> make_suffix_array_finder(const MatchParams& params);
+std::unique_ptr<MatchFinder> make_greedy_finder(const MatchParams& params);
+
+namespace {
+
+// The zlib head/prev chain finder, extracted from SoftwareEncoder. Probe
+// order, chain bounds, and the tired-searcher/nice cutoffs are kept exactly
+// as in SoftwareEncoder::encode_fast + longest_match so the MatchFinderEncoder
+// over this backend emits a bit-identical token stream (pinned by
+// tests/test_match_finder.cpp); only the inner byte compare is routed through
+// the SIMD comparer.
+class HashChainFinder final : public MatchFinder {
+ public:
+  explicit HashChainFinder(const MatchParams& params) : params_(params) {
+    head_.assign(params_.hash.table_size(), kNil);
+    prev_.assign(params_.window_size(), kNil);
+  }
+
+  [[nodiscard]] MatchFinderKind kind() const noexcept override {
+    return MatchFinderKind::kHashChain;
+  }
+
+  void seed(std::span<const std::uint8_t> block) override {
+    in_ = block;
+    std::fill(head_.begin(), head_.end(), kNil);
+    std::fill(prev_.begin(), prev_.end(), kNil);
+    ++stats_.seeds;
+  }
+
+  [[nodiscard]] MatchCandidate find_longest_match(std::uint64_t pos,
+                                                  std::uint32_t best_so_far) override {
+    assert(pos + kMinMatch <= in_.size());
+    const std::uint64_t head = insert(pos);
+    if (head == kNil) return {};
+
+    const std::uint32_t max_len =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(kMaxMatch, in_.size() - pos));
+    if (max_len < kMinMatch) return {};
+
+    std::uint32_t chain_left = params_.max_chain;
+    if (best_so_far >= params_.good_length) chain_left >>= 2;  // zlib: tired searcher
+    const std::uint32_t nice = std::min<std::uint32_t>(params_.nice_length, max_len);
+    const std::uint64_t limit =
+        pos > params_.max_distance() ? pos - params_.max_distance() : 0;
+
+    MatchCandidate best{};
+    std::uint32_t best_len = std::max(best_so_far, kMinMatch - 1);
+    std::uint64_t cur = head;
+
+    while (cur != kNil && cur >= limit && cur < pos && chain_left-- > 0) {
+      ++stats_.probes;
+      const std::uint32_t len = static_cast<std::uint32_t>(
+          simd::match_length(in_.data() + cur, in_.data() + pos, max_len));
+      stats_.compare_bytes += std::min<std::uint32_t>(len + 1, max_len);
+      if (len > best_len) {
+        best_len = len;
+        best = {len, static_cast<std::uint32_t>(pos - cur)};
+        if (len >= nice) break;
+      }
+      const std::uint64_t prior = prev_[cur & (params_.window_size() - 1)];
+      if (prior != kNil && prior >= cur) break;  // chain entry overwritten by a newer position
+      cur = prior;
+    }
+    return best;
+  }
+
+  void advance(std::uint64_t pos, std::uint32_t covered) override {
+    // deflate_fast: index covered positions only for short matches
+    // (max_insert_length == max_lazy in fast mode).
+    if (covered > params_.max_lazy) return;
+    for (std::uint64_t k = pos + 1; k < pos + covered && k + kMinMatch <= in_.size(); ++k) {
+      insert(k);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kNil = ~std::uint64_t{0};
+
+  std::uint64_t insert(std::uint64_t pos) {
+    const std::uint32_t h = params_.hash.hash3(in_[pos], in_[pos + 1], in_[pos + 2]);
+    const std::uint64_t prior = head_[h];
+    prev_[pos & (params_.window_size() - 1)] = prior;
+    head_[h] = pos;
+    return prior;
+  }
+
+  MatchParams params_;
+  std::span<const std::uint8_t> in_;
+  std::vector<std::uint64_t> head_;
+  std::vector<std::uint64_t> prev_;
+};
+
+}  // namespace
+
+std::unique_ptr<MatchFinder> make_match_finder(MatchFinderKind kind, const MatchParams& params) {
+  switch (kind) {
+    case MatchFinderKind::kHashChain:
+      return std::make_unique<HashChainFinder>(params);
+    case MatchFinderKind::kSuffixArray:
+      return make_suffix_array_finder(params);
+    case MatchFinderKind::kGreedy:
+      return make_greedy_finder(params);
+  }
+  return std::make_unique<HashChainFinder>(params);
+}
+
+}  // namespace lzss::core

@@ -1,0 +1,76 @@
+// Pluggable match-finder backends for the software compressor.
+//
+// The paper's profiling (and our live hw_state_cycles_total{state="matching"}
+// census) shows match search dominates the compression hot path. This
+// interface splits "find the longest match" from "emit tokens" so the search
+// strategy can be swapped per request:
+//
+//   kHashChain    zlib-style head/prev chains — reproduces the exact probe
+//                 order of SoftwareEncoder's deflate_fast, so its token
+//                 stream is bit-identical to the baseline (pinned by test).
+//   kSuffixArray  per-block suffix array + inverse + Kasai LCP; matches are
+//                 found by an LCP-bounded walk of rank neighbors. Higher
+//                 seed cost, near-constant probe cost, best worst-case
+//                 behavior (Ferreira et al., arXiv:0912.5449).
+//   kGreedy       LZ4-style single-probe wide-hash table over 4-byte
+//                 windows: one candidate per position, verified and
+//                 extended by the SIMD comparer (arXiv:2409.12433).
+//
+// All backends verify/extend candidates through simd::match_length(), the
+// software twin of the paper's wide-bus comparer.
+//
+// Contract:
+//   seed(block)                binds the input block and resets all index
+//                              state; must be called before the others.
+//   find_longest_match(p, b)   returns the longest match for position p that
+//                              is strictly longer than b (length 0 = none).
+//                              Requires p + kMinMatch <= block.size(). As in
+//                              zlib, the call also indexes position p.
+//   advance(p, covered)        informs the finder the encoder consumed
+//                              `covered` bytes at p as one match; the finder
+//                              indexes the skipped positions per its policy.
+// Matches always point backwards within the seeded block (distance <= p and
+// <= params.max_distance()), so any decoded prefix can resolve them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "lzss/params.hpp"
+
+namespace lzss::core {
+
+struct MatchCandidate {
+  std::uint32_t length = 0;  ///< 0 = no acceptable match
+  std::uint32_t distance = 0;
+};
+
+/// Per-finder operation census; feeds the matchfinder_* server metrics and
+/// the bench sweep.
+struct FinderStats {
+  std::uint64_t seeds = 0;          ///< blocks seeded (SA rebuilds for kSuffixArray)
+  std::uint64_t probes = 0;         ///< candidate positions examined
+  std::uint64_t compare_bytes = 0;  ///< bytes run through the comparer
+};
+
+class MatchFinder {
+ public:
+  virtual ~MatchFinder() = default;
+
+  [[nodiscard]] virtual MatchFinderKind kind() const noexcept = 0;
+  virtual void seed(std::span<const std::uint8_t> block) = 0;
+  [[nodiscard]] virtual MatchCandidate find_longest_match(std::uint64_t pos,
+                                                          std::uint32_t best_so_far) = 0;
+  virtual void advance(std::uint64_t pos, std::uint32_t covered) = 0;
+
+  [[nodiscard]] const FinderStats& stats() const noexcept { return stats_; }
+
+ protected:
+  FinderStats stats_{};
+};
+
+[[nodiscard]] std::unique_ptr<MatchFinder> make_match_finder(MatchFinderKind kind,
+                                                             const MatchParams& params);
+
+}  // namespace lzss::core

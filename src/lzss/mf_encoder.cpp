@@ -1,0 +1,31 @@
+#include "lzss/mf_encoder.hpp"
+
+namespace lzss::core {
+
+MatchFinderEncoder::MatchFinderEncoder(MatchParams params)
+    : params_(params), finder_(make_match_finder(params.finder, params)) {}
+
+std::vector<Token> MatchFinderEncoder::encode(std::span<const std::uint8_t> input) {
+  finder_->seed(input);
+  std::vector<Token> out;
+  out.reserve(input.size() / 3 + 16);
+
+  std::uint64_t pos = 0;
+  while (pos < input.size()) {
+    MatchCandidate m{};
+    if (pos + kMinMatch <= input.size()) {
+      m = finder_->find_longest_match(pos, kMinMatch - 1);
+    }
+    if (m.length >= kMinMatch) {
+      out.push_back(Token::match(m.distance, m.length));
+      finder_->advance(pos, m.length);
+      pos += m.length;
+    } else {
+      out.push_back(Token::literal(input[pos]));
+      ++pos;
+    }
+  }
+  return out;
+}
+
+}  // namespace lzss::core

@@ -1,0 +1,38 @@
+// MatchFinderEncoder — the production software compression path.
+//
+// A deflate_fast-style greedy token emitter over any MatchFinder backend.
+// SoftwareEncoder stays as the byte-accurate zlib baseline (its operation
+// census drives the PPC440 timing model); this encoder is where backend and
+// comparer choices actually change throughput. Over the kHashChain backend
+// it emits the exact token stream of SoftwareEncoder's fast strategy — the
+// invariant that pins the refactor (tests/test_match_finder.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "lzss/match_finder.hpp"
+#include "lzss/token.hpp"
+
+namespace lzss::core {
+
+class MatchFinderEncoder {
+ public:
+  /// Backend selected by @p params.finder.
+  explicit MatchFinderEncoder(MatchParams params);
+
+  /// Compresses @p input into a token stream (greedy, one pass).
+  [[nodiscard]] std::vector<Token> encode(std::span<const std::uint8_t> input);
+
+  [[nodiscard]] MatchFinderKind kind() const noexcept { return finder_->kind(); }
+  [[nodiscard]] const FinderStats& finder_stats() const noexcept { return finder_->stats(); }
+  [[nodiscard]] const MatchParams& params() const noexcept { return params_; }
+
+ private:
+  MatchParams params_;
+  std::unique_ptr<MatchFinder> finder_;
+};
+
+}  // namespace lzss::core

@@ -49,7 +49,20 @@ MatchParams MatchParams::speed_optimized() {
 std::string MatchParams::describe() const {
   return "window=" + std::to_string(window_size()) + "B hash=" + std::to_string(hash.bits) +
          "b chain=" + std::to_string(max_chain) +
-         (strategy == Strategy::kSlow ? " lazy" : " fast");
+         (strategy == Strategy::kSlow ? " lazy" : " fast") + " finder=" + finder_name(finder);
+}
+
+bool parse_finder_name(std::string_view name, MatchFinderKind& out) noexcept {
+  if (name == "hashchain") {
+    out = MatchFinderKind::kHashChain;
+  } else if (name == "suffixarray") {
+    out = MatchFinderKind::kSuffixArray;
+  } else if (name == "greedy") {
+    out = MatchFinderKind::kGreedy;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace lzss::core

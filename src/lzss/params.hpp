@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "lzss/hash.hpp"
 
@@ -19,6 +20,27 @@ enum class Strategy : std::uint8_t {
   kSlow,  ///< deflate_slow: lazy matching (levels 4..9)
 };
 
+/// Which MatchFinder backend drives the software compressor
+/// (lzss/match_finder.hpp; trade-offs in docs/MATCHFINDER.md).
+enum class MatchFinderKind : std::uint8_t {
+  kHashChain = 0,    ///< zlib-style head/prev chains (the sw_encoder baseline)
+  kSuffixArray = 1,  ///< per-block suffix array + LCP-bounded neighbor search
+  kGreedy = 2,       ///< LZ4-style single-probe wide-hash table
+};
+
+[[nodiscard]] constexpr const char* finder_name(MatchFinderKind kind) noexcept {
+  switch (kind) {
+    case MatchFinderKind::kHashChain: return "hashchain";
+    case MatchFinderKind::kSuffixArray: return "suffixarray";
+    case MatchFinderKind::kGreedy: return "greedy";
+  }
+  return "?";
+}
+
+/// Parses a finder_name() string; returns false (leaving @p out untouched)
+/// on unknown names.
+[[nodiscard]] bool parse_finder_name(std::string_view name, MatchFinderKind& out) noexcept;
+
 struct MatchParams {
   unsigned window_bits = 12;  ///< dictionary is 2^window_bits bytes (4 KB default)
   HashSpec hash{};            ///< hash table spec (bits default 15)
@@ -29,6 +51,7 @@ struct MatchParams {
   std::uint32_t nice_length = 8;   ///< stop searching when a match this long is found
   std::uint32_t max_chain = 4;     ///< matching iteration limit (chain walk bound)
   Strategy strategy = Strategy::kFast;
+  MatchFinderKind finder = MatchFinderKind::kHashChain;  ///< MatchFinderEncoder backend
 
   [[nodiscard]] constexpr std::uint32_t window_size() const noexcept {
     return 1u << window_bits;

@@ -1,0 +1,118 @@
+#include "lzss/simd_compare.hpp"
+
+#include <atomic>
+#include <bit>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define LZSS_SIMD_X86 1
+#else
+#define LZSS_SIMD_X86 0
+#endif
+
+namespace lzss::core::simd {
+namespace {
+
+std::size_t match_scalar(const std::uint8_t* a, const std::uint8_t* b,
+                         std::size_t n) noexcept {
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+#if LZSS_SIMD_X86
+
+__attribute__((target("sse2"))) std::size_t match_sse2(const std::uint8_t* a,
+                                                       const std::uint8_t* b,
+                                                       std::size_t n) noexcept {
+  std::size_t i = 0;
+  // Full 16-byte vectors only: i + 16 <= n keeps every lane of both loads
+  // strictly inside [0, n).
+  while (i + 16 <= n) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const unsigned eq =
+        static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFu) return i + std::countr_one(eq);
+    i += 16;
+  }
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+__attribute__((target("avx2"))) std::size_t match_avx2(const std::uint8_t* a,
+                                                       const std::uint8_t* b,
+                                                       std::size_t n) noexcept {
+  std::size_t i = 0;
+  while (i + 32 <= n) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const unsigned eq =
+        static_cast<unsigned>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFFFFFu) return i + std::countr_one(eq);
+    i += 32;
+  }
+  // 16-byte step for the 16..31-byte remainder, then scalar for < 16.
+  if (i + 16 <= n) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const unsigned eq =
+        static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFu) return i + std::countr_one(eq);
+    i += 16;
+  }
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+#endif  // LZSS_SIMD_X86
+
+CompareIsa resolve_best() noexcept {
+#if LZSS_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return CompareIsa::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return CompareIsa::kSse2;
+#endif
+  return CompareIsa::kScalar;
+}
+
+std::atomic<CompareIsa>& active() noexcept {
+  static std::atomic<CompareIsa> isa{resolve_best()};
+  return isa;
+}
+
+}  // namespace
+
+const char* isa_name(CompareIsa isa) noexcept {
+  switch (isa) {
+    case CompareIsa::kScalar: return "scalar";
+    case CompareIsa::kSse2: return "sse2";
+    case CompareIsa::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+CompareIsa best_isa() noexcept {
+  static const CompareIsa best = resolve_best();
+  return best;
+}
+
+CompareIsa active_isa() noexcept { return active().load(std::memory_order_relaxed); }
+
+void force_isa(CompareIsa isa) noexcept {
+  if (static_cast<std::uint8_t>(isa) > static_cast<std::uint8_t>(best_isa()))
+    isa = best_isa();
+  active().store(isa, std::memory_order_relaxed);
+}
+
+std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
+                         std::size_t n) noexcept {
+  switch (active().load(std::memory_order_relaxed)) {
+#if LZSS_SIMD_X86
+    case CompareIsa::kAvx2: return match_avx2(a, b, n);
+    case CompareIsa::kSse2: return match_sse2(a, b, n);
+#endif
+    default: return match_scalar(a, b, n);
+  }
+}
+
+}  // namespace lzss::core::simd

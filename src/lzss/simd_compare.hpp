@@ -1,0 +1,48 @@
+// SSE2/AVX2 match-length comparer with runtime CPU dispatch.
+//
+// The software twin of the paper's headline optimization: the hardware
+// comparer widens its data bus from 1 to 4 bytes per clock ("the matching
+// operation is accelerated by using wider data buses"); here the same idea
+// widens the software inner loop from 1 byte per iteration to 16 (SSE2) or
+// 32 (AVX2) bytes per vector compare. Every MatchFinder backend funnels its
+// candidate verification through match_length(), so the dispatch decision is
+// made once per process, not per probe.
+//
+// Bounds contract: match_length(a, b, n) reads a[i]/b[i] only for i < n.
+// The vector loops run while a *full* vector fits strictly inside the
+// remaining range (i + width <= n); the sub-vector tail is finished by the
+// scalar loop. No masked loads, no page-alignment tricks, no over-read —
+// the property the buffer-edge fixtures in tests/test_match_finder.cpp pin
+// under ASan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lzss::core::simd {
+
+enum class CompareIsa : std::uint8_t {
+  kScalar = 0,  ///< byte-at-a-time loop (always available; the bench baseline)
+  kSse2 = 1,    ///< 16-byte vector compares
+  kAvx2 = 2,    ///< 32-byte vector compares
+};
+
+[[nodiscard]] const char* isa_name(CompareIsa isa) noexcept;
+
+/// Widest ISA this CPU supports; resolved once and cached.
+[[nodiscard]] CompareIsa best_isa() noexcept;
+
+/// The ISA match_length() currently dispatches to.
+[[nodiscard]] CompareIsa active_isa() noexcept;
+
+/// Overrides dispatch, clamped to best_isa(). Used by tests (scalar vs
+/// vector equivalence) and by the bench sweep's comparer A/B; thread-safe
+/// but global — do not flip it while encoders run concurrently.
+void force_isa(CompareIsa isa) noexcept;
+
+/// Length of the common prefix of a[0..n) and b[0..n); never reads past
+/// either buffer. n == 0 returns 0.
+[[nodiscard]] std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
+                                       std::size_t n) noexcept;
+
+}  // namespace lzss::core::simd

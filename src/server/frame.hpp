@@ -98,6 +98,22 @@ inline constexpr std::uint16_t kFlagVerifyStore = 0x0002;
 /// Trace-context extension in flags bit 2: the payload carries an 8-byte LE
 /// trace id prefix (stripped at parse time into the frame's trace_id).
 inline constexpr std::uint16_t kFlagTraced = 0x0004;
+/// COMPRESS match-finder backend selector in flags bits 3..5 (see
+/// docs/MATCHFINDER.md): 0 = the service's configured policy, 1 = the
+/// cycle-accurate hw model, 2 = hashchain, 3 = suffixarray, 4 = greedy.
+/// Unknown selectors answer UNSUPPORTED.
+inline constexpr unsigned kFlagMatchFinderShift = 3;
+inline constexpr std::uint16_t kFlagMatchFinderMask = 0x0038;
+
+[[nodiscard]] constexpr std::uint16_t flags_with_matchfinder(std::uint16_t flags,
+                                                             std::uint8_t selector) noexcept {
+  return static_cast<std::uint16_t>(
+      (flags & ~kFlagMatchFinderMask) |
+      ((std::uint16_t{selector} << kFlagMatchFinderShift) & kFlagMatchFinderMask));
+}
+[[nodiscard]] constexpr std::uint8_t matchfinder_of_flags(std::uint16_t flags) noexcept {
+  return static_cast<std::uint8_t>((flags & kFlagMatchFinderMask) >> kFlagMatchFinderShift);
+}
 
 /// Wire bytes the trace extension prepends to the payload.
 [[nodiscard]] constexpr std::size_t trace_extension_size(std::uint16_t flags) noexcept {

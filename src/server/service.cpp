@@ -22,6 +22,7 @@
 #include "estimator/presets.hpp"
 #include "fault/fault.hpp"
 #include "hw/metrics.hpp"
+#include "lzss/mf_encoder.hpp"
 #include "lzss/raw_container.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
@@ -38,6 +39,21 @@ namespace {
 /// distances Deflate can carry (<= 32 KB after max_distance trimming).
 unsigned container_window_bits(const hw::HwConfig& cfg) noexcept {
   return std::clamp(cfg.dict_bits, 8u, 15u);
+}
+
+/// The software encoder mirrors the hw model's knobs: same window, hash
+/// spec, chain bound and insert policy, so backend choice changes search
+/// strategy, never the dialect of the token stream.
+core::MatchParams sw_params_for(const hw::HwConfig& cfg,
+                                core::MatchFinderKind kind) noexcept {
+  core::MatchParams p;
+  p.window_bits = cfg.dict_bits;
+  p.hash = cfg.hash;
+  p.max_chain = cfg.max_chain;
+  p.nice_length = cfg.nice_length;
+  p.max_lazy = cfg.max_insert;
+  p.finder = kind;
+  return p;
 }
 
 /// The graceful-degradation payload: a container that carries @p input
@@ -65,6 +81,30 @@ std::vector<std::uint8_t> fallback_container(std::span<const std::uint8_t> input
 }
 
 }  // namespace
+
+const char* match_backend_name(MatchBackend backend) noexcept {
+  switch (backend) {
+    case MatchBackend::kHw: return "hw";
+    case MatchBackend::kHashChain: return "hashchain";
+    case MatchBackend::kSuffixArray: return "suffixarray";
+    case MatchBackend::kGreedy: return "greedy";
+    case MatchBackend::kAuto: return "auto";
+  }
+  return "?";
+}
+
+bool parse_match_backend(std::string_view name, MatchBackend& out) noexcept {
+  if (name == "hw") {
+    out = MatchBackend::kHw;
+  } else if (name == "auto") {
+    out = MatchBackend::kAuto;
+  } else {
+    core::MatchFinderKind kind;
+    if (!core::parse_finder_name(name, kind)) return false;
+    out = static_cast<MatchBackend>(static_cast<std::uint8_t>(kind) + 1);
+  }
+  return true;
+}
 
 void ServiceConfig::validate() const {
   if (workers == 0) throw std::invalid_argument("ServiceConfig: zero workers");
@@ -790,10 +830,58 @@ ResponseFrame Service::do_compress(const RequestFrame& request, const hw::HwConf
   const bool raw = (request.flags & kFlagRawContainer) != 0;
   const bool large = input.size() >= cfg_.large_threshold;
 
+  // Resolve the match pipeline: flags bits 3..5 pin a backend per request
+  // (1 = hw, 2.. = MatchFinderKind + 2); selector 0 defers to the service
+  // policy, where kAuto classes by payload size (docs/MATCHFINDER.md).
+  const std::uint8_t selector = matchfinder_of_flags(request.flags);
+  if (selector > 4) {
+    resp.status = Status::kUnsupported;
+    return resp;
+  }
+  bool use_sw = false;
+  core::MatchFinderKind kind = core::MatchFinderKind::kHashChain;
+  if (selector >= 2) {
+    use_sw = true;
+    kind = static_cast<core::MatchFinderKind>(selector - 2);
+  } else if (selector == 0) {
+    switch (cfg_.match_backend) {
+      case MatchBackend::kHw:
+        break;
+      case MatchBackend::kHashChain:
+      case MatchBackend::kSuffixArray:
+      case MatchBackend::kGreedy:
+        use_sw = true;
+        kind = static_cast<core::MatchFinderKind>(
+            static_cast<std::uint8_t>(cfg_.match_backend) - 1);
+        break;
+      case MatchBackend::kAuto:
+        if (large) break;  // large payloads keep the striped hw engines
+        use_sw = true;
+        kind = input.size() < cfg_.small_threshold ? core::MatchFinderKind::kGreedy
+                                                   : core::MatchFinderKind::kHashChain;
+        break;
+    }
+  }
+
   hw::CycleStats census;
   try {
     fault::point("server.worker.compress");
-    if (!raw && large && !input.empty()) {
+    if (use_sw) {
+      core::MatchFinderEncoder encoder(sw_params_for(cfg, kind));
+      const std::vector<core::Token> tokens = encoder.encode(input);
+      const core::FinderStats& fs = encoder.finder_stats();
+      const FinderInstruments& fm = mf_[static_cast<std::size_t>(kind)];
+      fm.requests->add(1);
+      fm.bytes_in->add(input.size());
+      fm.probes->add(fs.probes);
+      fm.compare_bytes->add(fs.compare_bytes);
+      if (raw) {
+        resp.payload = core::raw_container_pack(tokens, cfg.dict_bits, input.size());
+      } else {
+        resp.payload = deflate::zlib_wrap_tokens(tokens, input, container_window_bits(cfg),
+                                                 deflate::BlockKind::kFixed);
+      }
+    } else if (!raw && large && !input.empty()) {
       // Large zlib requests stripe across a bank of engines; the stitched
       // multi-block Deflate stream wraps into one valid zlib container.
       const auto report = par::compress_multi_engine(cfg, input, cfg_.large_engines);
@@ -831,8 +919,9 @@ ResponseFrame Service::do_compress(const RequestFrame& request, const hw::HwConf
     return resp;
   }
   // The model ran to completion: fold its per-FSM-state cycle census (the
-  // paper's fig. 5 categories) into the registry.
-  hw::export_cycle_stats(*registry_, census);
+  // paper's fig. 5 categories) into the registry. Software backends have no
+  // cycle model; their census lives in the matchfinder_* counters above.
+  if (!use_sw) hw::export_cycle_stats(*registry_, census);
 
   // Ratio guard: a payload incompressible past the configured ratio degrades
   // to the stored form when that is actually smaller (GPULZ-style fallback).
@@ -1050,6 +1139,14 @@ void Service::bind_metrics() {
     m.bytes_in = &r.counter("server_bytes_in_total", {{"opcode", op}});
     m.bytes_out = &r.counter("server_bytes_out_total", {{"opcode", op}});
     m.latency_us = &r.histogram("server_latency_us", {{"opcode", op}});
+  }
+  for (std::size_t i = 0; i < mf_.size(); ++i) {
+    const char* backend = core::finder_name(static_cast<core::MatchFinderKind>(i));
+    FinderInstruments& m = mf_[i];
+    m.requests = &r.counter("matchfinder_requests_total", {{"backend", backend}});
+    m.bytes_in = &r.counter("matchfinder_bytes_in_total", {{"backend", backend}});
+    m.probes = &r.counter("matchfinder_probes_total", {{"backend", backend}});
+    m.compare_bytes = &r.counter("matchfinder_compare_bytes_total", {{"backend", backend}});
   }
   queue_wait_us_ = &r.histogram("server_queue_wait_us");
   queue_depth_g_ = &r.gauge("server_queue_depth");

@@ -57,6 +57,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -78,6 +79,26 @@ class LogStore;
 }
 
 namespace lzss::server {
+
+/// COMPRESS match pipeline policy (docs/MATCHFINDER.md). kHw runs the
+/// cycle-accurate hardware model (the original behavior); the three software
+/// backends run the MatchFinderEncoder; kAuto picks per request class by
+/// payload size: small requests take the one-probe greedy finder (lowest
+/// per-request overhead), mid-size requests the hash-chain finder (better
+/// ratio, still cheap), and large requests stay on the striped hw
+/// MultiEngine path. A request can pin a backend via frame flags bits 3..5,
+/// which overrides this policy.
+enum class MatchBackend : std::uint8_t {
+  kHw = 0,
+  kHashChain,
+  kSuffixArray,
+  kGreedy,
+  kAuto,
+};
+
+[[nodiscard]] const char* match_backend_name(MatchBackend backend) noexcept;
+/// Parses hw|hashchain|suffixarray|greedy|auto; false on unknown names.
+[[nodiscard]] bool parse_match_backend(std::string_view name, MatchBackend& out) noexcept;
 
 struct ServiceConfig {
   unsigned workers = 2;                  ///< data-plane worker threads
@@ -113,6 +134,11 @@ struct ServiceConfig {
   /// Structured event sink (watchdog respawns, drain rescues); null = off.
   obs::EventLog* events = nullptr;
   hw::HwConfig hw = hw::HwConfig::speed_optimized();
+  /// COMPRESS match pipeline when the request doesn't pin one (lzssd
+  /// --matchfinder). Auto-class threshold: payloads below small_threshold
+  /// count as "small" for MatchBackend::kAuto.
+  MatchBackend match_backend = MatchBackend::kHw;
+  std::size_t small_threshold = 16 * 1024;
 
   void validate() const;  ///< throws std::invalid_argument when inconsistent
 };
@@ -299,6 +325,16 @@ class Service {
   obs::Counter* deadline_c_ = nullptr;
   obs::Counter* fallbacks_c_ = nullptr;
   obs::Counter* respawns_c_ = nullptr;
+
+  // Match-finder backend instruments (docs/MATCHFINDER.md), indexed by
+  // core::MatchFinderKind. The hw path is covered by the cycle census.
+  struct FinderInstruments {
+    obs::Counter* requests;
+    obs::Counter* bytes_in;
+    obs::Counter* probes;
+    obs::Counter* compare_bytes;
+  };
+  std::array<FinderInstruments, 3> mf_{};
 
   // Block-container instruments (docs/CONTAINER.md / docs/OBSERVABILITY.md).
   obs::Counter* blocks_compress_c_ = nullptr;      ///< container_blocks_total{op=...}

@@ -12,6 +12,7 @@
 #include "fault/fault.hpp"
 #include "hw/compressor.hpp"
 #include "lzss/decoder.hpp"
+#include "lzss/mf_encoder.hpp"
 #include "lzss/raw_container.hpp"
 #include "lzss/sw_encoder.hpp"
 #include "server/frame.hpp"
@@ -386,6 +387,42 @@ TEST(FuzzRoundtrip, RandomConfigsRandomData) {
       if (!t.is_literal()) {
         ASSERT_LE(t.distance(), cfg.max_distance()) << cfg.describe();
       }
+    }
+  }
+}
+
+// Backend equivalence under fuzzed parameters: every MatchFinder backend
+// must produce a decodable stream that reproduces the input byte-for-byte,
+// whatever the window/hash/effort knobs and whichever corpus.
+TEST(FuzzRoundtrip, MatchFinderBackendsRandomParams) {
+  rng::Xoshiro256 rng(29);
+  constexpr core::MatchFinderKind kKinds[] = {core::MatchFinderKind::kHashChain,
+                                              core::MatchFinderKind::kSuffixArray,
+                                              core::MatchFinderKind::kGreedy};
+  const auto names = wl::corpus_names();
+  for (int trial = 0; trial < 10; ++trial) {
+    core::MatchParams p;
+    p.window_bits = 9 + static_cast<unsigned>(rng.next_below(7));
+    p.hash.bits = 8 + static_cast<unsigned>(rng.next_below(9));
+    p.max_chain = 1 + static_cast<std::uint32_t>(rng.next_below(128));
+    p.nice_length = 4 + static_cast<std::uint32_t>(rng.next_below(254));
+    p.good_length = 4 + static_cast<std::uint32_t>(rng.next_below(32));
+    p.max_lazy = 3 + static_cast<std::uint32_t>(rng.next_below(64));
+
+    const auto& name = names[rng.next_below(names.size())];
+    const auto data = wl::make_corpus(name, 2 * 1024 + rng.next_below(20000), trial + 500);
+    for (const auto kind : kKinds) {
+      p.finder = kind;
+      core::MatchFinderEncoder enc(p);
+      const auto tokens = enc.encode(data);
+      for (const auto& t : tokens) {
+        if (!t.is_literal()) {
+          ASSERT_LE(t.distance(), p.max_distance())
+              << p.describe() << " corpus=" << name;
+        }
+      }
+      ASSERT_TRUE(core::tokens_reproduce(tokens, data, p.window_size()))
+          << p.describe() << " corpus=" << name;
     }
   }
 }

@@ -76,6 +76,77 @@ TEST(HashSpec, ReasonableSpreadOnText) {
   EXPECT_GT(seen.size(), text.size() / 2);
 }
 
+// Golden vectors pinning both hash kinds exactly. Backend refactors (and the
+// canonicalization of the multiplicative form) must not move a single chain:
+// any change to these values silently re-routes every head/prev probe.
+TEST(HashSpec, GoldenVectors) {
+  struct Golden {
+    unsigned bits;
+    HashKind kind;
+    std::uint8_t b0, b1, b2;
+    std::uint32_t expected;
+  };
+  const Golden vectors[] = {
+      {9, HashKind::kZlibShift, 0, 0, 0, 0u},
+      {9, HashKind::kZlibShift, 1, 2, 3, 83u},
+      {9, HashKind::kZlibShift, 'a', 'b', 'c', 307u},
+      {9, HashKind::kZlibShift, 0xFF, 0xFF, 0xFF, 199u},
+      {9, HashKind::kZlibShift, 0x12, 0x34, 0x56, 374u},
+      {9, HashKind::kZlibShift, 0xDE, 0xAD, 0xBE, 86u},
+      {9, HashKind::kMultiplicative, 0, 0, 0, 0u},
+      {9, HashKind::kMultiplicative, 1, 2, 3, 390u},
+      {9, HashKind::kMultiplicative, 'a', 'b', 'c', 272u},
+      {9, HashKind::kMultiplicative, 0xFF, 0xFF, 0xFF, 37u},
+      {9, HashKind::kMultiplicative, 0x12, 0x34, 0x56, 499u},
+      {9, HashKind::kMultiplicative, 0xDE, 0xAD, 0xBE, 227u},
+      {12, HashKind::kZlibShift, 1, 2, 3, 291u},
+      {12, HashKind::kZlibShift, 'a', 'b', 'c', 1859u},
+      {12, HashKind::kZlibShift, 0xFF, 0xFF, 0xFF, 15u},
+      {12, HashKind::kZlibShift, 0x12, 0x34, 0x56, 278u},
+      {12, HashKind::kZlibShift, 0xDE, 0xAD, 0xBE, 1134u},
+      {12, HashKind::kMultiplicative, 1, 2, 3, 3124u},
+      {12, HashKind::kMultiplicative, 'a', 'b', 'c', 2177u},
+      {12, HashKind::kMultiplicative, 0xFF, 0xFF, 0xFF, 300u},
+      {12, HashKind::kMultiplicative, 0x12, 0x34, 0x56, 3996u},
+      {12, HashKind::kMultiplicative, 0xDE, 0xAD, 0xBE, 1822u},
+      {15, HashKind::kZlibShift, 1, 2, 3, 1091u},
+      {15, HashKind::kZlibShift, 'a', 'b', 'c', 2083u},
+      {15, HashKind::kZlibShift, 0xFF, 0xFF, 0xFF, 25375u},
+      {15, HashKind::kZlibShift, 0x12, 0x34, 0x56, 20182u},
+      {15, HashKind::kZlibShift, 0xDE, 0xAD, 0xBE, 27934u},
+      {15, HashKind::kMultiplicative, 1, 2, 3, 24997u},
+      {15, HashKind::kMultiplicative, 'a', 'b', 'c', 17421u},
+      {15, HashKind::kMultiplicative, 0xFF, 0xFF, 0xFF, 2404u},
+      {15, HashKind::kMultiplicative, 0x12, 0x34, 0x56, 31974u},
+      {15, HashKind::kMultiplicative, 0xDE, 0xAD, 0xBE, 14579u},
+  };
+  for (const auto& g : vectors) {
+    const HashSpec h{.bits = g.bits, .kind = g.kind};
+    EXPECT_EQ(h.hash3(g.b0, g.b1, g.b2), g.expected)
+        << "bits=" << g.bits << " kind=" << static_cast<int>(g.kind);
+  }
+}
+
+// The multiplicative shift previously invoked UB at the bits extremes
+// (shift by 32 when bits == 0, negative shift when bits > 32). Pin the
+// now-defined behavior: bits == 0 hashes everything to slot 0, bits >= 32
+// returns the full mixed word, and no value ever escapes the table.
+TEST(HashSpec, MultiplicativeBitsEdgeValues) {
+  const HashSpec zero{.bits = 0, .kind = HashKind::kMultiplicative};
+  EXPECT_EQ(zero.hash3(1, 2, 3), 0u);
+  EXPECT_EQ(zero.hash3(0xFF, 0xFF, 0xFF), 0u);
+
+  const HashSpec full{.bits = 32, .kind = HashKind::kMultiplicative};
+  const std::uint32_t packed = (1u << 16) | (2u << 8) | 3u;
+  EXPECT_EQ(full.hash3(1, 2, 3), packed * 2654435761u);
+
+  const HashSpec one{.bits = 1, .kind = HashKind::kMultiplicative};
+  rng::Xoshiro256 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(one.hash3(rng.next_byte(), rng.next_byte(), rng.next_byte()), 1u);
+  }
+}
+
 TEST(HashSpec, KindsProduceDifferentFunctions) {
   const HashSpec a{.bits = 15, .kind = HashKind::kZlibShift};
   const HashSpec b{.bits = 15, .kind = HashKind::kMultiplicative};

@@ -50,6 +50,26 @@ TEST(IncrementalEncoder, ChunkSizeDoesNotChangeOutput) {
   EXPECT_TRUE(tokens_reproduce(results[0], data, p.window_size()));
 }
 
+// Regression: windows of MIN_LOOKAHEAD bytes or fewer (window_bits <= 8)
+// used to underflow max_dist() (making the distance filter accept
+// unencodable distances) and fire the slide with strstart_ still in the
+// first half (underflowing strstart_ -= W). Both now round-trip with every
+// distance inside the window.
+TEST(IncrementalEncoder, TinyWindowRoundTripsWithBoundedDistances) {
+  for (const unsigned bits : {6u, 8u}) {
+    MatchParams p = MatchParams::speed_optimized();
+    p.window_bits = bits;
+    const auto data = wl::make_corpus("periodic64", 16 * 1024, 9);
+    IncrementalEncoder enc(p);
+    const auto tokens = encode_all(enc, data, 777);
+    for (const auto& t : tokens) {
+      if (!t.is_literal()) EXPECT_LE(t.distance(), p.max_distance()) << "bits=" << bits;
+    }
+    EXPECT_TRUE(tokens_reproduce(tokens, data, p.window_size())) << "bits=" << bits;
+    EXPECT_GT(enc.window_rotations(), 0u) << "bits=" << bits;
+  }
+}
+
 TEST(IncrementalEncoder, RotatesEveryWindowOfInput) {
   MatchParams p = MatchParams::speed_optimized();  // 4 KB window, 8 KB buffer
   IncrementalEncoder enc(p);

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <tuple>
 
+#include "common/prng.hpp"
+#include "hw/compressor.hpp"
 #include "lzss/decoder.hpp"
 #include "workloads/corpus.hpp"
 
@@ -75,6 +78,65 @@ TEST(SoftwareEncoder, DistancesRespectTheWindow) {
     }
   }
   EXPECT_TRUE(tokens_reproduce(tokens, data, p.window_size()));
+}
+
+// sw-vs-hw parity over adversarial inputs. The two pipelines prune
+// differently (hw trims max_distance by the fill-ahead region, sw by the
+// D-field range), so token identity is not the contract — what both must
+// guarantee on every edge case is a stream that decodes byte-identically
+// under each one's own window bound, with every match in range.
+TEST(SoftwareEncoder, HwParityOnAdversarialInputs) {
+  const MatchParams sw_params = MatchParams::speed_optimized();
+  const hw::HwConfig hw_cfg = hw::HwConfig::speed_optimized();
+  const std::uint32_t w = sw_params.window_size();
+
+  std::vector<std::vector<std::uint8_t>> fixtures;
+  fixtures.push_back({});                                              // empty
+  fixtures.push_back({'x'});                                           // < kMinMatch
+  fixtures.push_back({'x', 'y'});
+  fixtures.push_back(std::vector<std::uint8_t>(kMaxMatch + kMinMatch, 0x42));  // max match at EOI
+  {
+    std::vector<std::uint8_t> wrap(3 * w);  // matches straddling window wraps
+    for (std::size_t i = 0; i < wrap.size(); ++i)
+      wrap[i] = static_cast<std::uint8_t>((i * 7) % 251);
+    fixtures.push_back(std::move(wrap));
+  }
+  {
+    rng::Xoshiro256 rng(123);
+    std::vector<std::uint8_t> far(2 * w);  // a long match near max distance
+    for (auto& b : far) b = rng.next_byte();
+    std::memcpy(far.data() + w, far.data(), 300);
+    fixtures.push_back(std::move(far));
+  }
+
+  for (const auto& strategy : {Strategy::kFast, Strategy::kSlow}) {
+    MatchParams p = sw_params;
+    p.strategy = strategy;
+    SoftwareEncoder sw(p);
+    hw::Compressor hw_model(hw_cfg);
+    for (std::size_t i = 0; i < fixtures.size(); ++i) {
+      const auto& data = fixtures[i];
+
+      const auto sw_tokens = sw.encode(data);
+      for (const auto& t : sw_tokens) {
+        if (t.is_literal()) continue;
+        ASSERT_GE(t.length(), kMinMatch);
+        ASSERT_LE(t.length(), kMaxMatch);
+        ASSERT_LE(t.distance(), p.max_distance());
+      }
+      EXPECT_TRUE(tokens_reproduce(sw_tokens, data, p.window_size()))
+          << "sw fixture=" << i;
+
+      const auto hw_tokens = hw_model.compress(data).tokens;
+      for (const auto& t : hw_tokens) {
+        if (t.is_literal()) continue;
+        ASSERT_GE(t.length(), kMinMatch);
+        ASSERT_LE(t.distance(), hw_cfg.max_distance());
+      }
+      EXPECT_TRUE(tokens_reproduce(hw_tokens, data, hw_cfg.dict_size()))
+          << "hw fixture=" << i;
+    }
+  }
 }
 
 TEST(SoftwareEncoder, LazyMatchingImprovesOnGreedy) {

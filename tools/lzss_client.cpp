@@ -44,11 +44,13 @@
 #include <memory>
 #include <random>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/checksum.hpp"
 #include "container/codec.hpp"
 #include "deflate/inflate.hpp"
+#include "lzss/params.hpp"
 #include "lzss/raw_container.hpp"
 #include "server/frame.hpp"
 #include "server/retry.hpp"
@@ -72,6 +74,7 @@ void write_file(const std::string& path, const std::vector<std::uint8_t>& data) 
 int usage() {
   std::fprintf(stderr,
                "usage: lzss_client [--host h] [--port p] [--raw] [--preset id] [-o out]\n"
+               "                   [--matchfinder hw|hashchain|suffixarray|greedy]\n"
                "                   [--no-verify] [--retries n] [--retry-base-ms m] [--trace]\n"
                "                   compress|compress-blocked|decompress|ping|stats [file]\n"
                "                   | log-append <file> | log-read <seq> | scrub [seg-id]\n"
@@ -88,6 +91,7 @@ int main(int argc, char** argv) {
   unsigned port = 5555;
   unsigned preset = 0;
   unsigned retries = 4, retry_base_ms = 50;
+  unsigned matchfinder = 0;  // wire selector: 0 = server policy
   bool raw = false, verify = true, trace = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -106,6 +110,16 @@ int main(int argc, char** argv) {
       retries = static_cast<unsigned>(std::atoi(v));
     } else if (arg == "--retry-base-ms" && (v = next()) != nullptr) {
       retry_base_ms = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--matchfinder" && (v = next()) != nullptr) {
+      const std::string_view name = v;
+      core::MatchFinderKind kind;
+      if (name == "hw") {
+        matchfinder = 1;
+      } else if (core::parse_finder_name(name, kind)) {
+        matchfinder = static_cast<unsigned>(kind) + 2;
+      } else {
+        return usage();
+      }
     } else if (arg == "--raw") {
       raw = true;
     } else if (arg == "--no-verify") {
@@ -131,6 +145,8 @@ int main(int argc, char** argv) {
     req.id = 1;
     req.flags = server::flags_with_preset(raw ? server::kFlagRawContainer : 0,
                                           static_cast<std::uint8_t>(preset));
+    req.flags = server::flags_with_matchfinder(req.flags,
+                                               static_cast<std::uint8_t>(matchfinder));
     if (trace) {
       // A client-chosen id always wins over server-side sampling, so this
       // request is traced end to end regardless of the daemon's sample rate.

@@ -110,6 +110,8 @@ void handle_dump_signal(int) { g_dump_requested.store(true); }
 int usage() {
   std::fprintf(stderr,
                "usage: lzssd [--port p] [--engines n] [--queue-depth d] [--preset name]\n"
+               "             [--matchfinder hw|hashchain|suffixarray|greedy|auto]\n"
+               "             [--small-threshold-kb k]\n"
                "             [--large-engines n] [--threshold-kb k] [--block-kb k]\n"
                "             [--request-timeout-ms t] [--hung-worker-ms t]\n"
                "             [--store-dir dir] [--store-fsync policy] [--store-segment-kb k]\n"
@@ -191,6 +193,10 @@ int main(int argc, char** argv) {
       cfg.queue_depth = static_cast<std::size_t>(std::atoi(v));
     } else if (arg == "--preset" && (v = next()) != nullptr) {
       preset = v;
+    } else if (arg == "--matchfinder" && (v = next()) != nullptr) {
+      if (!server::parse_match_backend(v, cfg.match_backend)) return usage();
+    } else if (arg == "--small-threshold-kb" && (v = next()) != nullptr) {
+      cfg.small_threshold = static_cast<std::size_t>(std::atoi(v)) * 1024;
     } else if (arg == "--large-engines" && (v = next()) != nullptr) {
       cfg.large_engines = static_cast<unsigned>(std::atoi(v));
     } else if (arg == "--threshold-kb" && (v = next()) != nullptr) {
